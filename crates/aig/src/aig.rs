@@ -1,0 +1,570 @@
+//! The AND-Inverter Graph arena.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A literal: an AIG node index plus a complement attribute.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Constant false (regular edge to node 0).
+    pub const FALSE: Lit = Lit(0);
+    /// Constant true (complemented edge to node 0).
+    pub const TRUE: Lit = Lit(1);
+
+    /// Builds a literal from a node index and complement flag.
+    pub fn new(node: u32, complemented: bool) -> Self {
+        Lit(node << 1 | complemented as u32)
+    }
+
+    /// The node index.
+    pub fn node(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Whether the edge is complemented.
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// True for the two constant literals.
+    pub fn is_constant(self) -> bool {
+        self.node() == 0
+    }
+
+    /// Complements the literal iff `c`.
+    #[must_use]
+    pub fn complement_if(self, c: bool) -> Lit {
+        Lit(self.0 ^ c as u32)
+    }
+
+    /// Raw packed value.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_complemented() {
+            write!(f, "!a{}", self.node())
+        } else {
+            write!(f, "a{}", self.node())
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// An AND-Inverter Graph: the homogeneous AND-node network with
+/// complemented edges used by ABC (paper reference [5]/[8]), implemented
+/// with structural hashing and constant/identity simplification at
+/// construction.
+///
+/// Node 0 is constant 0; nodes `1..=num_inputs` are primary inputs;
+/// every later node is a two-input AND.
+///
+/// # Example
+///
+/// ```
+/// use mig_aig::Aig;
+///
+/// let mut aig = Aig::new("and2");
+/// let a = aig.add_input("a");
+/// let b = aig.add_input("b");
+/// let y = aig.and(a, b);
+/// aig.add_output("y", y);
+/// assert_eq!(aig.size(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Aig {
+    name: String,
+    nodes: Vec<[Lit; 2]>,
+    level: Vec<u32>,
+    num_inputs: usize,
+    input_names: Vec<String>,
+    outputs: Vec<(String, Lit)>,
+    strash: HashMap<[Lit; 2], u32>,
+}
+
+impl Aig {
+    /// Creates an empty AIG containing only the constant node.
+    pub fn new(name: impl Into<String>) -> Self {
+        Aig {
+            name: name.into(),
+            nodes: vec![[Lit::FALSE; 2]],
+            level: vec![0],
+            num_inputs: 0,
+            input_names: Vec::new(),
+            outputs: Vec::new(),
+            strash: HashMap::new(),
+        }
+    }
+
+    /// The design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a primary input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if gates were already created.
+    pub fn add_input(&mut self, name: impl Into<String>) -> Lit {
+        assert_eq!(
+            self.nodes.len(),
+            self.num_inputs + 1,
+            "all inputs must be added before gates"
+        );
+        self.nodes.push([Lit::FALSE; 2]);
+        self.level.push(0);
+        self.num_inputs += 1;
+        self.input_names.push(name.into());
+        Lit::new(self.num_inputs as u32, false)
+    }
+
+    /// The literal of input `i` (0-based).
+    pub fn input(&self, i: usize) -> Lit {
+        assert!(i < self.num_inputs);
+        Lit::new(i as u32 + 1, false)
+    }
+
+    /// The name of input `i`.
+    pub fn input_name(&self, i: usize) -> &str {
+        &self.input_names[i]
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Declares a primary output.
+    pub fn add_output(&mut self, name: impl Into<String>, lit: Lit) {
+        assert!((lit.node() as usize) < self.nodes.len());
+        self.outputs.push((name.into(), lit));
+    }
+
+    /// The outputs as `(name, literal)` pairs.
+    pub fn outputs(&self) -> &[(String, Lit)] {
+        &self.outputs
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Redirects output `i` to a new literal.
+    pub fn set_output(&mut self, i: usize, lit: Lit) {
+        assert!((lit.node() as usize) < self.nodes.len());
+        self.outputs[i].1 = lit;
+    }
+
+    /// True if `node` is an AND gate.
+    pub fn is_gate(&self, node: u32) -> bool {
+        node as usize > self.num_inputs
+    }
+
+    /// True if `node` is a primary input.
+    pub fn is_input(&self, node: u32) -> bool {
+        (1..=self.num_inputs).contains(&(node as usize))
+    }
+
+    /// The two fanins of an AND node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a gate.
+    pub fn fanins(&self, node: u32) -> [Lit; 2] {
+        assert!(self.is_gate(node), "a{node} is not an AND gate");
+        self.nodes[node as usize]
+    }
+
+    /// Total arena nodes (constant + inputs + gates).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Logic level of a node.
+    pub fn level_of(&self, node: u32) -> u32 {
+        self.level[node as usize]
+    }
+
+    /// Logic level of the node a literal points at.
+    pub fn level_of_lit(&self, lit: Lit) -> u32 {
+        self.level[lit.node() as usize]
+    }
+
+    /// Creates (or finds) the AND of two literals, applying the standard
+    /// one-level simplification rules.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        if a == b {
+            return a;
+        }
+        if a == !b {
+            return Lit::FALSE;
+        }
+        if a == Lit::FALSE || b == Lit::FALSE {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE {
+            return b;
+        }
+        if b == Lit::TRUE {
+            return a;
+        }
+        let key = if a <= b { [a, b] } else { [b, a] };
+        if let Some(&n) = self.strash.get(&key) {
+            return Lit::new(n, false);
+        }
+        let n = self.nodes.len() as u32;
+        let lvl = 1 + self
+            .level
+            .get(key[0].node() as usize)
+            .copied()
+            .unwrap_or(0)
+            .max(self.level[key[1].node() as usize]);
+        self.nodes.push(key);
+        self.level.push(lvl);
+        self.strash.insert(key, n);
+        Lit::new(n, false)
+    }
+
+    /// Probes the strash table without allocating: the literal `AND(a,b)`
+    /// would evaluate to, or `None` if a node would be created.
+    pub fn lookup_and(&self, a: Lit, b: Lit) -> Option<Lit> {
+        if a == b {
+            return Some(a);
+        }
+        if a == !b || a == Lit::FALSE || b == Lit::FALSE {
+            return Some(Lit::FALSE);
+        }
+        if a == Lit::TRUE {
+            return Some(b);
+        }
+        if b == Lit::TRUE {
+            return Some(a);
+        }
+        let key = if a <= b { [a, b] } else { [b, a] };
+        self.strash.get(&key).map(|&n| Lit::new(n, false))
+    }
+
+    /// Disjunction via De Morgan.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and(!a, !b)
+    }
+
+    /// Exclusive-or (3 AND nodes unless simplified).
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let t = self.and(a, !b);
+        let e = self.and(!a, b);
+        self.or(t, e)
+    }
+
+    /// If-then-else `sel ? t : e`.
+    pub fn mux(&mut self, sel: Lit, t: Lit, e: Lit) -> Lit {
+        let p = self.and(sel, t);
+        let q = self.and(!sel, e);
+        self.or(p, q)
+    }
+
+    /// Three-input majority (AND/OR decomposition).
+    pub fn maj(&mut self, a: Lit, b: Lit, c: Lit) -> Lit {
+        let bc_or = self.or(b, c);
+        let bc_and = self.and(b, c);
+        self.mux(a, bc_or, bc_and)
+    }
+
+    /// Marks nodes reachable from the outputs.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut mark = vec![false; self.nodes.len()];
+        mark[0] = true;
+        for i in 1..=self.num_inputs {
+            mark[i] = true;
+        }
+        let mut stack: Vec<u32> = self.outputs.iter().map(|&(_, l)| l.node()).collect();
+        while let Some(n) = stack.pop() {
+            if mark[n as usize] {
+                continue;
+            }
+            mark[n as usize] = true;
+            for l in self.nodes[n as usize] {
+                stack.push(l.node());
+            }
+        }
+        mark
+    }
+
+    /// Size: reachable AND nodes (ABC's node count metric).
+    pub fn size(&self) -> usize {
+        let mark = self.reachable();
+        (self.num_inputs + 1..self.nodes.len())
+            .filter(|&i| mark[i])
+            .count()
+    }
+
+    /// Depth: maximum level over the outputs.
+    pub fn depth(&self) -> u32 {
+        self.outputs
+            .iter()
+            .map(|&(_, l)| self.level[l.node() as usize])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Fanout count per node over reachable gates and outputs.
+    pub fn fanout_counts(&self) -> Vec<u32> {
+        let mark = self.reachable();
+        let mut counts = vec![0u32; self.nodes.len()];
+        for i in self.num_inputs + 1..self.nodes.len() {
+            if !mark[i] {
+                continue;
+            }
+            for l in self.nodes[i] {
+                counts[l.node() as usize] += 1;
+            }
+        }
+        for &(_, l) in &self.outputs {
+            counts[l.node() as usize] += 1;
+        }
+        counts
+    }
+
+    /// Iterates over gate node indices in topological (arena) order.
+    pub fn gate_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        (self.num_inputs + 1..self.nodes.len()).map(|i| i as u32)
+    }
+
+    /// Returns a compacted copy without dead nodes.
+    pub fn cleanup(&self) -> Aig {
+        let mut out = Aig::new(self.name.clone());
+        for name in &self.input_names {
+            out.add_input(name.clone());
+        }
+        let mark = self.reachable();
+        let mut map: Vec<Lit> = vec![Lit::FALSE; self.nodes.len()];
+        for i in 0..=self.num_inputs {
+            map[i] = Lit::new(i as u32, false);
+        }
+        for i in self.num_inputs + 1..self.nodes.len() {
+            if !mark[i] {
+                continue;
+            }
+            let [a, b] = self.nodes[i];
+            let na = map[a.node() as usize].complement_if(a.is_complemented());
+            let nb = map[b.node() as usize].complement_if(b.is_complemented());
+            map[i] = out.and(na, nb);
+        }
+        for (name, l) in &self.outputs {
+            let m = map[l.node() as usize].complement_if(l.is_complemented());
+            out.add_output(name.clone(), m);
+        }
+        out
+    }
+
+    /// Evaluates the outputs under a boolean assignment.
+    pub fn eval(&self, assignment: &[bool]) -> Vec<bool> {
+        let words: Vec<u64> = assignment
+            .iter()
+            .map(|&b| if b { u64::MAX } else { 0 })
+            .collect();
+        self.simulate_words(&words)
+            .into_iter()
+            .map(|w| w & 1 == 1)
+            .collect()
+    }
+
+    /// 64-way parallel simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words.len() != num_inputs()`.
+    pub fn simulate_words(&self, input_words: &[u64]) -> Vec<u64> {
+        assert_eq!(input_words.len(), self.num_inputs);
+        let mut values = vec![0u64; self.nodes.len()];
+        for (i, &w) in input_words.iter().enumerate() {
+            values[i + 1] = w;
+        }
+        let val = |values: &[u64], l: Lit| {
+            let v = values[l.node() as usize];
+            if l.is_complemented() {
+                !v
+            } else {
+                v
+            }
+        };
+        for i in self.num_inputs + 1..self.nodes.len() {
+            let [a, b] = self.nodes[i];
+            values[i] = val(&values, a) & val(&values, b);
+        }
+        self.outputs
+            .iter()
+            .map(|&(_, l)| val(&values, l))
+            .collect()
+    }
+
+    /// Equivalence check: exhaustive for ≤ 16 inputs, random otherwise.
+    pub fn equiv(&self, other: &Aig, rounds: usize) -> bool {
+        assert_eq!(self.num_inputs(), other.num_inputs());
+        assert_eq!(self.num_outputs(), other.num_outputs());
+        if self.num_inputs <= 16 {
+            let n = self.num_inputs;
+            let total: usize = 1 << n;
+            // Pack assignments in 64-bit words: pattern p gets bit p%64.
+            for base in (0..total).step_by(64) {
+                let words: Vec<u64> = (0..n)
+                    .map(|v| {
+                        let mut w = 0u64;
+                        for b in 0..64.min(total - base) {
+                            if ((base + b) >> v) & 1 == 1 {
+                                w |= 1 << b;
+                            }
+                        }
+                        w
+                    })
+                    .collect();
+                if self.simulate_words(&words) != other.simulate_words(&words) {
+                    return false;
+                }
+            }
+            return true;
+        }
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..rounds {
+            let words: Vec<u64> = (0..self.num_inputs).map(|_| next()).collect();
+            if self.simulate_words(&words) != other.simulate_words(&words) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_rules() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        assert_eq!(aig.and(a, a), a);
+        assert_eq!(aig.and(a, !a), Lit::FALSE);
+        assert_eq!(aig.and(a, Lit::TRUE), a);
+        assert_eq!(aig.and(Lit::FALSE, b), Lit::FALSE);
+        assert_eq!(aig.num_nodes(), 3, "no gate allocated");
+    }
+
+    #[test]
+    fn strashing() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let g1 = aig.and(a, b);
+        let g2 = aig.and(b, a);
+        assert_eq!(g1, g2);
+        assert_eq!(aig.size(), 0, "unused gates are dead");
+        aig.add_output("y", g1);
+        assert_eq!(aig.size(), 1);
+    }
+
+    #[test]
+    fn derived_gates() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let or = aig.or(a, b);
+        let xor = aig.xor(a, b);
+        let mux = aig.mux(c, a, b);
+        let maj = aig.maj(a, b, c);
+        aig.add_output("or", or);
+        aig.add_output("xor", xor);
+        aig.add_output("mux", mux);
+        aig.add_output("maj", maj);
+        for bits in 0..8u32 {
+            let v = [(bits & 1) == 1, (bits >> 1) & 1 == 1, (bits >> 2) & 1 == 1];
+            let out = aig.eval(&v);
+            assert_eq!(out[0], v[0] | v[1]);
+            assert_eq!(out[1], v[0] ^ v[1]);
+            assert_eq!(out[2], if v[2] { v[0] } else { v[1] });
+            assert_eq!(out[3], (v[0] && v[1]) || (v[0] && v[2]) || (v[1] && v[2]));
+        }
+    }
+
+    #[test]
+    fn levels_and_depth() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let g1 = aig.and(a, b);
+        let g2 = aig.and(g1, c);
+        aig.add_output("y", g2);
+        assert_eq!(aig.level_of_lit(g1), 1);
+        assert_eq!(aig.level_of_lit(g2), 2);
+        assert_eq!(aig.depth(), 2);
+    }
+
+    #[test]
+    fn cleanup_compacts() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let keep = aig.and(a, b);
+        let _dead = aig.or(a, b);
+        aig.add_output("y", !keep);
+        let clean = aig.cleanup();
+        assert_eq!(clean.size(), 1);
+        assert!(clean.equiv(&aig, 4));
+    }
+
+    #[test]
+    fn exhaustive_equiv_detects_mismatch() {
+        let mut a1 = Aig::new("a");
+        let x = a1.add_input("x");
+        let y = a1.add_input("y");
+        let g = a1.and(x, y);
+        a1.add_output("o", g);
+        let mut a2 = Aig::new("b");
+        let x2 = a2.add_input("x");
+        let y2 = a2.add_input("y");
+        let g2 = a2.or(x2, y2);
+        a2.add_output("o", g2);
+        assert!(!a1.equiv(&a2, 4));
+    }
+
+    #[test]
+    fn lookup_and_matches_and() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        assert_eq!(aig.lookup_and(a, b), None);
+        let g = aig.and(a, b);
+        assert_eq!(aig.lookup_and(b, a), Some(g));
+        assert_eq!(aig.lookup_and(a, Lit::TRUE), Some(a));
+        assert_eq!(aig.lookup_and(a, !a), Some(Lit::FALSE));
+    }
+}

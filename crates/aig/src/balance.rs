@@ -1,0 +1,177 @@
+//! AND-tree balancing (ABC's `balance` pass).
+//!
+//! Maximal single-fanout AND trees are collected into their leaf lists
+//! and rebuilt as minimum-depth trees by always pairing the two
+//! shallowest leaves (a Huffman-style construction, optimal for
+//! uniform-delay two-input gates).
+
+use crate::{Aig, Lit};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Rebuilds the AIG with every AND tree depth-balanced.
+///
+/// The result is functionally equivalent; its depth is at most the
+/// input's and its size at most the input's (strashing may merge more).
+///
+/// # Example
+///
+/// ```
+/// use mig_aig::{Aig, balance};
+///
+/// let mut aig = Aig::new("chain");
+/// let ins: Vec<_> = (0..8).map(|i| aig.add_input(format!("x{i}"))).collect();
+/// let y = ins[1..].iter().fold(ins[0], |acc, &x| aig.and(acc, x));
+/// aig.add_output("y", y);
+/// assert_eq!(aig.depth(), 7);
+/// let b = balance(&aig);
+/// assert!(b.equiv(&aig, 4));
+/// assert_eq!(b.depth(), 3);
+/// ```
+pub fn balance(aig: &Aig) -> Aig {
+    let fanout = aig.fanout_counts();
+    let mark = aig.reachable();
+    let mut out = Aig::new(aig.name().to_string());
+    for i in 0..aig.num_inputs() {
+        out.add_input(aig.input_name(i).to_string());
+    }
+    let mut map: Vec<Lit> = vec![Lit::FALSE; aig.num_nodes()];
+    for i in 0..=aig.num_inputs() {
+        map[i] = Lit::new(i as u32, false);
+    }
+
+    // A gate is an internal tree node when it feeds exactly one parent,
+    // through a regular (non-complemented) edge, and is not an output.
+    // Internal nodes are skipped: their tree root rebuilds them.
+    let mut internal = vec![false; aig.num_nodes()];
+    {
+        let mut uses: Vec<(u32, bool)> = vec![(0, true); aig.num_nodes()]; // (count, all_regular)
+        for n in aig.gate_ids() {
+            if !mark[n as usize] {
+                continue;
+            }
+            for l in aig.fanins(n) {
+                let e = &mut uses[l.node() as usize];
+                e.0 += 1;
+                e.1 &= !l.is_complemented();
+            }
+        }
+        for &(_, l) in aig.outputs() {
+            let e = &mut uses[l.node() as usize];
+            e.0 += 1;
+            e.1 = false; // treat output drivers as roots
+        }
+        for n in aig.gate_ids() {
+            let (count, all_regular) = uses[n as usize];
+            internal[n as usize] = mark[n as usize] && count == 1 && all_regular;
+        }
+    }
+    let _ = fanout;
+
+    // Collect the leaves of the AND tree rooted at `root` (old graph).
+    fn collect_leaves(aig: &Aig, internal: &[bool], root: u32, leaves: &mut Vec<Lit>) {
+        for l in aig.fanins(root) {
+            if !l.is_complemented() && aig.is_gate(l.node()) && internal[l.node() as usize] {
+                collect_leaves(aig, internal, l.node(), leaves);
+            } else {
+                leaves.push(l);
+            }
+        }
+    }
+
+    for n in aig.gate_ids() {
+        if !mark[n as usize] || internal[n as usize] {
+            continue;
+        }
+        let mut leaves = Vec::new();
+        collect_leaves(aig, &internal, n, &mut leaves);
+        // Map leaves into the new graph and pair the shallowest first.
+        let mut heap: BinaryHeap<(Reverse<u32>, Lit)> = leaves
+            .into_iter()
+            .map(|l| {
+                let m = map[l.node() as usize].complement_if(l.is_complemented());
+                (Reverse(out.level_of_lit(m)), m)
+            })
+            .collect();
+        while heap.len() > 1 {
+            let (_, a) = heap.pop().expect("len > 1");
+            let (_, b) = heap.pop().expect("len > 1");
+            let g = out.and(a, b);
+            heap.push((Reverse(out.level_of_lit(g)), g));
+        }
+        map[n as usize] = heap.pop().map(|(_, l)| l).expect("tree has a root");
+    }
+
+    for (name, l) in aig.outputs() {
+        let m = map[l.node() as usize].complement_if(l.is_complemented());
+        out.add_output(name.clone(), m);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balances_or_chain_too() {
+        // OR chains are AND chains on complemented edges after De Morgan;
+        // each OR's inner AND is used complemented, so trees still form.
+        let mut aig = Aig::new("or-chain");
+        let ins: Vec<Lit> = (0..8).map(|i| aig.add_input(format!("x{i}"))).collect();
+        let y = ins[1..].iter().fold(ins[0], |acc, &x| aig.or(acc, x));
+        aig.add_output("y", y);
+        assert_eq!(aig.depth(), 7);
+        let b = balance(&aig);
+        assert!(b.equiv(&aig, 4));
+        assert_eq!(b.depth(), 3, "OR chain balances through De Morgan");
+    }
+
+    #[test]
+    fn respects_shared_fanout() {
+        // A shared node must not be duplicated into both trees.
+        let mut aig = Aig::new("shared");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let shared = aig.and(a, b);
+        let t1 = aig.and(shared, c);
+        let t2 = aig.and(shared, a);
+        aig.add_output("y", t1);
+        aig.add_output("z", t2);
+        let bal = balance(&aig);
+        assert!(bal.equiv(&aig, 4));
+        assert!(bal.size() <= aig.size());
+    }
+
+    #[test]
+    fn already_balanced_is_stable() {
+        let mut aig = Aig::new("tree");
+        let ins: Vec<Lit> = (0..4).map(|i| aig.add_input(format!("x{i}"))).collect();
+        let l = aig.and(ins[0], ins[1]);
+        let r = aig.and(ins[2], ins[3]);
+        let y = aig.and(l, r);
+        aig.add_output("y", y);
+        let b = balance(&aig);
+        assert_eq!(b.depth(), 2);
+        assert_eq!(b.size(), 3);
+        assert!(b.equiv(&aig, 4));
+    }
+
+    #[test]
+    fn uneven_arrival_levels() {
+        // Leaves at different levels: Huffman pairing keeps depth minimal.
+        let mut aig = Aig::new("uneven");
+        let ins: Vec<Lit> = (0..6).map(|i| aig.add_input(format!("x{i}"))).collect();
+        let deep = aig.xor(ins[0], ins[1]); // level 2
+        let y0 = aig.and(deep, ins[2]);
+        let y1 = aig.and(y0, ins[3]);
+        let y2 = aig.and(y1, ins[4]);
+        let y3 = aig.and(y2, ins[5]);
+        aig.add_output("y", y3);
+        let b = balance(&aig);
+        assert!(b.equiv(&aig, 4));
+        // deep(2) with 4 level-0 leaves: optimal depth is 3.
+        assert_eq!(b.depth(), 3);
+    }
+}

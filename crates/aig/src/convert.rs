@@ -1,0 +1,135 @@
+//! Conversions between [`Aig`] and the generic gate-level [`Network`].
+
+use crate::{Aig, Lit};
+use mig_netlist::{GateId, GateKind, Network};
+use std::collections::HashMap;
+
+impl Aig {
+    /// Imports a gate-level network, decomposing every primitive into
+    /// two-input ANDs with complemented edges.
+    pub fn from_network(net: &Network) -> Aig {
+        let mut aig = Aig::new(net.name().to_string());
+        let mut map: HashMap<GateId, Lit> = HashMap::new();
+        for (i, &id) in net.inputs().iter().enumerate() {
+            let l = aig.add_input(net.input_name(i).to_string());
+            map.insert(id, l);
+        }
+        for (id, gate) in net.iter() {
+            if gate.kind() == GateKind::Input {
+                continue;
+            }
+            let f: Vec<Lit> = gate.fanins().iter().map(|g| map[g]).collect();
+            let l = match gate.kind() {
+                GateKind::Const0 => Lit::FALSE,
+                GateKind::Const1 => Lit::TRUE,
+                GateKind::Input => unreachable!("filtered above"),
+                GateKind::Buf => f[0],
+                GateKind::Not => !f[0],
+                GateKind::And => f[1..].iter().fold(f[0], |acc, &x| aig.and(acc, x)),
+                GateKind::Or => f[1..].iter().fold(f[0], |acc, &x| aig.or(acc, x)),
+                GateKind::Xor => f[1..].iter().fold(f[0], |acc, &x| aig.xor(acc, x)),
+                GateKind::Xnor => !aig.xor(f[0], f[1]),
+                GateKind::Nand => !aig.and(f[0], f[1]),
+                GateKind::Nor => !aig.or(f[0], f[1]),
+                GateKind::Mux => aig.mux(f[0], f[1], f[2]),
+                GateKind::Maj => aig.maj(f[0], f[1], f[2]),
+            };
+            map.insert(id, l);
+        }
+        for (name, gate) in net.outputs() {
+            aig.add_output(name.clone(), map[gate]);
+        }
+        aig
+    }
+
+    /// Exports the AIG as a network of 2-input AND gates plus inverters.
+    pub fn to_network(&self) -> Network {
+        let mut net = Network::new(self.name().to_string());
+        let mut node_map: Vec<Option<GateId>> = vec![None; self.num_nodes()];
+        let mut inverters: HashMap<GateId, GateId> = HashMap::new();
+        for i in 0..self.num_inputs() {
+            node_map[i + 1] = Some(net.add_input(self.input_name(i).to_string()));
+        }
+        let mark = self.reachable();
+
+        fn resolve(
+            net: &mut Network,
+            node_map: &[Option<GateId>],
+            inverters: &mut HashMap<GateId, GateId>,
+            l: Lit,
+        ) -> GateId {
+            let base = if l.is_constant() {
+                net.constant(false)
+            } else {
+                node_map[l.node() as usize].expect("children precede parents")
+            };
+            if l.is_complemented() {
+                *inverters
+                    .entry(base)
+                    .or_insert_with(|| net.add_gate(GateKind::Not, vec![base]))
+            } else {
+                base
+            }
+        }
+
+        for node in self.gate_ids() {
+            if !mark[node as usize] {
+                continue;
+            }
+            let [a, b] = self.fanins(node);
+            let ga = resolve(&mut net, &node_map, &mut inverters, a);
+            let gb = resolve(&mut net, &node_map, &mut inverters, b);
+            node_map[node as usize] = Some(net.add_gate(GateKind::And, vec![ga, gb]));
+        }
+        for (name, l) in self.outputs() {
+            let id = resolve(&mut net, &node_map, &mut inverters, *l);
+            net.set_output(name.clone(), id);
+        }
+        net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mig_netlist::parse_verilog;
+
+    fn check_equal(net: &Network, aig: &Aig) {
+        let n = net.num_inputs();
+        assert!(n <= 10);
+        for bits in 0..(1u32 << n) {
+            let assign: Vec<bool> = (0..n).map(|i| (bits >> i) & 1 == 1).collect();
+            assert_eq!(net.eval(&assign), aig.eval(&assign), "assign {bits:b}");
+        }
+    }
+
+    #[test]
+    fn import_primitives() {
+        let src = "module t(a,b,c,y0,y1,y2,y3);\n\
+            input a,b,c; output y0,y1,y2,y3;\n\
+            assign y0 = a & b | c;\n\
+            assign y1 = a ^ b ^ c;\n\
+            assign y2 = c ? a : b;\n\
+            assign y3 = maj(a, b, c);\n\
+            endmodule";
+        let net = parse_verilog(src).expect("parses");
+        let aig = Aig::from_network(&net);
+        check_equal(&net, &aig);
+    }
+
+    #[test]
+    fn export_round_trip() {
+        let mut aig = Aig::new("rt");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let x = aig.xor(a, b);
+        let m = aig.mux(c, x, a);
+        aig.add_output("y", !m);
+        let net = aig.to_network();
+        check_equal(&net, &aig);
+        let back = Aig::from_network(&net);
+        assert!(aig.equiv(&back, 4));
+        assert_eq!(back.size(), aig.size(), "AND structure preserved");
+    }
+}

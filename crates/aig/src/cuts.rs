@@ -1,0 +1,232 @@
+//! K-feasible cut enumeration with cut truth tables (k ≤ 4).
+//!
+//! Cuts drive the rewriting pass: each cut of a node is a small window
+//! whose function (a ≤ 4-variable truth table) can be NPN-matched against
+//! a database of pre-optimized structures.
+
+use crate::Aig;
+
+/// A cut: a set of leaf nodes and the function of the root over them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cut {
+    /// Sorted leaf node indices.
+    pub leaves: Vec<u32>,
+    /// Truth table of the root over `leaves` (leaf `i` = variable `i`),
+    /// valid in the low `2^leaves.len()` bits.
+    pub tt: u16,
+}
+
+impl Cut {
+    /// The unit cut of a node (function = projection of its only leaf).
+    pub fn unit(node: u32) -> Self {
+        Cut {
+            leaves: vec![node],
+            tt: 0b10,
+        }
+    }
+
+    /// True if `other`'s leaves are a subset of this cut's leaves.
+    pub fn dominates(&self, other: &Cut) -> bool {
+        self.leaves.iter().all(|l| other.leaves.binary_search(l).is_ok())
+    }
+
+    fn mask(&self) -> u16 {
+        if self.leaves.len() >= 4 {
+            0xFFFF
+        } else {
+            (1u16 << (1 << self.leaves.len())) - 1
+        }
+    }
+}
+
+/// Expands `tt` over `from` leaves onto the superset `to` leaves.
+fn expand_tt(tt: u16, from: &[u32], to: &[u32]) -> u16 {
+    let positions: Vec<usize> = from
+        .iter()
+        .map(|l| to.binary_search(l).expect("from ⊆ to"))
+        .collect();
+    let mut out = 0u16;
+    for i in 0..(1usize << to.len()) {
+        let mut j = 0usize;
+        for (bit, &pos) in positions.iter().enumerate() {
+            if (i >> pos) & 1 == 1 {
+                j |= 1 << bit;
+            }
+        }
+        if (tt >> j) & 1 == 1 {
+            out |= 1 << i;
+        }
+    }
+    out
+}
+
+/// Enumerates up to `max_cuts` k-feasible cuts per node (k ≤ 4), smallest
+/// cuts first. Every node also keeps its unit cut (last).
+///
+/// # Panics
+///
+/// Panics if `k > 4` (truth tables are 16-bit).
+pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> Vec<Vec<Cut>> {
+    assert!(k <= 4, "cut truth tables are 16-bit (k ≤ 4)");
+    let n = aig.num_nodes();
+    let mut cuts: Vec<Vec<Cut>> = vec![Vec::new(); n];
+    // Constant node: empty cut, function 0.
+    cuts[0] = vec![Cut {
+        leaves: vec![],
+        tt: 0,
+    }];
+    for i in 1..=aig.num_inputs() {
+        cuts[i] = vec![Cut::unit(i as u32)];
+    }
+    for node in aig.gate_ids() {
+        let [fa, fb] = aig.fanins(node);
+        let mut new_cuts: Vec<Cut> = Vec::new();
+        for ca in &cuts[fa.node() as usize] {
+            for cb in &cuts[fb.node() as usize] {
+                // Merge leaf sets.
+                let mut leaves = ca.leaves.clone();
+                for &l in &cb.leaves {
+                    if let Err(pos) = leaves.binary_search(&l) {
+                        leaves.insert(pos, l);
+                    }
+                }
+                if leaves.len() > k {
+                    continue;
+                }
+                let mut ta = expand_tt(ca.tt, &ca.leaves, &leaves);
+                let mut tb = expand_tt(cb.tt, &cb.leaves, &leaves);
+                if fa.is_complemented() {
+                    ta = !ta;
+                }
+                if fb.is_complemented() {
+                    tb = !tb;
+                }
+                let cut = Cut { leaves, tt: ta & tb };
+                let cut = Cut {
+                    tt: cut.tt & cut.mask(),
+                    ..cut
+                };
+                // Dominance filtering.
+                if new_cuts.iter().any(|c| c.dominates(&cut)) {
+                    continue;
+                }
+                new_cuts.retain(|c| !cut.dominates(c));
+                new_cuts.push(cut);
+            }
+        }
+        new_cuts.sort_by_key(|c| c.leaves.len());
+        new_cuts.truncate(max_cuts);
+        new_cuts.push(Cut::unit(node));
+        cuts[node as usize] = new_cuts;
+    }
+    cuts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lit;
+
+    /// Evaluates a cut function against brute-force node simulation.
+    fn check_cut(aig: &Aig, node: u32, cut: &Cut) {
+        let n = aig.num_inputs();
+        for bits in 0..(1u32 << n) {
+            let assign: Vec<bool> = (0..n).map(|i| (bits >> i) & 1 == 1).collect();
+            // Node values via a probe output.
+            let mut probe = aig.clone();
+            probe.add_output("probe", Lit::new(node, false));
+            for (i, &leaf) in cut.leaves.iter().enumerate() {
+                probe.add_output(format!("leaf{i}"), Lit::new(leaf, false));
+            }
+            let outs = probe.eval(&assign);
+            let base = outs.len() - cut.leaves.len();
+            let node_val = outs[base - 1];
+            let mut idx = 0usize;
+            for i in 0..cut.leaves.len() {
+                if outs[base + i] {
+                    idx |= 1 << i;
+                }
+            }
+            assert_eq!(
+                (cut.tt >> idx) & 1 == 1,
+                node_val,
+                "cut {cut:?} at node {node}, assignment {bits:04b}"
+            );
+        }
+    }
+
+    #[test]
+    fn cut_functions_are_correct() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let d = aig.add_input("d");
+        let x = aig.xor(a, b);
+        let m = aig.mux(c, x, d);
+        aig.add_output("y", m);
+        let cuts = enumerate_cuts(&aig, 4, 8);
+        for node in aig.gate_ids() {
+            for cut in &cuts[node as usize] {
+                check_cut(&aig, node, cut);
+            }
+        }
+    }
+
+    #[test]
+    fn four_input_cut_found_for_xor_mux() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let d = aig.add_input("d");
+        let x = aig.xor(a, b);
+        let m = aig.mux(c, x, d);
+        aig.add_output("y", m);
+        let cuts = enumerate_cuts(&aig, 4, 8);
+        let root_cuts = &cuts[m.node() as usize];
+        let want = vec![a.node(), b.node(), c.node(), d.node()];
+        assert!(
+            root_cuts.iter().any(|cut| cut.leaves == want),
+            "the PI cut must be enumerated: {root_cuts:?}"
+        );
+    }
+
+    #[test]
+    fn dominated_cuts_are_removed() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let g1 = aig.and(a, b);
+        let g2 = aig.and(g1, a); // g2 ≡ g1, structure a&b&a
+        aig.add_output("y", g2);
+        let cuts = enumerate_cuts(&aig, 4, 8);
+        // No cut should strictly contain another cut's leaves.
+        for node in aig.gate_ids() {
+            let list = &cuts[node as usize];
+            for (i, c1) in list.iter().enumerate() {
+                for (j, c2) in list.iter().enumerate() {
+                    if i != j && c1.leaves != c2.leaves {
+                        assert!(
+                            !(c1.dominates(c2) && c1.leaves.len() < c2.leaves.len()),
+                            "cut {c2:?} dominated by {c1:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expand_tt_identity() {
+        // var0 over [5] onto [3,5]: var becomes index 1.
+        assert_eq!(expand_tt(0b10, &[5], &[3, 5]), 0b1100);
+        // AND over [2,7] onto [2,5,7]: f(a,c) = a&c.
+        let expanded = expand_tt(0b1000, &[2, 7], &[2, 5, 7]);
+        for i in 0..8 {
+            let a = i & 1 == 1;
+            let c = (i >> 2) & 1 == 1;
+            assert_eq!((expanded >> i) & 1 == 1, a && c);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # AND-Inverter Graphs with a `resyn2`-style optimization flow
+//!
+//! This crate is the "ABC" baseline substrate of the MIG suite: a
+//! structurally-hashed [`Aig`] plus the classic optimization passes —
+//! [`balance`] (AND-tree depth balancing), [`rewrite`] (4-cut NPN
+//! rewriting against a memoized structure database) and [`refactor`]
+//! (reconvergence-cut collapse + ISOP refactoring) — glued into the
+//! [`resyn2`] script that the paper compares MIG optimization against.
+//!
+//! # Example
+//!
+//! ```
+//! use mig_aig::{Aig, resyn2};
+//!
+//! let mut aig = Aig::new("xor3");
+//! let a = aig.add_input("a");
+//! let b = aig.add_input("b");
+//! let c = aig.add_input("c");
+//! let t = aig.xor(a, b);
+//! let f = aig.xor(t, c);
+//! aig.add_output("f", f);
+//! let opt = resyn2(&aig);
+//! assert!(opt.equiv(&aig, 4));
+//! ```
+
+mod aig;
+mod balance;
+pub mod cuts;
+mod convert;
+mod refactor;
+mod resyn;
+mod rewrite;
+
+pub use crate::aig::{Aig, Lit};
+pub use balance::balance;
+pub use refactor::refactor;
+pub use resyn::{resyn2, resyn_light};
+pub use rewrite::rewrite;

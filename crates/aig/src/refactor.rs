@@ -1,0 +1,385 @@
+//! Cut-based refactoring (ABC's `refactor` / `rf` pass).
+//!
+//! For every node, a reconvergence-driven cut of up to `max_leaves` leaves
+//! is collapsed into a truth table, resynthesized through ISOP +
+//! algebraic factoring, and the factored form is rebuilt bottom-up. The
+//! rewrite is committed when it saves nodes (`zero_gain` additionally
+//! accepts neutral restructurings, which often enable later passes).
+
+use crate::{Aig, Lit};
+use mig_tt::{factor_sop, isop, FactoredForm, TruthTable};
+
+/// Maximum cut width for refactoring (truth tables stay tiny).
+pub const REFACTOR_MAX_LEAVES: usize = 10;
+
+/// Computes a reconvergence-driven cut of at most `max_leaves` leaves by
+/// greedily expanding the deepest expandable leaf.
+pub(crate) fn reconv_cut(aig: &Aig, node: u32, max_leaves: usize) -> Vec<u32> {
+    let mut leaves: Vec<u32> = vec![node];
+    loop {
+        // Find the deepest gate leaf whose expansion keeps the bound.
+        let mut best: Option<(usize, u32)> = None;
+        for (i, &l) in leaves.iter().enumerate() {
+            if !aig.is_gate(l) {
+                continue;
+            }
+            let [a, b] = aig.fanins(l);
+            let mut growth = 0usize;
+            for f in [a.node(), b.node()] {
+                if !leaves.contains(&f) && f != 0 {
+                    growth += 1;
+                }
+            }
+            if leaves.len() - 1 + growth > max_leaves {
+                continue;
+            }
+            match best {
+                Some((_, bl)) if aig.level_of(bl) >= aig.level_of(l) => {}
+                _ => best = Some((i, l)),
+            }
+        }
+        let Some((i, l)) = best else { break };
+        leaves.swap_remove(i);
+        let [a, b] = aig.fanins(l);
+        for f in [a.node(), b.node()] {
+            if f != 0 && !leaves.contains(&f) {
+                leaves.push(f);
+            }
+        }
+    }
+    leaves.sort_unstable();
+    leaves
+}
+
+/// Truth table of `node` over the cut `leaves` (local cone simulation).
+pub(crate) fn cone_tt(aig: &Aig, node: u32, leaves: &[u32]) -> TruthTable {
+    let nv = leaves.len();
+    assert!(nv <= 16);
+    let mut memo: std::collections::HashMap<u32, TruthTable> = std::collections::HashMap::new();
+    memo.insert(0, TruthTable::zeros(nv));
+    for (i, &l) in leaves.iter().enumerate() {
+        memo.insert(l, TruthTable::var(i, nv));
+    }
+    fn rec(
+        aig: &Aig,
+        n: u32,
+        memo: &mut std::collections::HashMap<u32, TruthTable>,
+        nv: usize,
+    ) -> TruthTable {
+        if let Some(t) = memo.get(&n) {
+            return t.clone();
+        }
+        assert!(aig.is_gate(n), "cone must be bounded by the leaves");
+        let [a, b] = aig.fanins(n);
+        let ta = {
+            let t = rec(aig, a.node(), memo, nv);
+            if a.is_complemented() {
+                t.not()
+            } else {
+                t
+            }
+        };
+        let tb = {
+            let t = rec(aig, b.node(), memo, nv);
+            if b.is_complemented() {
+                t.not()
+            } else {
+                t
+            }
+        };
+        let t = ta.and(&tb);
+        memo.insert(n, t.clone());
+        t
+    }
+    rec(aig, node, &mut memo, nv)
+}
+
+/// Size of the maximal fanout-free cone of `node` bounded by `leaves`:
+/// the number of AND nodes that would die if `node` were re-implemented.
+pub(crate) fn mffc_size(aig: &Aig, node: u32, leaves: &[u32], fanout: &[u32]) -> usize {
+    use std::collections::HashMap;
+    let mut refs: HashMap<u32, u32> = HashMap::new();
+    fn deref(
+        aig: &Aig,
+        n: u32,
+        leaves: &[u32],
+        fanout: &[u32],
+        refs: &mut HashMap<u32, u32>,
+    ) -> usize {
+        let mut count = 1usize;
+        for l in aig.fanins(n) {
+            let c = l.node();
+            if !aig.is_gate(c) || leaves.binary_search(&c).is_ok() {
+                continue;
+            }
+            let r = refs.entry(c).or_insert(fanout[c as usize]);
+            *r -= 1;
+            if *r == 0 {
+                count += deref(aig, c, leaves, fanout, refs);
+            }
+        }
+        count
+    }
+    deref(aig, node, leaves, fanout, &mut refs)
+}
+
+/// Builds a factored form bottom-up in `out` over the given leaf
+/// literals, with balanced AND/OR folds.
+pub(crate) fn build_factored(out: &mut Aig, ff: &FactoredForm, leaf_lits: &[Lit]) -> Lit {
+    match ff {
+        FactoredForm::Const(false) => Lit::FALSE,
+        FactoredForm::Const(true) => Lit::TRUE,
+        FactoredForm::Literal { var, positive } => leaf_lits[*var].complement_if(!positive),
+        FactoredForm::And(parts) => {
+            let mut lits: Vec<Lit> = parts
+                .iter()
+                .map(|p| build_factored(out, p, leaf_lits))
+                .collect();
+            balanced_fold(out, &mut lits, false)
+        }
+        FactoredForm::Or(parts) => {
+            let mut lits: Vec<Lit> = parts
+                .iter()
+                .map(|p| build_factored(out, p, leaf_lits))
+                .collect();
+            balanced_fold(out, &mut lits, true)
+        }
+    }
+}
+
+fn balanced_fold(out: &mut Aig, lits: &mut Vec<Lit>, is_or: bool) -> Lit {
+    if is_or {
+        for l in lits.iter_mut() {
+            *l = !*l;
+        }
+    }
+    while lits.len() > 1 {
+        lits.sort_by_key(|&l| std::cmp::Reverse(out.level_of_lit(l)));
+        let a = lits.pop().expect("len > 1");
+        let b = lits.pop().expect("len > 1");
+        let g = out.and(a, b);
+        lits.push(g);
+    }
+    let res = lits.pop().unwrap_or(Lit::TRUE);
+    if is_or {
+        !res
+    } else {
+        res
+    }
+}
+
+/// Conservative dry run: how many new nodes building `ff` would allocate,
+/// using only the strash table (a `None` intermediate counts as a miss
+/// and poisons its parents).
+pub(crate) fn dry_run_factored(out: &Aig, ff: &FactoredForm, leaf_lits: &[Lit]) -> usize {
+    fn rec(out: &Aig, ff: &FactoredForm, leaf_lits: &[Lit], misses: &mut usize) -> Option<Lit> {
+        match ff {
+            FactoredForm::Const(false) => Some(Lit::FALSE),
+            FactoredForm::Const(true) => Some(Lit::TRUE),
+            FactoredForm::Literal { var, positive } => {
+                Some(leaf_lits[*var].complement_if(!positive))
+            }
+            FactoredForm::And(parts) | FactoredForm::Or(parts) => {
+                let is_or = matches!(ff, FactoredForm::Or(_));
+                let mut acc: Option<Lit> = None;
+                let mut first = true;
+                for p in parts {
+                    let lit = rec(out, p, leaf_lits, misses)
+                        .map(|l| l.complement_if(is_or));
+                    if first {
+                        acc = lit;
+                        first = false;
+                        continue;
+                    }
+                    acc = match (acc, lit) {
+                        (Some(a), Some(b)) => match out.lookup_and(a, b) {
+                            Some(l) => Some(l),
+                            None => {
+                                *misses += 1;
+                                None
+                            }
+                        },
+                        _ => {
+                            *misses += 1;
+                            None
+                        }
+                    };
+                }
+                acc.map(|l| l.complement_if(is_or))
+            }
+        }
+    }
+    let mut misses = 0usize;
+    let _ = rec(out, ff, leaf_lits, &mut misses);
+    misses
+}
+
+/// One refactoring pass over the whole AIG.
+///
+/// With `zero_gain = false` only strictly size-reducing rewrites are
+/// applied (ABC's `rf`); with `true`, neutral ones as well (`rfz`).
+pub fn refactor(aig: &Aig, zero_gain: bool) -> Aig {
+    let fanout = aig.fanout_counts();
+    let mark = aig.reachable();
+    let mut out = Aig::new(aig.name().to_string());
+    for i in 0..aig.num_inputs() {
+        out.add_input(aig.input_name(i).to_string());
+    }
+    let mut map: Vec<Lit> = vec![Lit::FALSE; aig.num_nodes()];
+    for i in 0..=aig.num_inputs() {
+        map[i] = Lit::new(i as u32, false);
+    }
+    for node in aig.gate_ids() {
+        if !mark[node as usize] {
+            continue;
+        }
+        let [fa, fb] = aig.fanins(node);
+        let da = map[fa.node() as usize].complement_if(fa.is_complemented());
+        let db = map[fb.node() as usize].complement_if(fb.is_complemented());
+
+        let leaves = reconv_cut(aig, node, REFACTOR_MAX_LEAVES);
+        let mut chosen: Option<Lit> = None;
+        if leaves.len() >= 3 && !leaves.contains(&node) {
+            let tt = cone_tt(aig, node, &leaves);
+            // Prefer the cheaper polarity.
+            let ff_pos = factor_sop(&isop(&tt));
+            let ff_neg = factor_sop(&isop(&tt.not()));
+            let (ff, flip) = if ff_neg.num_literals() < ff_pos.num_literals() {
+                (ff_neg, true)
+            } else {
+                (ff_pos, false)
+            };
+            let leaf_lits: Vec<Lit> = leaves.iter().map(|&l| map[l as usize]).collect();
+            let added = dry_run_factored(&out, &ff, &leaf_lits);
+            let saved = mffc_size(aig, node, &leaves, &fanout);
+            let gain_ok = if zero_gain {
+                added <= saved
+            } else {
+                added < saved
+            };
+            if gain_ok {
+                let lit = build_factored(&mut out, &ff, &leaf_lits);
+                chosen = Some(lit.complement_if(flip));
+            }
+        }
+        map[node as usize] = chosen.unwrap_or_else(|| out.and(da, db));
+    }
+    for (name, l) in aig.outputs() {
+        let m = map[l.node() as usize].complement_if(l.is_complemented());
+        out.add_output(name.clone(), m);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconv_cut_bounds_leaves() {
+        let mut aig = Aig::new("t");
+        let ins: Vec<Lit> = (0..8).map(|i| aig.add_input(format!("x{i}"))).collect();
+        let mut acc = ins[0];
+        for &l in &ins[1..] {
+            acc = aig.xor(acc, l);
+        }
+        aig.add_output("y", acc);
+        let cut = reconv_cut(&aig, acc.node(), 5);
+        assert!(cut.len() <= 5, "cut {cut:?}");
+    }
+
+    #[test]
+    fn cone_tt_matches_simulation() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let x = aig.xor(a, b);
+        let m = aig.mux(c, x, a);
+        aig.add_output("y", m);
+        let leaves = vec![a.node(), b.node(), c.node()];
+        // cone_tt computes the function of the *node*; the mux literal may
+        // be complemented (OR via De Morgan), so compensate.
+        let tt = cone_tt(&aig, m.node(), &leaves);
+        for bits in 0..8usize {
+            let assign = [bits & 1 == 1, (bits >> 1) & 1 == 1, (bits >> 2) & 1 == 1];
+            let node_val = aig.eval(&assign)[0] ^ m.is_complemented();
+            assert_eq!(tt.get_bit(bits), node_val, "bits {bits}");
+        }
+    }
+
+    #[test]
+    fn mffc_counts_exclusive_cone() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let g1 = aig.and(a, b);
+        let g2 = aig.and(g1, c);
+        aig.add_output("y", g2);
+        let fanout = aig.fanout_counts();
+        let leaves = vec![a.node(), b.node(), c.node()];
+        assert_eq!(mffc_size(&aig, g2.node(), &leaves, &fanout), 2);
+        // Share g1: it no longer belongs to g2's MFFC.
+        aig.add_output("z", g1);
+        let fanout = aig.fanout_counts();
+        assert_eq!(mffc_size(&aig, g2.node(), &leaves, &fanout), 1);
+    }
+
+    #[test]
+    fn refactor_reduces_redundant_logic() {
+        // f = ab + ab'c  ⇒  a(b + c): 4 ANDs naively, 2 after refactor.
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let ab = aig.and(a, b);
+        let nbc = aig.and(!b, c);
+        let anbc = aig.and(a, nbc);
+        let f = aig.or(ab, anbc);
+        aig.add_output("f", f);
+        let before = aig.size();
+        let opt = refactor(&aig, false).cleanup();
+        assert!(opt.equiv(&aig, 4));
+        assert!(opt.size() < before, "{} !< {}", opt.size(), before);
+    }
+
+    #[test]
+    fn refactor_zero_gain_is_sound() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let d = aig.add_input("d");
+        let x = aig.xor(a, b);
+        let y = aig.xor(c, d);
+        let f = aig.and(x, y);
+        aig.add_output("f", f);
+        let opt = refactor(&aig, true).cleanup();
+        assert!(opt.equiv(&aig, 4));
+    }
+
+    #[test]
+    fn refactor_never_changes_function_random() {
+        // A denser random structure.
+        let mut aig = Aig::new("t");
+        let ins: Vec<Lit> = (0..6).map(|i| aig.add_input(format!("x{i}"))).collect();
+        let mut pool = ins.clone();
+        let mut state = 12345u64;
+        let mut rnd = move |m: usize| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as usize) % m
+        };
+        for _ in 0..30 {
+            let a = pool[rnd(pool.len())].complement_if(rnd(2) == 1);
+            let b = pool[rnd(pool.len())].complement_if(rnd(2) == 1);
+            let g = aig.and(a, b);
+            pool.push(g);
+        }
+        let f = *pool.last().expect("nonempty");
+        aig.add_output("f", f);
+        let opt = refactor(&aig, false).cleanup();
+        assert!(opt.equiv(&aig, 4));
+        assert!(opt.size() <= aig.size());
+    }
+}

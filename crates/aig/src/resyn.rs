@@ -1,0 +1,135 @@
+//! The `resyn2`-style optimization script (the paper's ABC baseline).
+//!
+//! ABC's `resyn2` alias is `b; rw; rf; b; rw; rwz; b; rfz; rwz; b`.
+//! The same pass sequence is reproduced here on our own AIG, with a
+//! size-guard around each rewriting pass (a pass whose global result is
+//! worse than its input is discarded — the estimates inside `rw`/`rf`
+//! are heuristic).
+
+use crate::balance::balance;
+use crate::refactor::refactor;
+use crate::rewrite::rewrite;
+use crate::Aig;
+
+/// One pass of the script with a size guard.
+fn guarded(aig: &Aig, zero_gain: bool, pass: impl Fn(&Aig, bool) -> Aig) -> Aig {
+    let cand = pass(aig, zero_gain).cleanup();
+    let better = if zero_gain {
+        cand.size() <= aig.size()
+    } else {
+        cand.size() < aig.size()
+    };
+    if better {
+        cand
+    } else {
+        aig.cleanup()
+    }
+}
+
+/// Runs the `resyn2` sequence: `b; rw; rf; b; rw; rwz; b; rfz; rwz; b`.
+///
+/// The result is functionally equivalent to the input, never larger, and
+/// usually both smaller and shallower.
+///
+/// # Example
+///
+/// ```
+/// use mig_aig::{Aig, resyn2};
+///
+/// let mut aig = Aig::new("t");
+/// let a = aig.add_input("a");
+/// let b = aig.add_input("b");
+/// let c = aig.add_input("c");
+/// // f = ab + ab'c — redundant; resyn2 finds a(b + c).
+/// let ab = aig.and(a, b);
+/// let nb_c = aig.and(!b, c);
+/// let anbc = aig.and(a, nb_c);
+/// let f = aig.or(ab, anbc);
+/// aig.add_output("f", f);
+/// let opt = resyn2(&aig);
+/// assert!(opt.equiv(&aig, 4));
+/// assert!(opt.size() < aig.size());
+/// ```
+pub fn resyn2(aig: &Aig) -> Aig {
+    let mut cur = balance(aig);
+    cur = guarded(&cur, false, rewrite);
+    cur = guarded(&cur, false, refactor);
+    cur = balance(&cur);
+    cur = guarded(&cur, false, rewrite);
+    cur = guarded(&cur, true, rewrite);
+    cur = balance(&cur);
+    cur = guarded(&cur, true, refactor);
+    cur = guarded(&cur, true, rewrite);
+    cur = balance(&cur);
+    cur.cleanup()
+}
+
+/// A lighter script (`b; rw; b`) for very large designs where the full
+/// sequence is too slow.
+pub fn resyn_light(aig: &Aig) -> Aig {
+    let mut cur = balance(aig);
+    cur = guarded(&cur, false, rewrite);
+    cur = balance(&cur);
+    cur.cleanup()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lit;
+
+    #[test]
+    fn resyn2_on_adder_slice() {
+        // A 4-bit ripple-carry adder: resyn2 must preserve function and
+        // not increase size.
+        let mut aig = Aig::new("add4");
+        let a: Vec<Lit> = (0..4).map(|i| aig.add_input(format!("a{i}"))).collect();
+        let b: Vec<Lit> = (0..4).map(|i| aig.add_input(format!("b{i}"))).collect();
+        let mut carry = Lit::FALSE;
+        for i in 0..4 {
+            let s1 = aig.xor(a[i], b[i]);
+            let sum = aig.xor(s1, carry);
+            let c1 = aig.and(a[i], b[i]);
+            let c2 = aig.and(s1, carry);
+            carry = aig.or(c1, c2);
+            aig.add_output(format!("s{i}"), sum);
+        }
+        aig.add_output("cout", carry);
+        let before = (aig.size(), aig.depth());
+        let opt = resyn2(&aig);
+        assert!(opt.equiv(&aig, 8));
+        assert!(opt.size() <= before.0);
+    }
+
+    #[test]
+    fn resyn2_removes_redundancy() {
+        let mut aig = Aig::new("red");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        // (a&b) | (a&b&c) == a&b, plus duplicated logic.
+        let ab = aig.and(a, b);
+        let abc = aig.and(ab, c);
+        let f = aig.or(ab, abc);
+        let g = aig.and(f, ab);
+        aig.add_output("f", g);
+        let opt = resyn2(&aig);
+        assert!(opt.equiv(&aig, 4));
+        assert_eq!(opt.size(), 1, "everything collapses to a&b");
+    }
+
+    #[test]
+    fn resyn_light_is_sound() {
+        let mut aig = Aig::new("l");
+        let ins: Vec<Lit> = (0..6).map(|i| aig.add_input(format!("x{i}"))).collect();
+        let mut acc = ins[0];
+        for &l in &ins[1..] {
+            acc = aig.xor(acc, l);
+        }
+        aig.add_output("f", acc);
+        let opt = resyn_light(&aig);
+        assert!(opt.equiv(&aig, 4));
+        assert!(opt.size() <= aig.size());
+        assert!(opt.depth() <= aig.depth());
+    }
+}

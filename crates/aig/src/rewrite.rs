@@ -1,0 +1,413 @@
+//! Cut rewriting against an NPN class database (ABC's `rewrite` / `rw`).
+//!
+//! Every 4-feasible cut function is NPN-canonized; a per-class optimized
+//! structure (synthesized once from the factored irredundant cover and
+//! memoized) is pasted in place of the cut when it saves nodes.
+
+use crate::cuts::{enumerate_cuts, Cut};
+use crate::refactor::mffc_size;
+use crate::{Aig, Lit};
+use mig_tt::{factor_sop, isop, npn_canonize, FactoredForm, NpnTransform, TruthTable};
+use std::collections::HashMap;
+
+/// A literal inside a [`MiniAig`]: index 0 is constant 0, `1..=4` are the
+/// canonical inputs, `5..` are steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MiniLit(u8);
+
+impl MiniLit {
+    const FALSE: MiniLit = MiniLit(0);
+    const TRUE: MiniLit = MiniLit(1);
+
+    fn var(i: usize) -> Self {
+        MiniLit(((i as u8) + 1) << 1)
+    }
+
+    fn step(i: usize) -> Self {
+        MiniLit(((i as u8) + 5) << 1)
+    }
+
+    fn index(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    fn complement_if(self, c: bool) -> Self {
+        MiniLit(self.0 ^ c as u8)
+    }
+}
+
+impl std::ops::Not for MiniLit {
+    type Output = MiniLit;
+
+    fn not(self) -> MiniLit {
+        MiniLit(self.0 ^ 1)
+    }
+}
+
+/// A small pre-synthesized AIG structure over 4 canonical inputs.
+#[derive(Debug, Clone)]
+pub(crate) struct MiniAig {
+    steps: Vec<[MiniLit; 2]>,
+    out: MiniLit,
+}
+
+struct MiniBuilder {
+    steps: Vec<[MiniLit; 2]>,
+    strash: HashMap<[u8; 2], usize>,
+}
+
+impl MiniBuilder {
+    fn new() -> Self {
+        MiniBuilder {
+            steps: Vec::new(),
+            strash: HashMap::new(),
+        }
+    }
+
+    fn and(&mut self, a: MiniLit, b: MiniLit) -> MiniLit {
+        if a == b {
+            return a;
+        }
+        if a == !b || a == MiniLit::FALSE || b == MiniLit::FALSE {
+            return MiniLit::FALSE;
+        }
+        if a == MiniLit::TRUE {
+            return b;
+        }
+        if b == MiniLit::TRUE {
+            return a;
+        }
+        let key = if a.0 <= b.0 { [a.0, b.0] } else { [b.0, a.0] };
+        if let Some(&i) = self.strash.get(&key) {
+            return MiniLit::step(i);
+        }
+        let i = self.steps.len();
+        self.steps.push([MiniLit(key[0]), MiniLit(key[1])]);
+        self.strash.insert(key, i);
+        MiniLit::step(i)
+    }
+
+    fn build_factored(&mut self, ff: &FactoredForm) -> MiniLit {
+        match ff {
+            FactoredForm::Const(false) => MiniLit::FALSE,
+            FactoredForm::Const(true) => MiniLit::TRUE,
+            FactoredForm::Literal { var, positive } => {
+                MiniLit::var(*var).complement_if(!positive)
+            }
+            FactoredForm::And(parts) => {
+                let lits: Vec<MiniLit> =
+                    parts.iter().map(|p| self.build_factored(p)).collect();
+                self.fold(lits, false)
+            }
+            FactoredForm::Or(parts) => {
+                let lits: Vec<MiniLit> =
+                    parts.iter().map(|p| self.build_factored(p)).collect();
+                self.fold(lits, true)
+            }
+        }
+    }
+
+    fn fold(&mut self, mut lits: Vec<MiniLit>, is_or: bool) -> MiniLit {
+        if is_or {
+            for l in &mut lits {
+                *l = !*l;
+            }
+        }
+        while lits.len() > 1 {
+            // Balanced pairing front-to-back.
+            let mut next = Vec::with_capacity(lits.len().div_ceil(2));
+            for pair in lits.chunks(2) {
+                next.push(if pair.len() == 2 {
+                    self.and(pair[0], pair[1])
+                } else {
+                    pair[0]
+                });
+            }
+            lits = next;
+        }
+        let res = lits.pop().unwrap_or(MiniLit::TRUE);
+        if is_or {
+            !res
+        } else {
+            res
+        }
+    }
+}
+
+/// Synthesizes a structure for a canonical 4-variable function from its
+/// cheaper-polarity factored cover.
+pub(crate) fn synthesize_structure(canon: &TruthTable) -> MiniAig {
+    let ff_pos = factor_sop(&isop(canon));
+    let ff_neg = factor_sop(&isop(&canon.not()));
+    let (ff, flip) = if ff_neg.num_literals() < ff_pos.num_literals() {
+        (ff_neg, true)
+    } else {
+        (ff_pos, false)
+    };
+    let mut b = MiniBuilder::new();
+    let out = b.build_factored(&ff).complement_if(flip);
+    MiniAig {
+        steps: b.steps,
+        out,
+    }
+}
+
+/// Pastes `mini` into `out` with the given input literals; returns the
+/// output literal.
+fn paste(out: &mut Aig, mini: &MiniAig, inputs: &[Lit; 4]) -> Lit {
+    let mut vals: Vec<Lit> = Vec::with_capacity(5 + mini.steps.len());
+    vals.push(Lit::FALSE);
+    vals.extend_from_slice(inputs);
+    for [a, b] in &mini.steps {
+        let la = vals[a.index()].complement_if(a.is_complemented());
+        let lb = vals[b.index()].complement_if(b.is_complemented());
+        let g = out.and(la, lb);
+        vals.push(g);
+    }
+    vals[mini.out.index()].complement_if(mini.out.is_complemented())
+}
+
+/// Dry run of [`paste`]: counts strash misses without allocating.
+fn dry_run(out: &Aig, mini: &MiniAig, inputs: &[Lit; 4]) -> usize {
+    let mut vals: Vec<Option<Lit>> = Vec::with_capacity(5 + mini.steps.len());
+    vals.push(Some(Lit::FALSE));
+    vals.extend(inputs.iter().map(|&l| Some(l)));
+    let mut misses = 0usize;
+    for [a, b] in &mini.steps {
+        let la = vals[a.index()].map(|l| l.complement_if(a.is_complemented()));
+        let lb = vals[b.index()].map(|l| l.complement_if(b.is_complemented()));
+        let res = match (la, lb) {
+            (Some(x), Some(y)) => out.lookup_and(x, y),
+            _ => None,
+        };
+        if res.is_none() {
+            misses += 1;
+        }
+        vals.push(res);
+    }
+    misses
+}
+
+/// Maps a cut's leaf literals through the recorded NPN transform so that
+/// the canonical structure computes the original cut function.
+///
+/// With `canon = T(f)` (flip inputs, permute, flip output), we have
+/// `f(x₀..x₃) = canon(y₀..y₃)^out_flip` where `yᵢ = x_{perm[i]} ^
+/// flip_{perm[i]}`.
+fn transform_inputs(tr: &NpnTransform, leaf_lits: &[Lit]) -> ([Lit; 4], bool) {
+    let mut inputs = [Lit::FALSE; 4];
+    for i in 0..4 {
+        let src = tr.perm[i];
+        let base = leaf_lits.get(src).copied().unwrap_or(Lit::FALSE);
+        inputs[i] = base.complement_if((tr.input_flips >> src) & 1 == 1);
+    }
+    (inputs, tr.output_flip)
+}
+
+/// Lifts a ≤ 4-leaf cut function to a full 4-variable table (functions
+/// over fewer leaves repeat periodically in the extra variables).
+fn lift_tt(cut: &Cut) -> u16 {
+    let width = 1usize << cut.leaves.len();
+    let mut v = 0u16;
+    for i in 0..16 {
+        if (cut.tt >> (i % width)) & 1 == 1 {
+            v |= 1 << i;
+        }
+    }
+    v
+}
+
+/// One rewriting pass over the whole AIG (`rw`, or `rwz` with
+/// `zero_gain`).
+///
+/// NPN canonization results and synthesized structures are memoized per
+/// 16-bit function, so the expensive exact canonization runs once per
+/// distinct cut function in the design.
+pub fn rewrite(aig: &Aig, zero_gain: bool) -> Aig {
+    let cuts = enumerate_cuts(aig, 4, 8);
+    let fanout = aig.fanout_counts();
+    let mark = aig.reachable();
+    let mut db: HashMap<TruthTable, MiniAig> = HashMap::new();
+    let mut canon_cache: HashMap<u16, (TruthTable, NpnTransform)> = HashMap::new();
+
+    let mut out = Aig::new(aig.name().to_string());
+    for i in 0..aig.num_inputs() {
+        out.add_input(aig.input_name(i).to_string());
+    }
+    let mut map: Vec<Lit> = vec![Lit::FALSE; aig.num_nodes()];
+    for i in 0..=aig.num_inputs() {
+        map[i] = Lit::new(i as u32, false);
+    }
+
+    for node in aig.gate_ids() {
+        if !mark[node as usize] {
+            continue;
+        }
+        let [fa, fb] = aig.fanins(node);
+        let da = map[fa.node() as usize].complement_if(fa.is_complemented());
+        let db_lit = map[fb.node() as usize].complement_if(fb.is_complemented());
+
+        // Evaluate every eligible cut's gain; keep the best.
+        let mut best: Option<(isize, [Lit; 4], bool, MiniAig)> = None;
+        for cut in &cuts[node as usize] {
+            if cut.leaves.len() < 3 || cut.leaves.contains(&node) {
+                continue;
+            }
+            let bits = lift_tt(cut);
+            if bits == 0 || bits == 0xFFFF {
+                continue;
+            }
+            let (canon, tr) = canon_cache
+                .entry(bits)
+                .or_insert_with(|| npn_canonize(&TruthTable::from_u64(4, bits as u64)))
+                .clone();
+            let mini = db
+                .entry(canon.clone())
+                .or_insert_with(|| synthesize_structure(&canon))
+                .clone();
+            let leaf_lits: Vec<Lit> = cut.leaves.iter().map(|&l| map[l as usize]).collect();
+            let (inputs, out_flip) = transform_inputs(&tr, &leaf_lits);
+            let added = dry_run(&out, &mini, &inputs) as isize;
+            let saved = mffc_size(aig, node, &cut.leaves, &fanout) as isize;
+            let gain = saved - added;
+            let acceptable = if zero_gain { gain >= 0 } else { gain > 0 };
+            if !acceptable {
+                continue;
+            }
+            match best {
+                Some((g, _, _, _)) if g >= gain => {}
+                _ => best = Some((gain, inputs, out_flip, mini)),
+            }
+        }
+
+        map[node as usize] = match best {
+            Some((_, inputs, out_flip, mini)) => {
+                paste(&mut out, &mini, &inputs).complement_if(out_flip)
+            }
+            None => out.and(da, db_lit),
+        };
+    }
+    for (name, l) in aig.outputs() {
+        let m = map[l.node() as usize].complement_if(l.is_complemented());
+        out.add_output(name.clone(), m);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Checks that a synthesized structure computes its canonical function.
+    fn check_structure(canon: &TruthTable) {
+        let mini = synthesize_structure(canon);
+        let mut aig = Aig::new("probe");
+        let ins: [Lit; 4] = std::array::from_fn(|i| aig.add_input(format!("x{i}")));
+        let out = paste(&mut aig, &mini, &ins);
+        aig.add_output("y", out);
+        for bits in 0..16usize {
+            let assign: Vec<bool> = (0..4).map(|i| (bits >> i) & 1 == 1).collect();
+            assert_eq!(
+                aig.eval(&assign)[0],
+                canon.get_bit(bits),
+                "canon {canon} bits {bits:04b}"
+            );
+        }
+    }
+
+    #[test]
+    fn structures_compute_their_class() {
+        let a = TruthTable::var(0, 4);
+        let b = TruthTable::var(1, 4);
+        let c = TruthTable::var(2, 4);
+        let d = TruthTable::var(3, 4);
+        for f in [
+            a.and(&b).or(&c.and(&d)),
+            a.xor(&b).xor(&c),
+            TruthTable::maj(&a, &b, &c),
+            a.and(&b).and(&c).and(&d),
+            TruthTable::mux(&a, &b, &c),
+        ] {
+            let (canon, _) = npn_canonize(&f);
+            check_structure(&canon);
+        }
+    }
+
+    #[test]
+    fn npn_paste_reproduces_original_function() {
+        // End-to-end: canonize an arbitrary function, paste its canonical
+        // structure through the transform, verify the original returns.
+        let mut state = 0xDEADBEEFu64;
+        for _ in 0..20 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let f = TruthTable::from_u64(4, state >> 32 & 0xFFFF);
+            if f.is_zero() || f.is_one() {
+                continue;
+            }
+            let (canon, tr) = npn_canonize(&f);
+            let mini = synthesize_structure(&canon);
+            let mut aig = Aig::new("probe");
+            let ins: Vec<Lit> = (0..4).map(|i| aig.add_input(format!("x{i}"))).collect();
+            let (inputs, out_flip) = transform_inputs(&tr, &ins);
+            let out = paste(&mut aig, &mini, &inputs).complement_if(out_flip);
+            aig.add_output("y", out);
+            for bits in 0..16usize {
+                let assign: Vec<bool> = (0..4).map(|i| (bits >> i) & 1 == 1).collect();
+                assert_eq!(aig.eval(&assign)[0], f.get_bit(bits), "f {f} bits {bits:04b}");
+            }
+        }
+    }
+
+    #[test]
+    fn rewrite_preserves_function() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let d = aig.add_input("d");
+        let x = aig.xor(a, b);
+        let m = aig.mux(c, x, d);
+        let f = aig.and(m, a);
+        aig.add_output("f", f);
+        let opt = rewrite(&aig, false).cleanup();
+        assert!(opt.equiv(&aig, 4));
+        assert!(opt.size() <= aig.size());
+    }
+
+    #[test]
+    fn rewrite_reduces_nonoptimal_mux() {
+        // A MUX built wastefully: sel?a:a plus redundancy collapses.
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let s = aig.add_input("s");
+        let t1 = aig.and(s, a);
+        let t2 = aig.and(!s, b);
+        let t3 = aig.and(s, b);
+        let o1 = aig.or(t1, t2);
+        let o2 = aig.or(t1, t3);
+        let f = aig.and(o1, o2);
+        aig.add_output("f", f);
+        let before = aig.size();
+        let opt = rewrite(&aig, false).cleanup();
+        assert!(opt.equiv(&aig, 4));
+        assert!(opt.size() < before, "{} !< {}", opt.size(), before);
+    }
+
+    #[test]
+    fn rewrite_zero_gain_sound() {
+        let mut aig = Aig::new("t");
+        let ins: Vec<Lit> = (0..5).map(|i| aig.add_input(format!("x{i}"))).collect();
+        let mut acc = ins[0];
+        for &l in &ins[1..] {
+            acc = aig.mux(l, acc, ins[0]);
+        }
+        aig.add_output("f", acc);
+        let opt = rewrite(&aig, true).cleanup();
+        assert!(opt.equiv(&aig, 4));
+    }
+}

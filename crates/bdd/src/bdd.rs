@@ -1,0 +1,498 @@
+//! A reduced ordered BDD manager with complement edges.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A reference to a BDD function: node index plus complement attribute.
+///
+/// The single terminal node (index 0) represents constant 1;
+/// [`BddRef::FALSE`] is its complement.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BddRef(u32);
+
+impl BddRef {
+    /// Constant true (regular edge to the terminal).
+    pub const TRUE: BddRef = BddRef(0);
+    /// Constant false (complemented edge to the terminal).
+    pub const FALSE: BddRef = BddRef(1);
+
+    fn new(node: u32, complemented: bool) -> Self {
+        BddRef(node << 1 | complemented as u32)
+    }
+
+    /// The node index this reference points at.
+    pub fn node(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Whether the reference carries the complement attribute.
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// True for the two constant references.
+    pub fn is_constant(self) -> bool {
+        self.node() == 0
+    }
+
+    fn complement_if(self, c: bool) -> BddRef {
+        BddRef(self.0 ^ c as u32)
+    }
+
+    /// Raw packed encoding (useful as a map key).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::ops::Not for BddRef {
+    type Output = BddRef;
+
+    fn not(self) -> BddRef {
+        BddRef(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for BddRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == BddRef::TRUE {
+            write!(f, "⊤")
+        } else if *self == BddRef::FALSE {
+            write!(f, "⊥")
+        } else if self.is_complemented() {
+            write!(f, "!b{}", self.node())
+        } else {
+            write!(f, "b{}", self.node())
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BddNode {
+    var: u32,
+    high: BddRef,
+    low: BddRef,
+}
+
+/// A reduced ordered binary decision diagram manager (paper reference
+/// [6]), with complement edges and the canonical-form invariant that
+/// every stored node's high edge is regular.
+///
+/// # Example
+///
+/// ```
+/// use mig_bdd::{Bdd, BddRef};
+///
+/// let mut bdd = Bdd::new(3);
+/// let a = bdd.var(0);
+/// let b = bdd.var(1);
+/// let c = bdd.var(2);
+/// let ab = bdd.and(a, b);
+/// let f = bdd.or(ab, c);
+/// assert_eq!(bdd.eval(f, &[true, true, false]), true);
+/// assert_eq!(bdd.eval(f, &[true, false, false]), false);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bdd {
+    nodes: Vec<BddNode>,
+    unique: HashMap<(u32, u32, u32), u32>,
+    ite_cache: HashMap<(u32, u32, u32), BddRef>,
+    /// `level_of_var[v]` = position of variable `v` in the order.
+    level_of_var: Vec<u32>,
+    /// `var_at_level[l]` = variable at order position `l`.
+    var_at_level: Vec<u32>,
+}
+
+impl Bdd {
+    /// Creates a manager over `num_vars` variables in natural order.
+    pub fn new(num_vars: usize) -> Self {
+        Self::with_order(num_vars, (0..num_vars).collect())
+    }
+
+    /// Creates a manager with an explicit variable order (a permutation
+    /// of `0..num_vars`; earlier = closer to the root).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..num_vars`.
+    pub fn with_order(num_vars: usize, order: Vec<usize>) -> Self {
+        assert_eq!(order.len(), num_vars);
+        let mut level_of_var = vec![u32::MAX; num_vars];
+        for (lvl, &v) in order.iter().enumerate() {
+            assert!(v < num_vars && level_of_var[v] == u32::MAX, "not a permutation");
+            level_of_var[v] = lvl as u32;
+        }
+        Bdd {
+            nodes: vec![BddNode {
+                var: u32::MAX,
+                high: BddRef::TRUE,
+                low: BddRef::TRUE,
+            }],
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            level_of_var,
+            var_at_level: order.iter().map(|&v| v as u32).collect(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.level_of_var.len()
+    }
+
+    /// The current variable order (root to leaves).
+    pub fn order(&self) -> Vec<usize> {
+        self.var_at_level.iter().map(|&v| v as usize).collect()
+    }
+
+    /// Total allocated nodes (including dead ones).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The projection function of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_vars()`.
+    pub fn var(&mut self, v: usize) -> BddRef {
+        assert!(v < self.num_vars());
+        self.mk(v as u32, BddRef::TRUE, BddRef::FALSE)
+    }
+
+    fn level(&self, r: BddRef) -> u32 {
+        if r.is_constant() {
+            u32::MAX
+        } else {
+            self.level_of_var[self.nodes[r.node() as usize].var as usize]
+        }
+    }
+
+    fn mk(&mut self, var: u32, high: BddRef, low: BddRef) -> BddRef {
+        if high == low {
+            return high;
+        }
+        // Canonical form: the high edge is regular.
+        if high.is_complemented() {
+            return !self.mk(var, !high, !low);
+        }
+        let key = (var, high.raw(), low.raw());
+        if let Some(&n) = self.unique.get(&key) {
+            return BddRef::new(n, false);
+        }
+        let n = self.nodes.len() as u32;
+        self.nodes.push(BddNode { var, high, low });
+        self.unique.insert(key, n);
+        BddRef::new(n, false)
+    }
+
+    /// Cofactor of `r` with respect to the variable at the root level
+    /// `lvl` (identity if `r`'s top variable is below).
+    fn cofactors(&self, r: BddRef, lvl: u32) -> (BddRef, BddRef) {
+        if self.level(r) != lvl {
+            return (r, r);
+        }
+        let n = self.nodes[r.node() as usize];
+        let c = r.is_complemented();
+        (n.high.complement_if(c), n.low.complement_if(c))
+    }
+
+    /// If-then-else: `ite(f, g, h) = f·g + f'·h` — the universal BDD
+    /// operation all others derive from.
+    pub fn ite(&mut self, f: BddRef, g: BddRef, h: BddRef) -> BddRef {
+        // Terminal cases.
+        if f == BddRef::TRUE {
+            return g;
+        }
+        if f == BddRef::FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == BddRef::TRUE && h == BddRef::FALSE {
+            return f;
+        }
+        if g == BddRef::FALSE && h == BddRef::TRUE {
+            return !f;
+        }
+        let key = (f.raw(), g.raw(), h.raw());
+        if let Some(&r) = self.ite_cache.get(&key) {
+            return r;
+        }
+        let lvl = self.level(f).min(self.level(g)).min(self.level(h));
+        let var = self.var_at_level[lvl as usize];
+        let (f1, f0) = self.cofactors(f, lvl);
+        let (g1, g0) = self.cofactors(g, lvl);
+        let (h1, h0) = self.cofactors(h, lvl);
+        let hi = self.ite(f1, g1, h1);
+        let lo = self.ite(f0, g0, h0);
+        let r = self.mk(var, hi, lo);
+        self.ite_cache.insert(key, r);
+        r
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        self.ite(f, g, BddRef::FALSE)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        self.ite(f, BddRef::TRUE, g)
+    }
+
+    /// Exclusive-or.
+    pub fn xor(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        self.ite(f, !g, g)
+    }
+
+    /// Three-input majority.
+    pub fn maj(&mut self, a: BddRef, b: BddRef, c: BddRef) -> BddRef {
+        let bc_or = self.or(b, c);
+        let bc_and = self.and(b, c);
+        self.ite(a, bc_or, bc_and)
+    }
+
+    /// Evaluates `r` under a boolean assignment (indexed by variable).
+    pub fn eval(&self, r: BddRef, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.num_vars());
+        let mut cur = r;
+        loop {
+            if cur.is_constant() {
+                return cur == BddRef::TRUE;
+            }
+            let n = self.nodes[cur.node() as usize];
+            let next = if assignment[n.var as usize] {
+                n.high
+            } else {
+                n.low
+            };
+            cur = next.complement_if(cur.is_complemented());
+        }
+    }
+
+    /// Number of distinct internal nodes reachable from `r`.
+    pub fn size(&self, r: BddRef) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![r.node()];
+        while let Some(n) = stack.pop() {
+            if n == 0 || !seen.insert(n) {
+                continue;
+            }
+            let node = self.nodes[n as usize];
+            stack.push(node.high.node());
+            stack.push(node.low.node());
+        }
+        seen.len()
+    }
+
+    /// The set of variables `r` depends on.
+    pub fn support(&self, r: BddRef) -> Vec<usize> {
+        let mut vars = std::collections::HashSet::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![r.node()];
+        while let Some(n) = stack.pop() {
+            if n == 0 || !seen.insert(n) {
+                continue;
+            }
+            let node = self.nodes[n as usize];
+            vars.insert(node.var as usize);
+            stack.push(node.high.node());
+            stack.push(node.low.node());
+        }
+        let mut v: Vec<usize> = vars.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Fraction of input assignments satisfying `r` (its signal
+    /// probability under the uniform input model).
+    pub fn sat_fraction(&self, r: BddRef) -> f64 {
+        fn rec(bdd: &Bdd, node: u32, memo: &mut HashMap<u32, f64>) -> f64 {
+            if node == 0 {
+                return 1.0; // the terminal is constant 1
+            }
+            if let Some(&c) = memo.get(&node) {
+                return c;
+            }
+            let n = bdd.nodes[node as usize];
+            let frac_of = |bdd: &Bdd, r: BddRef, memo: &mut HashMap<u32, f64>| {
+                let f = rec(bdd, r.node(), memo);
+                if r.is_complemented() {
+                    1.0 - f
+                } else {
+                    f
+                }
+            };
+            let hi = frac_of(bdd, n.high, memo);
+            let lo = frac_of(bdd, n.low, memo);
+            let f = 0.5 * hi + 0.5 * lo;
+            memo.insert(node, f);
+            f
+        }
+        let mut memo = HashMap::new();
+        let f = rec(self, r.node(), &mut memo);
+        if r.is_complemented() {
+            1.0 - f
+        } else {
+            f
+        }
+    }
+
+    /// Number of satisfying assignments of `r` over all variables.
+    ///
+    /// Exact for up to 52 variables (computed in `f64`).
+    pub fn sat_count(&self, r: BddRef) -> u64 {
+        (self.sat_fraction(r) * (2f64).powi(self.num_vars() as i32)).round() as u64
+    }
+
+    /// Raw structural access for decomposition: `(var, high, low)` of a
+    /// non-constant reference, with the complement pushed into the
+    /// children (functional view).
+    pub fn node_view(&self, r: BddRef) -> Option<(usize, BddRef, BddRef)> {
+        if r.is_constant() {
+            return None;
+        }
+        let n = self.nodes[r.node() as usize];
+        let c = r.is_complemented();
+        Some((
+            n.var as usize,
+            n.high.complement_if(c),
+            n.low.complement_if(c),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_and_vars() {
+        let mut bdd = Bdd::new(2);
+        let a = bdd.var(0);
+        assert_eq!(bdd.eval(a, &[true, false]), true);
+        assert_eq!(bdd.eval(a, &[false, true]), false);
+        assert_eq!(bdd.eval(BddRef::TRUE, &[false, false]), true);
+        assert_eq!(bdd.eval(BddRef::FALSE, &[true, true]), false);
+    }
+
+    #[test]
+    fn canonical_complement_edges() {
+        let mut bdd = Bdd::new(2);
+        let a = bdd.var(0);
+        let na = !a;
+        // a and !a share the same node.
+        assert_eq!(a.node(), na.node());
+        let b = bdd.var(1);
+        let f = bdd.and(a, b);
+        let g = bdd.or(!a, !b); // De Morgan: g = !f
+        assert_eq!(g, !f, "complement canonical form");
+    }
+
+    #[test]
+    fn all_two_var_functions() {
+        for bits in 0u32..16 {
+            let mut bdd = Bdd::new(2);
+            let a = bdd.var(0);
+            let b = bdd.var(1);
+            // Build the function from its minterms.
+            let mut f = BddRef::FALSE;
+            for m in 0..4 {
+                if (bits >> m) & 1 == 1 {
+                    let la = if m & 1 == 1 { a } else { !a };
+                    let lb = if m & 2 == 2 { b } else { !b };
+                    let minterm = bdd.and(la, lb);
+                    f = bdd.or(f, minterm);
+                }
+            }
+            for m in 0..4usize {
+                let assign = [m & 1 == 1, m & 2 == 2];
+                assert_eq!(bdd.eval(f, &assign), (bits >> m) & 1 == 1, "bits {bits} m {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn xor_chain_is_linear_size() {
+        let mut bdd = Bdd::new(16);
+        let mut f = BddRef::FALSE;
+        for v in 0..16 {
+            let x = bdd.var(v);
+            f = bdd.xor(f, x);
+        }
+        assert_eq!(bdd.size(f), 16, "XOR is linear in a BDD");
+    }
+
+    #[test]
+    fn order_matters_for_multiplexed_functions() {
+        // f = a0·b0 + a1·b1 + a2·b2 : interleaved order is linear,
+        // separated order is exponential (classic example).
+        let build = |order: Vec<usize>| {
+            let mut bdd = Bdd::with_order(6, order);
+            let mut f = BddRef::FALSE;
+            for i in 0..3 {
+                let a = bdd.var(i);
+                let b = bdd.var(3 + i);
+                let t = bdd.and(a, b);
+                f = bdd.or(f, t);
+            }
+            bdd.size(f)
+        };
+        let interleaved = build(vec![0, 3, 1, 4, 2, 5]);
+        let separated = build(vec![0, 1, 2, 3, 4, 5]);
+        assert!(interleaved < separated, "{interleaved} !< {separated}");
+    }
+
+    #[test]
+    fn support_and_size() {
+        let mut bdd = Bdd::new(4);
+        let a = bdd.var(0);
+        let c = bdd.var(2);
+        let f = bdd.and(a, c);
+        assert_eq!(bdd.support(f), vec![0, 2]);
+        assert_eq!(bdd.size(f), 2);
+    }
+
+    #[test]
+    fn sat_count_simple() {
+        let mut bdd = Bdd::new(3);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.and(a, b);
+        assert_eq!(bdd.sat_count(f), 2, "ab over 3 vars has 2 minterms");
+        let g = bdd.or(a, b);
+        assert_eq!(bdd.sat_count(g), 6);
+        assert_eq!(bdd.sat_count(BddRef::TRUE), 8);
+        assert_eq!(bdd.sat_count(BddRef::FALSE), 0);
+    }
+
+    #[test]
+    fn maj_function() {
+        let mut bdd = Bdd::new(3);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let c = bdd.var(2);
+        let m = bdd.maj(a, b, c);
+        for bits in 0..8usize {
+            let assign = [bits & 1 == 1, bits & 2 == 2, bits & 4 == 4];
+            let ones = assign.iter().filter(|&&v| v).count();
+            assert_eq!(bdd.eval(m, &assign), ones >= 2);
+        }
+    }
+
+    #[test]
+    fn node_view_pushes_complement() {
+        let mut bdd = Bdd::new(2);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.and(a, b);
+        let (var, hi, lo) = bdd.node_view(!f).expect("non-constant");
+        assert_eq!(var, 0);
+        assert_eq!(lo, BddRef::TRUE, "(ab)' with a=0 is 1");
+        // hi = b' as a function.
+        assert_eq!(bdd.eval(hi, &[true, false]), true);
+        assert_eq!(bdd.eval(hi, &[true, true]), false);
+    }
+}

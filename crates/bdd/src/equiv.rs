@@ -1,0 +1,96 @@
+//! BDD-based combinational equivalence checking.
+
+use crate::decompose::build_network_bdds;
+use crate::Bdd;
+use mig_netlist::Network;
+
+/// Checks two networks for functional equivalence by building both in one
+/// BDD manager and comparing canonical references.
+///
+/// Returns `None` when the construction exceeds `node_limit` BDD nodes
+/// (the caller should fall back to simulation). Inputs are matched
+/// positionally; output order must agree.
+///
+/// # Panics
+///
+/// Panics if input or output counts differ.
+pub fn check_equivalence(a: &Network, b: &Network, node_limit: usize) -> Option<bool> {
+    assert_eq!(a.num_inputs(), b.num_inputs(), "input counts differ");
+    assert_eq!(a.num_outputs(), b.num_outputs(), "output counts differ");
+    let order = crate::reorder::affinity_order(a);
+    let mut bdd = Bdd::with_order(a.num_inputs(), order);
+    let fa = build_network_bdds(&mut bdd, a);
+    if bdd.num_nodes() > node_limit {
+        return None;
+    }
+    let fb = build_network_bdds(&mut bdd, b);
+    if bdd.num_nodes() > node_limit {
+        return None;
+    }
+    Some(fa == fb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mig_netlist::parse_verilog;
+
+    #[test]
+    fn equivalent_rewritings_agree() {
+        let n1 = parse_verilog(
+            "module t(a,b,c,y); input a,b,c; output y;\n\
+             assign y = (a & b) | (a & c); endmodule",
+        )
+        .expect("parses");
+        let n2 = parse_verilog(
+            "module t(a,b,c,y); input a,b,c; output y;\n\
+             assign y = a & (b | c); endmodule",
+        )
+        .expect("parses");
+        assert_eq!(check_equivalence(&n1, &n2, 1 << 20), Some(true));
+    }
+
+    #[test]
+    fn different_functions_rejected() {
+        let n1 = parse_verilog(
+            "module t(a,b,y); input a,b; output y; assign y = a & b; endmodule",
+        )
+        .expect("parses");
+        let n2 = parse_verilog(
+            "module t(a,b,y); input a,b; output y; assign y = a | b; endmodule",
+        )
+        .expect("parses");
+        assert_eq!(check_equivalence(&n1, &n2, 1 << 20), Some(false));
+    }
+
+    #[test]
+    fn node_limit_triggers_fallback() {
+        let n1 = parse_verilog(
+            "module t(a,b,y); input a,b; output y; assign y = a ^ b; endmodule",
+        )
+        .expect("parses");
+        assert_eq!(check_equivalence(&n1, &n1, 1), None);
+    }
+
+    #[test]
+    fn multi_output_checked_positionally() {
+        let n1 = parse_verilog(
+            "module t(a,b,y,z); input a,b; output y,z;\n\
+             assign y = a ^ b; assign z = a & b; endmodule",
+        )
+        .expect("parses");
+        let n2 = parse_verilog(
+            "module t(a,b,y,z); input a,b; output y,z;\n\
+             assign y = (a & ~b) | (~a & b); assign z = ~(~a | ~b); endmodule",
+        )
+        .expect("parses");
+        assert_eq!(check_equivalence(&n1, &n2, 1 << 20), Some(true));
+        // Swapped outputs are not equivalent positionally.
+        let n3 = parse_verilog(
+            "module t(a,b,y,z); input a,b; output y,z;\n\
+             assign z = a ^ b; assign y = a & b; endmodule",
+        )
+        .expect("parses");
+        assert_eq!(check_equivalence(&n1, &n3, 1 << 20), Some(false));
+    }
+}

@@ -1,0 +1,29 @@
+//! # Reduced Ordered Binary Decision Diagrams
+//!
+//! The BDD substrate of the MIG suite: a complement-edge ROBDD manager
+//! ([`Bdd`]), static variable-ordering heuristics ([`reorder`]), a
+//! BDS-style decomposition flow ([`bds_optimize`]) reproducing the
+//! paper's "BDD Decomposition" baseline, and BDD-based combinational
+//! equivalence checking ([`check_equivalence`]) used to verify every
+//! optimization engine in the workspace.
+//!
+//! # Example
+//!
+//! ```
+//! use mig_bdd::{Bdd, BddRef};
+//!
+//! let mut bdd = Bdd::new(2);
+//! let a = bdd.var(0);
+//! let b = bdd.var(1);
+//! let f = bdd.xor(a, b);
+//! assert_eq!(bdd.sat_count(f), 2);
+//! ```
+
+mod bdd;
+pub mod decompose;
+mod equiv;
+pub mod reorder;
+
+pub use crate::bdd::{Bdd, BddRef};
+pub use decompose::{bds_optimize, build_network_bdds, decompose_to_network};
+pub use equiv::check_equivalence;

@@ -1,0 +1,129 @@
+//! Variable-ordering heuristics.
+//!
+//! Good variable orders keep BDDs small. Two static heuristics are
+//! provided: a depth-first fanin order (variables in the order the
+//! outputs' cones first reach them) and a trial-based selection that
+//! builds with several candidate orders and keeps the smallest.
+
+use crate::{Bdd, BddRef};
+use mig_netlist::{GateKind, Network};
+
+/// Depth-first fanin affinity order: inputs are listed in the order a
+/// DFS from the outputs first touches them. Related inputs end up close
+/// together, which keeps multiplexed/arithmetic structures compact.
+pub fn affinity_order(net: &Network) -> Vec<usize> {
+    let mut pos_of_input = vec![usize::MAX; net.num_inputs()];
+    let input_index: std::collections::HashMap<_, _> = net
+        .inputs()
+        .iter()
+        .enumerate()
+        .map(|(i, &g)| (g, i))
+        .collect();
+    let mut order = Vec::new();
+    let mut visited = vec![false; net.num_gates()];
+    let mut stack: Vec<_> = net.outputs().iter().rev().map(|&(_, g)| g).collect();
+    while let Some(id) = stack.pop() {
+        if visited[id.index()] {
+            continue;
+        }
+        visited[id.index()] = true;
+        let gate = net.gate(id);
+        if gate.kind() == GateKind::Input {
+            let i = input_index[&id];
+            if pos_of_input[i] == usize::MAX {
+                pos_of_input[i] = order.len();
+                order.push(i);
+            }
+        }
+        for &f in gate.fanins().iter().rev() {
+            stack.push(f);
+        }
+    }
+    // Unreached inputs go last, in declaration order.
+    for i in 0..net.num_inputs() {
+        if pos_of_input[i] == usize::MAX {
+            order.push(i);
+        }
+    }
+    order
+}
+
+/// Builds the network's BDDs under several candidate orders and returns
+/// `(bdd, outputs, order)` for the smallest total size.
+pub fn build_best_order(net: &Network) -> (Bdd, Vec<BddRef>, Vec<usize>) {
+    let natural: Vec<usize> = (0..net.num_inputs()).collect();
+    let affinity = affinity_order(net);
+    let mut reversed = affinity.clone();
+    reversed.reverse();
+    let mut best: Option<(usize, Bdd, Vec<BddRef>, Vec<usize>)> = None;
+    for order in [affinity, natural, reversed] {
+        let mut bdd = Bdd::with_order(net.num_inputs(), order.clone());
+        let outs = crate::decompose::build_network_bdds(&mut bdd, net);
+        let total: usize = outs.iter().map(|&r| bdd.size(r)).sum();
+        match &best {
+            Some((t, _, _, _)) if *t <= total => {}
+            _ => best = Some((total, bdd, outs, order)),
+        }
+    }
+    let (_, bdd, outs, order) = best.expect("at least one order tried");
+    (bdd, outs, order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affinity_groups_related_inputs() {
+        // y = (a0&b0) | (a1&b1): DFS order interleaves a_i with b_i.
+        let mut net = Network::new("t");
+        let a0 = net.add_input("a0");
+        let a1 = net.add_input("a1");
+        let b0 = net.add_input("b0");
+        let b1 = net.add_input("b1");
+        let t0 = net.and(a0, b0);
+        let t1 = net.and(a1, b1);
+        let y = net.or(t0, t1);
+        net.set_output("y", y);
+        let order = affinity_order(&net);
+        // a0 (index 0) and b0 (index 2) must be adjacent in the order.
+        let pos = |i: usize| order.iter().position(|&x| x == i).expect("present");
+        assert_eq!(pos(0).abs_diff(pos(2)), 1, "order {order:?}");
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn unreached_inputs_are_kept() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let _unused = net.add_input("unused");
+        let g = net.not(a);
+        net.set_output("y", g);
+        let order = affinity_order(&net);
+        assert_eq!(order.len(), 2);
+        assert!(order.contains(&1));
+    }
+
+    #[test]
+    fn best_order_beats_or_matches_natural() {
+        let mut net = Network::new("t");
+        let ins: Vec<_> = (0..6).map(|i| net.add_input(format!("x{i}"))).collect();
+        // Multiplexed structure sensitive to ordering.
+        let mut acc = None;
+        for i in 0..3 {
+            let t = net.and(ins[i], ins[3 + i]);
+            acc = Some(match acc {
+                None => t,
+                Some(p) => net.or(p, t),
+            });
+        }
+        net.set_output("y", acc.expect("built"));
+        let (bdd, outs, _order) = build_best_order(&net);
+        let best_total: usize = outs.iter().map(|&r| bdd.size(r)).sum();
+
+        let mut nat = Bdd::new(6);
+        let nat_outs = crate::decompose::build_network_bdds(&mut nat, &net);
+        let nat_total: usize = nat_outs.iter().map(|&r| nat.size(r)).sum();
+        assert!(best_total <= nat_total);
+    }
+}

@@ -1,0 +1,283 @@
+//! ALU circuit generators: the 4-bit `alu4` and 16-bit `dalu` stand-ins.
+
+use mig_netlist::{GateId, Network};
+
+/// `alu4` stand-in: a 4-bit ALU with the MCNC circuit's 14-input /
+/// 8-output interface.
+///
+/// Inputs: `a[4] b[4] s[4] m cin`; outputs: `f[4] cout pp gg eq`.
+///
+/// * logic mode (`m = 1`): `t = {a&b, a|b, a^b, ~a}[s1 s0]`, complemented
+///   when `s2` is set;
+/// * arithmetic mode (`m = 0`): `f = a + y + cin` with
+///   `y = {b, ~b, 0, 1…1}[s1 s0]` (ADD/SUB/INC/DEC);
+/// * flags: group propagate `pp`, group generate `gg`, equality `eq`.
+pub fn alu4() -> Network {
+    let mut net = Network::new("alu4");
+    let a: Vec<GateId> = (0..4).map(|i| net.add_input(format!("a{i}"))).collect();
+    let b: Vec<GateId> = (0..4).map(|i| net.add_input(format!("b{i}"))).collect();
+    let s: Vec<GateId> = (0..4).map(|i| net.add_input(format!("s{i}"))).collect();
+    let m = net.add_input("m");
+    let cin = net.add_input("cin");
+
+    let zero = net.constant(false);
+    let one = net.constant(true);
+
+    let mut f_bits = Vec::with_capacity(4);
+    let mut carry = cin;
+    let mut props = Vec::new();
+    let mut gens = Vec::new();
+    let mut eqs = Vec::new();
+    for i in 0..4 {
+        // Logic unit.
+        let and_ = net.and(a[i], b[i]);
+        let or_ = net.or(a[i], b[i]);
+        let xor_ = net.xor(a[i], b[i]);
+        let nota = net.not(a[i]);
+        let sel0 = net.mux(s[0], or_, and_);
+        let sel1 = net.mux(s[0], nota, xor_);
+        let t = net.mux(s[1], sel1, sel0);
+        let logic = net.xor(t, s[2]);
+
+        // Arithmetic unit: y = {b, ~b, 0, 1}[s1 s0].
+        let notb = net.not(b[i]);
+        let y0 = net.mux(s[0], notb, b[i]);
+        let y1 = net.mux(s[0], one, zero);
+        let y = net.mux(s[1], y1, y0);
+        let p = net.xor(a[i], y);
+        let g = net.and(a[i], y);
+        let sum = net.xor(p, carry);
+        let pc = net.and(p, carry);
+        carry = net.or(g, pc);
+        props.push(p);
+        gens.push(g);
+
+        let f = net.mux(m, logic, sum);
+        f_bits.push(f);
+        let ne = net.xor(a[i], b[i]);
+        let e = net.not(ne);
+        eqs.push(e);
+    }
+    for (i, &f) in f_bits.iter().enumerate() {
+        net.set_output(format!("f{i}"), f);
+    }
+    let notm = net.not(m);
+    let cout = net.and(notm, carry);
+    net.set_output("cout", cout);
+    let pp = {
+        let p01 = net.and(props[0], props[1]);
+        let p23 = net.and(props[2], props[3]);
+        net.and(p01, p23)
+    };
+    net.set_output("pp", pp);
+    let gg = {
+        // g3 + p3·g2 + p3·p2·g1 + p3·p2·p1·g0
+        let mut acc = gens[3];
+        let mut pfx = props[3];
+        for i in (0..3).rev() {
+            let t = net.and(pfx, gens[i]);
+            acc = net.or(acc, t);
+            if i > 0 {
+                pfx = net.and(pfx, props[i]);
+            }
+        }
+        acc
+    };
+    net.set_output("gg", gg);
+    let eq = {
+        let e01 = net.and(eqs[0], eqs[1]);
+        let e23 = net.and(eqs[2], eqs[3]);
+        net.and(e01, e23)
+    };
+    net.set_output("eq", eq);
+    net
+}
+
+/// `dalu` stand-in: a 16-bit dedicated ALU slice with the MCNC circuit's
+/// 75-input / 16-output interface.
+///
+/// Inputs: `a[16] b[16] c[16] d[16] op[8] ctrl[3]`; output `r[16]`.
+/// The datapath computes bitwise ops, a 16-bit sum `a+c`, a subtraction
+/// `a−b`, a one-position shifter and a comparator, selected by a
+/// priority mux over `op[7:4]`.
+pub fn dalu() -> Network {
+    let mut net = Network::new("dalu");
+    let a: Vec<GateId> = (0..16).map(|i| net.add_input(format!("a{i}"))).collect();
+    let b: Vec<GateId> = (0..16).map(|i| net.add_input(format!("b{i}"))).collect();
+    let c: Vec<GateId> = (0..16).map(|i| net.add_input(format!("c{i}"))).collect();
+    let d: Vec<GateId> = (0..16).map(|i| net.add_input(format!("d{i}"))).collect();
+    let op: Vec<GateId> = (0..8).map(|i| net.add_input(format!("op{i}"))).collect();
+    let ctrl: Vec<GateId> = (0..3).map(|i| net.add_input(format!("ctrl{i}"))).collect();
+
+    // Bitwise units.
+    let t1: Vec<GateId> = (0..16)
+        .map(|i| {
+            let and_ = net.and(a[i], b[i]);
+            let or_ = net.or(a[i], b[i]);
+            net.mux(op[0], and_, or_)
+        })
+        .collect();
+    let t2: Vec<GateId> = (0..16)
+        .map(|i| {
+            let xor_ = net.xor(c[i], d[i]);
+            let and_ = net.and(c[i], d[i]);
+            net.mux(op[1], xor_, and_)
+        })
+        .collect();
+
+    // Adder a + c (carry-in ctrl0) and subtractor a − b.
+    let mut sum = Vec::with_capacity(16);
+    let mut carry = ctrl[0];
+    for i in 0..16 {
+        let p = net.xor(a[i], c[i]);
+        let s = net.xor(p, carry);
+        carry = net.maj(a[i], c[i], carry);
+        sum.push(s);
+    }
+    let mut diff = Vec::with_capacity(16);
+    let mut borrow = net.constant(true); // two's complement +1
+    for i in 0..16 {
+        let nb = net.not(b[i]);
+        let p = net.xor(a[i], nb);
+        let s = net.xor(p, borrow);
+        borrow = net.maj(a[i], nb, borrow);
+        diff.push(s);
+    }
+
+    // Shifter: b shifted by one, direction ctrl1, fill op2.
+    let shl: Vec<GateId> = (0..16)
+        .map(|i| if i == 0 { op[2] } else { b[i - 1] })
+        .collect();
+    let shr: Vec<GateId> = (0..16)
+        .map(|i| if i == 15 { op[2] } else { b[i + 1] })
+        .collect();
+    let sh: Vec<GateId> = (0..16).map(|i| net.mux(ctrl[1], shl[i], shr[i])).collect();
+
+    // Comparator: a < d (unsigned, ripple).
+    let mut lt = net.constant(false);
+    for i in 0..16 {
+        let nai = net.not(a[i]);
+        let gt_bit = net.and(nai, d[i]);
+        let ne = net.xor(a[i], d[i]);
+        let keep = net.not(ne);
+        let kept = net.and(keep, lt);
+        lt = net.or(gt_bit, kept);
+    }
+
+    // Priority select over op[7:4]: sum, diff, shift, bitwise mix.
+    for i in 0..16 {
+        let mix = net.xor(t1[i], t2[i]);
+        let cmp_masked = net.and(lt, c[i]);
+        let level0 = net.mux(op[4], sum[i], mix);
+        let level1 = net.mux(op[5], diff[i], level0);
+        let level2 = net.mux(op[6], sh[i], level1);
+        let level3 = net.mux(op[7], cmp_masked, level2);
+        let gated = net.mux(ctrl[2], t1[i], level3);
+        net.set_output(format!("r{i}"), gated);
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(v: u64, n: usize) -> Vec<bool> {
+        (0..n).map(|i| (v >> i) & 1 == 1).collect()
+    }
+
+    fn num(out: &[bool], lo: usize, n: usize) -> u64 {
+        (0..n).fold(0u64, |acc, i| acc | (out[lo + i] as u64) << i)
+    }
+
+    #[test]
+    fn alu4_interface() {
+        let net = alu4();
+        assert_eq!(net.num_inputs(), 14);
+        assert_eq!(net.num_outputs(), 8);
+    }
+
+    #[test]
+    fn alu4_add_and_sub() {
+        let net = alu4();
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                // ADD: m=0, s=0000, cin=0
+                let mut assign = bits(a, 4);
+                assign.extend(bits(b, 4));
+                assign.extend(bits(0b0000, 4));
+                assign.extend([false, false]); // m, cin
+                let out = net.eval(&assign);
+                let f = num(&out, 0, 4) | num(&out, 4, 1) << 4;
+                assert_eq!(f, a + b, "ADD {a}+{b}");
+                // SUB: m=0, s=0001 (y=~b), cin=1 → a - b (mod 32 w/ carry)
+                let mut assign = bits(a, 4);
+                assign.extend(bits(b, 4));
+                assign.extend(bits(0b0001, 4));
+                assign.extend([false, true]);
+                let out = net.eval(&assign);
+                let f = num(&out, 0, 4);
+                assert_eq!(f, a.wrapping_sub(b) & 0xF, "SUB {a}-{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn alu4_logic_ops() {
+        let net = alu4();
+        let a = 0b1100u64;
+        let b = 0b1010u64;
+        for (sel, expect) in [(0b00u64, a & b), (0b01, a | b), (0b10, a ^ b), (0b11, !a & 0xF)] {
+            let mut assign = bits(a, 4);
+            assign.extend(bits(b, 4));
+            assign.extend(bits(sel, 4)); // s2=s3=0
+            assign.extend([true, false]); // m=1
+            let out = net.eval(&assign);
+            assert_eq!(num(&out, 0, 4), expect, "sel {sel:02b}");
+        }
+    }
+
+    #[test]
+    fn alu4_eq_flag() {
+        let net = alu4();
+        let mut assign = bits(0b0110, 4);
+        assign.extend(bits(0b0110, 4));
+        assign.extend(bits(0, 4));
+        assign.extend([true, false]);
+        let out = net.eval(&assign);
+        assert!(out[7], "eq must be set for equal operands");
+    }
+
+    #[test]
+    fn dalu_interface_and_add() {
+        let net = dalu();
+        assert_eq!(net.num_inputs(), 75);
+        assert_eq!(net.num_outputs(), 16);
+        // op4 = 1, others 0, ctrl = 0 → r = a + c.
+        let a = 12345u64;
+        let c = 23456u64;
+        let mut assign = bits(a, 16);
+        assign.extend(bits(0, 16)); // b
+        assign.extend(bits(c, 16));
+        assign.extend(bits(0, 16)); // d
+        assign.extend(bits(0b0001_0000, 8)); // op
+        assign.extend(bits(0, 3)); // ctrl
+        let out = net.eval(&assign);
+        assert_eq!(num(&out, 0, 16), (a + c) & 0xFFFF);
+    }
+
+    #[test]
+    fn dalu_sub_takes_priority() {
+        let net = dalu();
+        let a = 500u64;
+        let b = 123u64;
+        let mut assign = bits(a, 16);
+        assign.extend(bits(b, 16));
+        assign.extend(bits(999, 16)); // c
+        assign.extend(bits(0, 16)); // d
+        assign.extend(bits(0b0011_0000, 8)); // op5 (diff) over op4 (sum)
+        assign.extend(bits(0, 3));
+        let out = net.eval(&assign);
+        assert_eq!(num(&out, 0, 16), (a - b) & 0xFFFF);
+    }
+}

@@ -1,0 +1,244 @@
+//! Arithmetic circuit generators: adders, incrementers, multipliers.
+//!
+//! Faithful functional stand-ins for the arithmetic MCNC circuits:
+//! `my_adder` (16-bit ripple-carry), `cla` (64-bit carry-lookahead),
+//! `count` (16-bit loadable incrementer) and `C6288` (16×16 array
+//! multiplier).
+
+use mig_netlist::{GateId, Network};
+
+/// Full adder returning `(sum, carry)`.
+fn full_adder(net: &mut Network, a: GateId, b: GateId, c: GateId) -> (GateId, GateId) {
+    let ab = net.xor(a, b);
+    let sum = net.xor(ab, c);
+    let carry = net.maj(a, b, c);
+    (sum, carry)
+}
+
+/// `my_adder` stand-in: a `width`-bit ripple-carry adder with carry-in.
+///
+/// Interface: `a[width] b[width] cin → s[width] cout`
+/// (for `width = 16`: 33 inputs / 17 outputs, matching the MCNC circuit).
+pub fn ripple_adder(width: usize) -> Network {
+    let mut net = Network::new(format!("my_adder{width}"));
+    let a: Vec<GateId> = (0..width).map(|i| net.add_input(format!("a{i}"))).collect();
+    let b: Vec<GateId> = (0..width).map(|i| net.add_input(format!("b{i}"))).collect();
+    let mut carry = net.add_input("cin");
+    for i in 0..width {
+        let (s, c) = full_adder(&mut net, a[i], b[i], carry);
+        net.set_output(format!("s{i}"), s);
+        carry = c;
+    }
+    net.set_output("cout", carry);
+    net
+}
+
+/// `cla` stand-in: a `width`-bit carry-lookahead adder built from 4-bit
+/// lookahead groups chained hierarchically.
+///
+/// Interface: `a[width] b[width] cin → s[width] cout`
+/// (for `width = 64`: 129 inputs / 65 outputs, matching MCNC `cla`).
+pub fn cla_adder(width: usize) -> Network {
+    let mut net = Network::new(format!("cla{width}"));
+    let a: Vec<GateId> = (0..width).map(|i| net.add_input(format!("a{i}"))).collect();
+    let b: Vec<GateId> = (0..width).map(|i| net.add_input(format!("b{i}"))).collect();
+    let cin = net.add_input("cin");
+
+    // Bit-level propagate/generate.
+    let p: Vec<GateId> = (0..width).map(|i| net.xor(a[i], b[i])).collect();
+    let g: Vec<GateId> = (0..width).map(|i| net.and(a[i], b[i])).collect();
+
+    // Lookahead carries in groups of 4: c_{i+1} = g_i + p_i·c_i expanded.
+    let mut carries = vec![cin];
+    let mut group_cin = cin;
+    for base in (0..width).step_by(4) {
+        let hi = (base + 4).min(width);
+        let mut c = group_cin;
+        for i in base..hi {
+            // c_{i+1} = g_i | p_i & c_i  — expanded from the group input
+            // to keep the lookahead flat inside each group.
+            let pc = net.and(p[i], c);
+            c = net.or(g[i], pc);
+            carries.push(c);
+        }
+        group_cin = c;
+    }
+    for i in 0..width {
+        let s = net.xor(p[i], carries[i]);
+        net.set_output(format!("s{i}"), s);
+    }
+    net.set_output("cout", carries[width]);
+    net
+}
+
+/// `count` stand-in: a `width`-bit loadable incrementer.
+///
+/// Interface: `d[width] l[width] load en cin → q[width]`
+/// (for `width = 16`: 35 inputs / 16 outputs, matching MCNC `count`).
+///
+/// `q = load ? l : d + (en & cin)` — the combinational next-state logic
+/// of a loadable counter.
+pub fn counter(width: usize) -> Network {
+    let mut net = Network::new(format!("count{width}"));
+    let d: Vec<GateId> = (0..width).map(|i| net.add_input(format!("d{i}"))).collect();
+    let l: Vec<GateId> = (0..width).map(|i| net.add_input(format!("l{i}"))).collect();
+    let load = net.add_input("load");
+    let en = net.add_input("en");
+    let cin = net.add_input("cin");
+    let mut carry = net.and(en, cin);
+    for i in 0..width {
+        let inc = net.xor(d[i], carry);
+        carry = net.and(d[i], carry);
+        let q = net.mux(load, l[i], inc);
+        net.set_output(format!("q{i}"), q);
+    }
+    net
+}
+
+/// `C6288` stand-in: a `width × width` array multiplier (for
+/// `width = 16`: 32 inputs / 32 outputs, the ISCAS-85 C6288 interface).
+pub fn multiplier(width: usize) -> Network {
+    let mut net = Network::new(format!("mul{width}x{width}"));
+    let a: Vec<GateId> = (0..width).map(|i| net.add_input(format!("a{i}"))).collect();
+    let b: Vec<GateId> = (0..width).map(|i| net.add_input(format!("b{i}"))).collect();
+
+    // Partial products.
+    let mut pp: Vec<Vec<GateId>> = Vec::with_capacity(width);
+    for bj in &b {
+        pp.push(a.iter().map(|&ai| net.and(ai, *bj)).collect());
+    }
+
+    // Ripple-carry array reduction, row by row. Invariant: at the start
+    // of iteration `j`, `row[i]` holds the accumulated bit of weight
+    // `j + i` and `outputs` holds the final bits of weights `0..j`.
+    let zero = net.constant(false);
+    let mut outputs: Vec<GateId> = vec![pp[0][0]];
+    let mut row: Vec<GateId> = pp[0][1..].to_vec();
+    row.push(zero);
+    for pprow in pp.iter().skip(1) {
+        let mut next_row = Vec::with_capacity(width + 1);
+        let mut carry = zero;
+        for i in 0..width {
+            let (s, c) = full_adder(&mut net, pprow[i], row[i], carry);
+            next_row.push(s);
+            carry = c;
+        }
+        next_row.push(carry);
+        outputs.push(next_row[0]);
+        row = next_row[1..].to_vec();
+    }
+    outputs.extend(row);
+    outputs.truncate(2 * width);
+    for (i, &o) in outputs.iter().enumerate() {
+        net.set_output(format!("p{i}"), o);
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_num(net: &Network, assign: &[bool], lo: usize, n: usize) -> u64 {
+        let out = net.eval(assign);
+        (0..n).fold(0u64, |acc, i| acc | (out[lo + i] as u64) << i)
+    }
+
+    fn bits(v: u64, n: usize) -> Vec<bool> {
+        (0..n).map(|i| (v >> i) & 1 == 1).collect()
+    }
+
+    #[test]
+    fn ripple_adder_adds() {
+        let net = ripple_adder(4);
+        assert_eq!(net.num_inputs(), 9);
+        assert_eq!(net.num_outputs(), 5);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                for cin in 0..2u64 {
+                    let mut assign = bits(a, 4);
+                    assign.extend(bits(b, 4));
+                    assign.push(cin == 1);
+                    let sum = eval_num(&net, &assign, 0, 4);
+                    let cout = eval_num(&net, &assign, 4, 1);
+                    assert_eq!(sum | cout << 4, a + b + cin, "{a}+{b}+{cin}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cla_matches_ripple() {
+        let cla = cla_adder(8);
+        let rca = ripple_adder(8);
+        assert_eq!(cla.num_inputs(), 17);
+        assert_eq!(cla.num_outputs(), 9);
+        for t in 0..200u64 {
+            let a = t.wrapping_mul(97) % 256;
+            let b = t.wrapping_mul(61) % 256;
+            let cin = t % 2;
+            let mut assign = bits(a, 8);
+            assign.extend(bits(b, 8));
+            assign.push(cin == 1);
+            assert_eq!(cla.eval(&assign), rca.eval(&assign), "a={a} b={b} cin={cin}");
+        }
+    }
+
+    #[test]
+    fn counter_increments_and_loads() {
+        let net = counter(4);
+        assert_eq!(net.num_inputs(), 11);
+        assert_eq!(net.num_outputs(), 4);
+        for d in 0..16u64 {
+            // increment (load=0, en=1, cin=1)
+            let mut assign = bits(d, 4);
+            assign.extend(bits(0b1010, 4)); // l = 10
+            assign.extend([false, true, true]);
+            let q = eval_num(&net, &assign, 0, 4);
+            assert_eq!(q, (d + 1) % 16, "increment {d}");
+            // hold (en=0)
+            let mut hold = bits(d, 4);
+            hold.extend(bits(0b1010, 4));
+            hold.extend([false, false, true]);
+            assert_eq!(eval_num(&net, &hold, 0, 4), d, "hold {d}");
+            // load
+            let mut load = bits(d, 4);
+            load.extend(bits(0b1010, 4));
+            load.extend([true, true, true]);
+            assert_eq!(eval_num(&net, &load, 0, 4), 0b1010, "load {d}");
+        }
+    }
+
+    #[test]
+    fn multiplier_multiplies() {
+        let net = multiplier(4);
+        assert_eq!(net.num_inputs(), 8);
+        assert_eq!(net.num_outputs(), 8);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let mut assign = bits(a, 4);
+                assign.extend(bits(b, 4));
+                let p = eval_num(&net, &assign, 0, 8);
+                assert_eq!(p, a * b, "{a}×{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn c6288_interface() {
+        let net = multiplier(16);
+        assert_eq!(net.num_inputs(), 32);
+        assert_eq!(net.num_outputs(), 32);
+        // Spot-check a few products.
+        let mut assign = vec![false; 32];
+        for (i, bit) in (0..16).map(|i| (i, (12345u64 >> i) & 1 == 1)) {
+            assign[i] = bit;
+        }
+        for (i, bit) in (0..16).map(|i| (i, (54321u64 >> i) & 1 == 1)) {
+            assign[16 + i] = bit;
+        }
+        let out = net.eval(&assign);
+        let p = (0..32).fold(0u64, |acc, i| acc | (out[i] as u64) << i);
+        assert_eq!(p, 12345 * 54321);
+    }
+}

@@ -1,0 +1,159 @@
+//! Error-correcting-circuit generators: stand-ins for ISCAS-85 C1355 and
+//! C1908 (both are single-error-correcting codec circuits dominated by
+//! XOR parity trees and a correction decoder).
+
+use mig_netlist::{GateId, Network};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a balanced XOR tree over the given gates.
+fn xor_tree(net: &mut Network, mut bits: Vec<GateId>) -> GateId {
+    assert!(!bits.is_empty());
+    while bits.len() > 1 {
+        let mut next = Vec::with_capacity(bits.len().div_ceil(2));
+        for pair in bits.chunks(2) {
+            next.push(if pair.len() == 2 {
+                net.xor(pair[0], pair[1])
+            } else {
+                pair[0]
+            });
+        }
+        bits = next;
+    }
+    bits[0]
+}
+
+/// Generic single-error-correcting codec: `data` data inputs, `checks`
+/// received check inputs, `decode_bits` syndrome bits feeding the
+/// correction decoder, `status` extra parity status outputs.
+///
+/// Outputs: `data` corrected bits followed by `status` parity statuses.
+fn ecc_circuit(
+    name: &str,
+    data: usize,
+    checks: usize,
+    decode_bits: usize,
+    status: usize,
+    seed: u64,
+) -> Network {
+    assert!(checks >= decode_bits);
+    assert!((1usize << decode_bits) >= data, "decoder must cover data bits");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Network::new(name.to_string());
+    let d: Vec<GateId> = (0..data).map(|i| net.add_input(format!("d{i}"))).collect();
+    let chk: Vec<GateId> = (0..checks).map(|i| net.add_input(format!("c{i}"))).collect();
+
+    // Parity groups: check j covers a seeded subset of the data bits
+    // (every data bit lands in at least one group).
+    let mut syndromes = Vec::with_capacity(checks);
+    for (j, &c) in chk.iter().enumerate() {
+        let mut group: Vec<GateId> = d
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (i + j) % 2 == 0 || rng.gen_bool(0.4))
+            .map(|(_, &g)| g)
+            .collect();
+        if group.is_empty() {
+            group.push(d[j % data]);
+        }
+        group.push(c);
+        syndromes.push(xor_tree(&mut net, group));
+    }
+
+    // Correction decoder over the first `decode_bits` syndromes.
+    let sel = &syndromes[..decode_bits];
+    let nsel: Vec<GateId> = sel.iter().map(|&s| net.not(s)).collect();
+    let enable = {
+        // Error present: OR of all syndromes.
+        let mut acc = syndromes[0];
+        for &s in &syndromes[1..] {
+            acc = net.or(acc, s);
+        }
+        acc
+    };
+    for i in 0..data {
+        // correct_i = enable & (sel == i)
+        let mut term = enable;
+        for (b, (&s, &ns)) in sel.iter().zip(&nsel).enumerate() {
+            let lit = if (i >> b) & 1 == 1 { s } else { ns };
+            term = net.and(term, lit);
+        }
+        let corrected = net.xor(d[i], term);
+        net.set_output(format!("o{i}"), corrected);
+    }
+    // Status outputs: pairwise syndrome combinations.
+    for j in 0..status {
+        let x = syndromes[j % syndromes.len()];
+        let y = syndromes[(j * 3 + 1) % syndromes.len()];
+        let st = if x == y { net.not(x) } else { net.xor(x, y) };
+        net.set_output(format!("st{j}"), st);
+    }
+    net
+}
+
+/// `C1355` stand-in: 32-bit single-error-correcting circuit
+/// (41 inputs / 32 outputs, matching the ISCAS-85 interface).
+pub fn ecc_c1355() -> Network {
+    ecc_circuit("C1355", 32, 9, 5, 0, 0x1355)
+}
+
+/// `C1908` stand-in: 16-bit SEC/DED codec
+/// (33 inputs / 25 outputs, matching the ISCAS-85 interface).
+pub fn ecc_c1908() -> Network {
+    ecc_circuit("C1908", 16, 17, 4, 9, 0x1908)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interfaces_match_iscas() {
+        let c1355 = ecc_c1355();
+        assert_eq!((c1355.num_inputs(), c1355.num_outputs()), (41, 32));
+        let c1908 = ecc_c1908();
+        assert_eq!((c1908.num_inputs(), c1908.num_outputs()), (33, 25));
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = ecc_c1355();
+        let b = ecc_c1355();
+        assert_eq!(a.num_gates(), b.num_gates());
+        // Same structure ⇒ same behaviour on a sample vector.
+        let assign: Vec<bool> = (0..41).map(|i| i % 3 == 0).collect();
+        assert_eq!(a.eval(&assign), b.eval(&assign));
+    }
+
+    #[test]
+    fn zero_word_passes_through() {
+        // All-zero data with all-zero checks has zero parity in every
+        // group, so no correction fires and the data passes through.
+        let net = ecc_c1355();
+        let out = net.eval(&vec![false; 41]);
+        assert!(out.iter().all(|&b| !b), "clean zero word passes through");
+    }
+
+    #[test]
+    fn single_check_flip_corrupts_exactly_one_data_bit() {
+        // Flipping one check input raises exactly one syndrome; the
+        // decoder then flips exactly one (decoder-selected) output bit.
+        let net = ecc_c1355();
+        let mut assign = vec![false; 41];
+        assign[32] = true; // chk_0
+        let out = net.eval(&assign);
+        let flipped = out.iter().filter(|&&b| b).count();
+        assert_eq!(flipped, 1, "one syndrome ⇒ one corrected bit");
+    }
+
+    #[test]
+    fn xor_dominated_structure() {
+        let net = ecc_c1355();
+        let stats = net.stats();
+        let xors = stats.histogram.get("xor").copied().unwrap_or(0);
+        assert!(
+            xors * 2 >= stats.size,
+            "ECC should be XOR-dominated: {stats:?}"
+        );
+    }
+}

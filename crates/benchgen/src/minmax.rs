@@ -1,0 +1,116 @@
+//! Min/max datapath generator: stand-in for MCNC `mm30a` (a 30-bit
+//! minmax circuit — comparators plus wide multiplexers).
+
+use mig_netlist::{GateId, Network};
+
+/// Unsigned ripple comparator: returns `x < y`.
+fn less_than(net: &mut Network, x: &[GateId], y: &[GateId]) -> GateId {
+    let mut lt = net.constant(false);
+    for i in 0..x.len() {
+        let nx = net.not(x[i]);
+        let bit_lt = net.and(nx, y[i]);
+        let ne = net.xor(x[i], y[i]);
+        let eq = net.not(ne);
+        let keep = net.and(eq, lt);
+        lt = net.or(bit_lt, keep);
+    }
+    lt
+}
+
+/// `mm30a` stand-in: `width`-bit min/max update datapath.
+///
+/// Inputs: `x[w] y[w] min[w] max[w] ctrl[4]`; outputs:
+/// `nmin[w] nmax[w] sel[w] mix[w]` (for `width = 30`: 124 inputs /
+/// 120 outputs, matching MCNC `mm30a`).
+pub fn minmax(width: usize) -> Network {
+    let mut net = Network::new(format!("mm{width}a"));
+    let x: Vec<GateId> = (0..width).map(|i| net.add_input(format!("x{i}"))).collect();
+    let y: Vec<GateId> = (0..width).map(|i| net.add_input(format!("y{i}"))).collect();
+    let cur_min: Vec<GateId> = (0..width).map(|i| net.add_input(format!("min{i}"))).collect();
+    let cur_max: Vec<GateId> = (0..width).map(|i| net.add_input(format!("max{i}"))).collect();
+    let ctrl: Vec<GateId> = (0..4).map(|i| net.add_input(format!("ctrl{i}"))).collect();
+
+    let x_lt_min = less_than(&mut net, &x, &cur_min);
+    let max_lt_x = less_than(&mut net, &cur_max, &x);
+    let upd_min = net.and(x_lt_min, ctrl[0]);
+    let upd_max = net.and(max_lt_x, ctrl[0]);
+
+    for i in 0..width {
+        let nmin = net.mux(upd_min, x[i], cur_min[i]);
+        net.set_output(format!("nmin{i}"), nmin);
+    }
+    for i in 0..width {
+        let nmax = net.mux(upd_max, x[i], cur_max[i]);
+        net.set_output(format!("nmax{i}"), nmax);
+    }
+    for i in 0..width {
+        let sel = net.mux(ctrl[1], y[i], x[i]);
+        net.set_output(format!("sel{i}"), sel);
+    }
+    for i in 0..width {
+        let xy = net.xor(x[i], y[i]);
+        let masked = net.and(xy, ctrl[2]);
+        let mixed = net.mux(ctrl[3], masked, cur_min[i]);
+        net.set_output(format!("mix{i}"), mixed);
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(v: u64, n: usize) -> Vec<bool> {
+        (0..n).map(|i| (v >> i) & 1 == 1).collect()
+    }
+
+    fn num(out: &[bool], lo: usize, n: usize) -> u64 {
+        (0..n).fold(0u64, |acc, i| acc | (out[lo + i] as u64) << i)
+    }
+
+    #[test]
+    fn mm30a_interface() {
+        let net = minmax(30);
+        assert_eq!(net.num_inputs(), 124);
+        assert_eq!(net.num_outputs(), 120);
+    }
+
+    #[test]
+    fn min_max_update_semantics() {
+        let w = 8;
+        let net = minmax(w);
+        let cases = [
+            (5u64, 100u64, 10u64, 200u64), // x below min ⇒ min updates
+            (250, 100, 10, 200),           // x above max ⇒ max updates
+            (50, 100, 10, 200),            // inside ⇒ no update
+        ];
+        for (x, y, mn, mx) in cases {
+            let mut assign = bits(x, w);
+            assign.extend(bits(y, w));
+            assign.extend(bits(mn, w));
+            assign.extend(bits(mx, w));
+            assign.extend([true, false, false, false]); // ctrl0 = enable
+            let out = net.eval(&assign);
+            let nmin = num(&out, 0, w);
+            let nmax = num(&out, w, w);
+            assert_eq!(nmin, mn.min(x), "min for x={x}");
+            assert_eq!(nmax, mx.max(x), "max for x={x}");
+            // sel = x when ctrl1 = 0.
+            assert_eq!(num(&out, 2 * w, w), x);
+        }
+    }
+
+    #[test]
+    fn disabled_update_holds() {
+        let w = 8;
+        let net = minmax(w);
+        let mut assign = bits(1, w); // x = 1, far below min
+        assign.extend(bits(0, w));
+        assign.extend(bits(100, w));
+        assign.extend(bits(200, w));
+        assign.extend([false, false, false, false]); // disabled
+        let out = net.eval(&assign);
+        assert_eq!(num(&out, 0, w), 100, "min held");
+        assert_eq!(num(&out, w, w), 200, "max held");
+    }
+}

@@ -1,0 +1,169 @@
+//! Seeded two-level (PLA) circuit generators: stand-ins for the
+//! PLA-derived MCNC circuits `misex3` (14/14) and the control circuit
+//! `b9` (41/21).
+
+use mig_netlist::{GateId, Network};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a seeded PLA.
+#[derive(Debug, Clone)]
+pub struct PlaParams {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of product terms.
+    pub cubes: usize,
+    /// Literal-count range per cube (inclusive).
+    pub literals: (usize, usize),
+    /// Average number of cubes OR-ed per output.
+    pub cubes_per_output: usize,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+fn balanced_tree(
+    net: &mut Network,
+    mut layer: Vec<GateId>,
+    mk: impl Fn(&mut Network, GateId, GateId) -> GateId,
+) -> GateId {
+    assert!(!layer.is_empty());
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            next.push(if pair.len() == 2 {
+                mk(net, pair[0], pair[1])
+            } else {
+                pair[0]
+            });
+        }
+        layer = next;
+    }
+    layer[0]
+}
+
+/// Generates a two-level AND/OR network from seeded product terms.
+/// Product terms are shared between outputs, as in a real PLA.
+pub fn seeded_pla(name: &str, p: &PlaParams) -> Network {
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut net = Network::new(name.to_string());
+    let inputs: Vec<GateId> = (0..p.inputs).map(|i| net.add_input(format!("x{i}"))).collect();
+    let ninputs: Vec<GateId> = inputs.iter().map(|&g| net.not(g)).collect();
+
+    // Product terms: balanced AND trees over random literal sets.
+    let mut terms = Vec::with_capacity(p.cubes);
+    for _ in 0..p.cubes {
+        let nlits = rng.gen_range(p.literals.0..=p.literals.1).min(p.inputs);
+        let mut vars: Vec<usize> = (0..p.inputs).collect();
+        // Partial shuffle for the chosen variables.
+        for i in 0..nlits {
+            let j = rng.gen_range(i..vars.len());
+            vars.swap(i, j);
+        }
+        let lits: Vec<GateId> = vars[..nlits]
+            .iter()
+            .map(|&v| if rng.gen_bool(0.5) { inputs[v] } else { ninputs[v] })
+            .collect();
+        terms.push(balanced_tree(&mut net, lits, |n, a, b| n.and(a, b)));
+    }
+
+    // Outputs: balanced OR of a random subset of terms (each ≥ 1 term).
+    for o in 0..p.outputs {
+        let count = rng
+            .gen_range(1..=2 * p.cubes_per_output)
+            .clamp(1, p.cubes);
+        let mut chosen: Vec<GateId> = (0..count)
+            .map(|_| terms[rng.gen_range(0..terms.len())])
+            .collect();
+        chosen.sort_unstable();
+        chosen.dedup();
+        let y = balanced_tree(&mut net, chosen, |n, a, b| n.or(a, b));
+        net.set_output(format!("y{o}"), y);
+    }
+    net.sweep()
+}
+
+/// `misex3` stand-in: a 14-input / 14-output PLA at the MCNC circuit's
+/// scale (a few hundred shared product terms).
+pub fn misex3() -> Network {
+    seeded_pla(
+        "misex3",
+        &PlaParams {
+            inputs: 14,
+            outputs: 14,
+            cubes: 220,
+            literals: (6, 11),
+            cubes_per_output: 28,
+            seed: 0x315E_3,
+        },
+    )
+}
+
+/// `b9` stand-in: a 41-input / 21-output sparse control PLA
+/// (about a hundred gates after sweeping, matching MCNC `b9`).
+pub fn b9() -> Network {
+    seeded_pla(
+        "b9",
+        &PlaParams {
+            inputs: 41,
+            outputs: 21,
+            cubes: 55,
+            literals: (3, 6),
+            cubes_per_output: 4,
+            seed: 0xB9,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interfaces() {
+        let m = misex3();
+        assert_eq!((m.num_inputs(), m.num_outputs()), (14, 14));
+        let b = b9();
+        assert_eq!((b.num_inputs(), b.num_outputs()), (41, 21));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = misex3();
+        let b = misex3();
+        assert_eq!(a.num_gates(), b.num_gates());
+        let assign: Vec<bool> = (0..14).map(|i| i % 2 == 0).collect();
+        assert_eq!(a.eval(&assign), b.eval(&assign));
+    }
+
+    #[test]
+    fn two_level_depth_is_logarithmic() {
+        // AND trees over ≤ 11 literals + OR trees: depth stays small but
+        // nonzero.
+        let m = misex3();
+        let depth = m.depth();
+        assert!(depth >= 3 && depth <= 16, "depth {depth}");
+    }
+
+    #[test]
+    fn b9_is_small() {
+        let b = b9();
+        let size = b.num_logic_gates();
+        assert!((40..400).contains(&size), "size {size}");
+    }
+
+    #[test]
+    fn outputs_are_nonconstant() {
+        let m = misex3();
+        // At least half the outputs toggle across a small sample.
+        let mut toggling = 0;
+        let base = m.eval(&vec![false; 14]);
+        for t in 0..20u64 {
+            let assign: Vec<bool> = (0..14).map(|i| (t >> (i % 6)) & 1 == 1 || i as u64 == t % 14).collect();
+            let out = m.eval(&assign);
+            toggling += out.iter().zip(&base).filter(|(a, b)| a != b).count();
+        }
+        assert!(toggling > 0, "outputs never toggle");
+    }
+}

@@ -1,0 +1,54 @@
+//! # Majority-Inverter Graphs
+//!
+//! A from-scratch implementation of the Majority-Inverter Graph (MIG)
+//! logic representation and its Boolean algebra, after *"Majority-Inverter
+//! Graph: A Novel Data-Structure and Algorithms for Efficient Logic
+//! Optimization"* (Amarù, Gaillardon, De Micheli — DAC 2014).
+//!
+//! An MIG ([`Mig`]) is a DAG of three-input majority nodes connected by
+//! regular or complemented edges ([`Signal`]). MIGs strictly contain
+//! AND/OR/Inverter graphs: `AND(a,b) = M(a,b,0)` and `OR(a,b) = M(a,b,1)`
+//! (Theorem 3.1), so any Boolean network imports losslessly via
+//! [`Mig::from_network`].
+//!
+//! The paper's axiomatic system `Ω` (commutativity, majority,
+//! associativity, distributivity, inverter propagation) and the derived
+//! rules `Ψ` (relevance, complementary associativity, substitution) are
+//! implemented as executable rewrites on [`Mig`], and drive three
+//! optimizers:
+//!
+//! * [`optimize_size`] — Algorithm 1 (node count),
+//! * [`optimize_depth`] — Algorithm 2 (logic levels),
+//! * [`optimize_activity`] — Section IV-C (switching activity).
+//!
+//! # Example
+//!
+//! ```
+//! use mig_core::{Mig, optimize_depth, DepthOptConfig};
+//!
+//! // f = x ⊕ y ⊕ z from its AOIG (depth 4) optimizes to depth ≤ 3.
+//! let mut mig = Mig::new("xor3");
+//! let x = mig.add_input("x");
+//! let y = mig.add_input("y");
+//! let z = mig.add_input("z");
+//! let t = mig.xor(x, y);
+//! let f = mig.xor(t, z);
+//! mig.add_output("f", f);
+//! let opt = optimize_depth(&mig, &DepthOptConfig::default());
+//! assert!(opt.equiv(&mig, 4));
+//! assert!(opt.depth() < mig.depth());
+//! ```
+
+mod algebra;
+mod convert;
+mod mig;
+pub mod opt;
+mod signal;
+mod simulate;
+
+pub use crate::mig::Mig;
+pub use opt::{
+    optimize_activity, optimize_depth, optimize_size, ActivityOptConfig, DepthOptConfig,
+    SizeOptConfig,
+};
+pub use signal::{NodeId, Signal};

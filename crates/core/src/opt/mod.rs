@@ -1,0 +1,98 @@
+//! MIG optimization algorithms (paper Section IV).
+//!
+//! * [`size`] — Algorithm 1: node-count reduction through `Ω.M` and
+//!   `Ω.D` (R→L) elimination, interleaved with `Ω.A`/`Ψ.C`/`Ψ.R`/`Ψ.S`
+//!   reshaping.
+//! * [`depth`] — Algorithm 2: critical-path reduction by pushing late
+//!   signals toward the outputs with `Ω.D` (L→R), `Ω.A` and `Ψ.C`.
+//! * [`activity`] — Section IV-C: switching-activity reduction through
+//!   probability-aware `Ψ.R` exchanges plus size recovery.
+
+pub mod activity;
+pub mod depth;
+pub mod size;
+
+pub use activity::{optimize_activity, ActivityOptConfig};
+pub use depth::{optimize_depth, DepthOptConfig};
+pub use size::{optimize_size, SizeOptConfig};
+
+use crate::{Mig, NodeId, Signal};
+
+/// Rebuilds `old` into a fresh MIG, calling `make` once per reachable gate
+/// in topological order with the gate's fanins already mapped into the new
+/// graph. `make` returns the signal that represents the old gate.
+///
+/// This is the backbone of every pass: passes are pure functions from MIG
+/// to MIG, so arena order always stays topological and strashing keeps the
+/// result canonical.
+pub(crate) fn rebuild<F>(old: &Mig, mut make: F) -> Mig
+where
+    F: FnMut(&mut Mig, [Signal; 3], NodeId) -> Signal,
+{
+    let mut new = Mig::new(old.name().to_string());
+    for i in 0..old.num_inputs() {
+        new.add_input(old.input_name(i).to_string());
+    }
+    let mut map: Vec<Signal> = vec![Signal::FALSE; old.num_nodes()];
+    for i in 0..=old.num_inputs() {
+        map[i] = Signal::new(NodeId::from_index(i), false);
+    }
+    let mark = old.reachable();
+    for node in old.gate_ids() {
+        if !mark[node.index()] {
+            continue;
+        }
+        let kids = old.children(node).map(|s| {
+            map[s.node().index()].complement_if(s.is_complemented())
+        });
+        map[node.index()] = make(&mut new, kids, node);
+    }
+    for (name, s) in old.outputs() {
+        let mapped = map[s.node().index()].complement_if(s.is_complemented());
+        new.add_output(name.clone(), mapped);
+    }
+    new
+}
+
+/// `(size, depth)` cost used for lexicographic acceptance tests.
+pub(crate) fn size_depth(mig: &Mig) -> (usize, u32) {
+    (mig.size(), mig.depth())
+}
+
+/// `(depth, size)` cost used for lexicographic acceptance tests.
+pub(crate) fn depth_size(mig: &Mig) -> (u32, usize) {
+    (mig.depth(), mig.size())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rebuild_identity_preserves_everything() {
+        let mut mig = Mig::new("t");
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let c = mig.add_input("c");
+        let m = mig.maj(a, !b, c);
+        let x = mig.xor(m, a);
+        mig.add_output("y", !x);
+        let copy = rebuild(&mig, |new, [a, b, c], _| new.maj(a, b, c));
+        assert!(mig.equiv(&copy, 4));
+        assert_eq!(copy.size(), mig.size());
+        assert_eq!(copy.depth(), mig.depth());
+        assert_eq!(copy.outputs()[0].0, "y");
+    }
+
+    #[test]
+    fn rebuild_drops_dead_nodes() {
+        let mut mig = Mig::new("t");
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let keep = mig.and(a, b);
+        let _dead = mig.or(a, b);
+        mig.add_output("y", keep);
+        let copy = rebuild(&mig, |new, [a, b, c], _| new.maj(a, b, c));
+        assert_eq!(copy.num_gates(), 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Edges of a Majority-Inverter Graph: node references with an optional
+//! complement attribute.
+
+use std::fmt;
+
+/// Index of a node inside a [`Mig`](crate::Mig) arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The constant-0 node, present in every MIG.
+    pub const CONST0: NodeId = NodeId(0);
+
+    /// The raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a raw arena index.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("MIG limited to 2^31 nodes"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A directed edge in an MIG: a [`NodeId`] plus a complement attribute.
+///
+/// This is the paper's "regular/complemented edge": inverters are not nodes
+/// but markers on edges. The encoding packs the node index and the
+/// complement bit into a single `u32`, so signals are cheap to copy,
+/// compare and hash.
+///
+/// # Example
+///
+/// ```
+/// use mig_core::Signal;
+///
+/// let t = Signal::TRUE;
+/// assert_eq!(t, Signal::FALSE.complement());
+/// assert!(t.is_complemented() && t.is_constant());
+/// assert_eq!(t.complement(), Signal::FALSE);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Signal(u32);
+
+impl Signal {
+    /// The constant-0 signal (regular edge to the constant node).
+    pub const FALSE: Signal = Signal(0);
+    /// The constant-1 signal (complemented edge to the constant node).
+    pub const TRUE: Signal = Signal(1);
+
+    /// Builds a signal from a node and a complement attribute.
+    pub fn new(node: NodeId, complemented: bool) -> Self {
+        Signal(node.0 << 1 | complemented as u32)
+    }
+
+    /// Builds the constant signal of the given logic value.
+    pub fn constant(value: bool) -> Self {
+        if value {
+            Signal::TRUE
+        } else {
+            Signal::FALSE
+        }
+    }
+
+    /// The node this signal points at.
+    pub fn node(self) -> NodeId {
+        NodeId(self.0 >> 1)
+    }
+
+    /// Whether the edge carries the complement attribute.
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// True if this is one of the two constant signals.
+    pub fn is_constant(self) -> bool {
+        self.node() == NodeId::CONST0
+    }
+
+    /// The complemented version of this signal.
+    #[must_use]
+    pub fn complement(self) -> Signal {
+        Signal(self.0 ^ 1)
+    }
+
+    /// Complements the signal iff `c` is true.
+    #[must_use]
+    pub fn complement_if(self, c: bool) -> Signal {
+        Signal(self.0 ^ c as u32)
+    }
+
+    /// The regular (non-complemented) version of this signal.
+    #[must_use]
+    pub fn regular(self) -> Signal {
+        Signal(self.0 & !1)
+    }
+
+    /// Raw packed encoding (node << 1 | complement); useful as a map key.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::ops::Not for Signal {
+    type Output = Signal;
+
+    fn not(self) -> Signal {
+        self.complement()
+    }
+}
+
+impl fmt::Debug for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_complemented() {
+            write!(f, "!n{}", self.node().0)
+        } else {
+            write!(f, "n{}", self.node().0)
+        }
+    }
+}
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_roundtrip() {
+        let n = NodeId::from_index(1234);
+        let s = Signal::new(n, true);
+        assert_eq!(s.node(), n);
+        assert!(s.is_complemented());
+        assert_eq!(s.regular(), Signal::new(n, false));
+    }
+
+    #[test]
+    fn complement_involution() {
+        let s = Signal::new(NodeId::from_index(7), false);
+        assert_eq!(s.complement().complement(), s);
+        assert_eq!(!!s, s);
+        assert_ne!(!s, s);
+    }
+
+    #[test]
+    fn constants() {
+        assert!(Signal::FALSE.is_constant());
+        assert!(Signal::TRUE.is_constant());
+        assert_eq!(Signal::TRUE, !Signal::FALSE);
+        assert_eq!(Signal::constant(true), Signal::TRUE);
+        assert_eq!(Signal::constant(false), Signal::FALSE);
+    }
+
+    #[test]
+    fn complement_if() {
+        let s = Signal::new(NodeId::from_index(3), false);
+        assert_eq!(s.complement_if(false), s);
+        assert_eq!(s.complement_if(true), !s);
+    }
+
+    #[test]
+    fn debug_format() {
+        let s = Signal::new(NodeId::from_index(5), true);
+        assert_eq!(format!("{s:?}"), "!n5");
+        assert_eq!(format!("{}", !s), "n5");
+    }
+}

@@ -1,0 +1,209 @@
+//! Simulation of MIGs: scalar, 64-way word-parallel, and exact truth
+//! tables for small input counts.
+
+use crate::{Mig, Signal};
+use mig_tt::TruthTable;
+
+impl Mig {
+    /// Evaluates all outputs under one boolean input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != num_inputs()`.
+    pub fn eval(&self, assignment: &[bool]) -> Vec<bool> {
+        let words: Vec<u64> = assignment
+            .iter()
+            .map(|&b| if b { u64::MAX } else { 0 })
+            .collect();
+        self.simulate_words(&words)
+            .into_iter()
+            .map(|w| w & 1 == 1)
+            .collect()
+    }
+
+    /// Simulates 64 input patterns at once: `input_words[i]` carries 64
+    /// values of input `i`; the result carries 64 values per output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words.len() != num_inputs()`.
+    pub fn simulate_words(&self, input_words: &[u64]) -> Vec<u64> {
+        assert_eq!(input_words.len(), self.num_inputs());
+        let n = self.num_nodes();
+        let mut values = vec![0u64; n];
+        for (i, &w) in input_words.iter().enumerate() {
+            values[i + 1] = w;
+        }
+        let val = |values: &[u64], s: Signal| {
+            let v = values[s.node().index()];
+            if s.is_complemented() {
+                !v
+            } else {
+                v
+            }
+        };
+        for node in self.gate_ids() {
+            let [a, b, c] = self.children(node);
+            let (va, vb, vc) = (val(&values, a), val(&values, b), val(&values, c));
+            values[node.index()] = (va & vb) | (va & vc) | (vb & vc);
+        }
+        self.outputs()
+            .iter()
+            .map(|&(_, s)| val(&values, s))
+            .collect()
+    }
+
+    /// Computes the exact truth table of every output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the MIG has more than 16 inputs.
+    pub fn truth_tables(&self) -> Vec<TruthTable> {
+        let nv = self.num_inputs();
+        assert!(nv <= 16, "exact simulation limited to 16 inputs");
+        let mut tables = vec![TruthTable::zeros(nv); self.num_nodes()];
+        for i in 0..nv {
+            tables[i + 1] = TruthTable::var(i, nv);
+        }
+        let get = |tables: &[TruthTable], s: Signal| {
+            let t = tables[s.node().index()].clone();
+            if s.is_complemented() {
+                t.not()
+            } else {
+                t
+            }
+        };
+        for node in self.gate_ids() {
+            let [a, b, c] = self.children(node);
+            let (ta, tb, tc) = (get(&tables, a), get(&tables, b), get(&tables, c));
+            tables[node.index()] = TruthTable::maj(&ta, &tb, &tc);
+        }
+        self.outputs()
+            .iter()
+            .map(|&(_, s)| get(&tables, s))
+            .collect()
+    }
+
+    /// Checks functional equivalence with another MIG over the same
+    /// inputs: exhaustive for ≤ 16 inputs, otherwise pseudo-random
+    /// word-parallel simulation with `64 * rounds` patterns.
+    ///
+    /// Random simulation can only disprove equivalence; for the exhaustive
+    /// case the answer is exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if input or output counts differ.
+    pub fn equiv(&self, other: &Mig, rounds: usize) -> bool {
+        assert_eq!(self.num_inputs(), other.num_inputs());
+        assert_eq!(self.num_outputs(), other.num_outputs());
+        if self.num_inputs() <= 16 {
+            return self.truth_tables() == other.truth_tables();
+        }
+        // Deterministic xorshift pattern generator.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..rounds {
+            let words: Vec<u64> = (0..self.num_inputs()).map(|_| next()).collect();
+            if self.simulate_words(&words) != other.simulate_words(&words) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maj_gate_truth() {
+        let mut mig = Mig::new("m");
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let c = mig.add_input("c");
+        let m = mig.maj(a, b, c);
+        mig.add_output("y", m);
+        let tts = mig.truth_tables();
+        assert_eq!(tts[0].as_u64(), 0xE8);
+    }
+
+    #[test]
+    fn xor_and_mux_simulate_correctly() {
+        let mut mig = Mig::new("x");
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let c = mig.add_input("c");
+        let x = mig.xor(a, b);
+        let m = mig.mux(c, a, b);
+        mig.add_output("x", x);
+        mig.add_output("m", m);
+        for bits in 0..8u32 {
+            let assign = [(bits & 1) == 1, (bits >> 1) & 1 == 1, (bits >> 2) & 1 == 1];
+            let out = mig.eval(&assign);
+            assert_eq!(out[0], assign[0] ^ assign[1]);
+            assert_eq!(out[1], if assign[2] { assign[0] } else { assign[1] });
+        }
+    }
+
+    #[test]
+    fn complemented_output() {
+        let mut mig = Mig::new("c");
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let g = mig.and(a, b);
+        mig.add_output("nand", !g);
+        assert_eq!(mig.eval(&[true, true]), vec![false]);
+        assert_eq!(mig.eval(&[true, false]), vec![true]);
+    }
+
+    #[test]
+    fn equiv_detects_difference() {
+        let mut m1 = Mig::new("a");
+        let a = m1.add_input("a");
+        let b = m1.add_input("b");
+        let g = m1.and(a, b);
+        m1.add_output("y", g);
+
+        let mut m2 = Mig::new("b");
+        let a2 = m2.add_input("a");
+        let b2 = m2.add_input("b");
+        let g2 = m2.or(a2, b2);
+        m2.add_output("y", g2);
+
+        assert!(!m1.equiv(&m2, 4));
+        assert!(m1.equiv(&m1.clone(), 4));
+    }
+
+    #[test]
+    fn equiv_large_random() {
+        // 20 inputs forces the random-simulation path.
+        let mut m1 = Mig::new("big");
+        let sigs: Vec<Signal> = (0..20).map(|i| m1.add_input(format!("x{i}"))).collect();
+        let mut acc = sigs[0];
+        for &s in &sigs[1..] {
+            acc = m1.xor(acc, s);
+        }
+        m1.add_output("y", acc);
+
+        let mut m2 = Mig::new("big2");
+        let sigs2: Vec<Signal> = (0..20).map(|i| m2.add_input(format!("x{i}"))).collect();
+        let mut acc2 = sigs2[19];
+        for &s in sigs2[..19].iter().rev() {
+            acc2 = m2.xor(acc2, s);
+        }
+        m2.add_output("y", acc2);
+        assert!(m1.equiv(&m2, 8), "xor chain order is irrelevant");
+
+        let mut m3 = m2.clone();
+        let flipped = !m3.outputs()[0].1;
+        m3.set_output(0, flipped);
+        assert!(!m1.equiv(&m3, 8));
+    }
+}

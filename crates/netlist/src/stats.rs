@@ -1,0 +1,94 @@
+//! Summary statistics of a network.
+
+use crate::{GateKind, Network};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Size/depth/composition summary of a [`Network`].
+///
+/// Produced by [`Network::stats`]; `size` counts logic gates the way the
+/// paper counts nodes (inverters and buffers are free — they become edge
+/// attributes in MIG/AIG form).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Number of logic gates (excluding constants, inputs, buffers, NOTs).
+    pub size: usize,
+    /// Logic depth (inverter-transparent).
+    pub depth: u32,
+    /// Number of inverters.
+    pub inverters: usize,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Gate histogram by kind name.
+    pub histogram: BTreeMap<&'static str, usize>,
+}
+
+fn kind_name(kind: GateKind) -> &'static str {
+    match kind {
+        GateKind::Const0 => "const0",
+        GateKind::Const1 => "const1",
+        GateKind::Input => "input",
+        GateKind::Buf => "buf",
+        GateKind::Not => "not",
+        GateKind::And => "and",
+        GateKind::Or => "or",
+        GateKind::Xor => "xor",
+        GateKind::Xnor => "xnor",
+        GateKind::Nand => "nand",
+        GateKind::Nor => "nor",
+        GateKind::Mux => "mux",
+        GateKind::Maj => "maj",
+    }
+}
+
+impl Network {
+    /// Computes the summary statistics of this network.
+    pub fn stats(&self) -> NetworkStats {
+        let mut histogram = BTreeMap::new();
+        for (_, gate) in self.iter() {
+            *histogram.entry(kind_name(gate.kind())).or_insert(0) += 1;
+        }
+        NetworkStats {
+            size: self.num_logic_gates(),
+            depth: self.depth(),
+            inverters: self.num_inverters(),
+            inputs: self.num_inputs(),
+            outputs: self.num_outputs(),
+            histogram,
+        }
+    }
+}
+
+impl fmt::Display for NetworkStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "i/o={}/{} size={} depth={} inv={}",
+            self.inputs, self.outputs, self.size, self.depth, self.inverters
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_small_network() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let n1 = net.and(a, b);
+        let n2 = net.not(n1);
+        net.set_output("y", n2);
+        let s = net.stats();
+        assert_eq!(s.size, 1);
+        assert_eq!(s.inverters, 1);
+        assert_eq!(s.depth, 1);
+        assert_eq!(s.histogram["and"], 1);
+        assert_eq!(s.histogram["input"], 2);
+        assert_eq!(format!("{s}"), "i/o=2/1 size=1 depth=1 inv=1");
+    }
+}

@@ -1,0 +1,73 @@
+//! Structural Verilog subset reader and writer.
+//!
+//! This is the MIGhty interchange format of the paper: a combinational
+//! circuit flattened into Boolean primitives. The supported subset is
+//!
+//! ```verilog
+//! module name (a, b, y);
+//!   input a, b;
+//!   output y;
+//!   wire w0;
+//!   assign w0 = a & ~b;
+//!   assign y  = w0 | (a ^ b) | maj(a, b, w0);
+//! endmodule
+//! ```
+//!
+//! Expressions support `~ & | ^ ~^ ?:` with parentheses, the constants
+//! `1'b0`/`1'b1`, and — as a documented extension — the `maj(a,b,c)`
+//! intrinsic so that majority nodes survive a write/read round trip.
+//! `assign` statements may appear in any order; combinational cycles are
+//! rejected.
+
+mod parser;
+mod writer;
+
+pub use parser::{parse_verilog, VerilogError};
+pub use writer::write_verilog;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GateKind, Network};
+
+    #[test]
+    fn round_trip_preserves_function() {
+        let mut net = Network::new("rt");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let m = net.maj(a, b, c);
+        let x = net.xor(a, m);
+        let n = net.not(x);
+        let mx = net.mux(a, b, n);
+        net.set_output("y", mx);
+        net.set_output("z", m);
+
+        let text = write_verilog(&net);
+        let back = parse_verilog(&text).expect("own output parses");
+        assert_eq!(back.num_inputs(), 3);
+        assert_eq!(back.num_outputs(), 2);
+        for i in 0..8u32 {
+            let assignment = [(i & 1) == 1, (i >> 1) & 1 == 1, (i >> 2) & 1 == 1];
+            assert_eq!(
+                net.eval(&assignment),
+                back.eval(&assignment),
+                "assignment {assignment:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn maj_intrinsic_round_trip() {
+        let mut net = Network::new("m");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let m = net.maj(a, b, c);
+        net.set_output("y", m);
+        let text = write_verilog(&net);
+        assert!(text.contains("maj("), "writer emits the maj intrinsic");
+        let back = parse_verilog(&text).expect("parses");
+        assert!(back.iter().any(|(_, g)| g.kind() == GateKind::Maj));
+    }
+}

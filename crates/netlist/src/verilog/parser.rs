@@ -1,0 +1,633 @@
+//! Recursive-descent parser for the structural Verilog subset.
+
+use crate::{GateId, GateKind, Network};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when parsing the Verilog subset fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerilogError {
+    message: String,
+    line: usize,
+}
+
+impl VerilogError {
+    fn new(message: impl Into<String>, line: usize) -> Self {
+        VerilogError {
+            message: message.into(),
+            line,
+        }
+    }
+
+    /// 1-based source line where the error was detected.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for VerilogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verilog parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for VerilogError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    Const(bool),
+    Punct(char),
+    /// `~^` / `^~` XNOR operator.
+    Xnor,
+    Module,
+    Input,
+    Output,
+    Wire,
+    Assign,
+    EndModule,
+}
+
+struct Lexer {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+}
+
+fn lex(text: &str) -> Result<Lexer, VerilogError> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i + 1 >= bytes.len() {
+                    return Err(VerilogError::new("unterminated block comment", line));
+                }
+                i += 2;
+            }
+            '~' if bytes.get(i + 1) == Some(&'^') => {
+                tokens.push((Token::Xnor, line));
+                i += 2;
+            }
+            '^' if bytes.get(i + 1) == Some(&'~') => {
+                tokens.push((Token::Xnor, line));
+                i += 2;
+            }
+            '(' | ')' | ';' | ',' | '=' | '&' | '|' | '^' | '~' | '?' | ':' => {
+                tokens.push((Token::Punct(c), line));
+                i += 1;
+            }
+            '1' if text[i..].starts_with("1'b0") => {
+                tokens.push((Token::Const(false), line));
+                i += 4;
+            }
+            '1' if text[i..].starts_with("1'b1") => {
+                tokens.push((Token::Const(true), line));
+                i += 4;
+            }
+            '0' => {
+                tokens.push((Token::Const(false), line));
+                i += 1;
+            }
+            '1' => {
+                tokens.push((Token::Const(true), line));
+                i += 1;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '\\' => {
+                let start = i;
+                if c == '\\' {
+                    // Escaped identifier: up to whitespace.
+                    i += 1;
+                    while i < bytes.len() && !bytes[i].is_whitespace() {
+                        i += 1;
+                    }
+                } else {
+                    while i < bytes.len()
+                        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_' || bytes[i] == '$')
+                    {
+                        i += 1;
+                    }
+                }
+                let word: String = bytes[start..i].iter().collect();
+                let tok = match word.as_str() {
+                    "module" => Token::Module,
+                    "input" => Token::Input,
+                    "output" => Token::Output,
+                    "wire" => Token::Wire,
+                    "assign" => Token::Assign,
+                    "endmodule" => Token::EndModule,
+                    _ => Token::Ident(word),
+                };
+                tokens.push((tok, line));
+            }
+            other => {
+                return Err(VerilogError::new(
+                    format!("unexpected character '{other}'"),
+                    line,
+                ));
+            }
+        }
+    }
+    Ok(Lexer { tokens, pos: 0 })
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(0, |&(_, l)| l)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<(), VerilogError> {
+        let line = self.line();
+        match self.next() {
+            Some(ref t) if t == want => Ok(()),
+            Some(t) => Err(VerilogError::new(
+                format!("expected {want:?}, found {t:?}"),
+                line,
+            )),
+            None => Err(VerilogError::new("unexpected end of file", line)),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, VerilogError> {
+        let line = self.line();
+        match self.next() {
+            Some(Token::Ident(name)) => Ok(name),
+            Some(t) => Err(VerilogError::new(
+                format!("expected identifier, found {t:?}"),
+                line,
+            )),
+            None => Err(VerilogError::new("unexpected end of file", line)),
+        }
+    }
+}
+
+/// Expression AST prior to elaboration.
+#[derive(Debug, Clone)]
+enum Expr {
+    Const(bool),
+    Ref(String),
+    Not(Box<Expr>),
+    Bin(char, Box<Expr>, Box<Expr>),
+    Xnor(Box<Expr>, Box<Expr>),
+    Mux(Box<Expr>, Box<Expr>, Box<Expr>),
+    Maj(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+fn parse_expr(lx: &mut Lexer) -> Result<Expr, VerilogError> {
+    let cond = parse_or(lx)?;
+    if lx.peek() == Some(&Token::Punct('?')) {
+        lx.next();
+        let then = parse_expr(lx)?;
+        lx.expect(&Token::Punct(':'))?;
+        let els = parse_expr(lx)?;
+        Ok(Expr::Mux(Box::new(cond), Box::new(then), Box::new(els)))
+    } else {
+        Ok(cond)
+    }
+}
+
+fn parse_or(lx: &mut Lexer) -> Result<Expr, VerilogError> {
+    let mut lhs = parse_xor(lx)?;
+    while lx.peek() == Some(&Token::Punct('|')) {
+        lx.next();
+        let rhs = parse_xor(lx)?;
+        lhs = Expr::Bin('|', Box::new(lhs), Box::new(rhs));
+    }
+    Ok(lhs)
+}
+
+fn parse_xor(lx: &mut Lexer) -> Result<Expr, VerilogError> {
+    let mut lhs = parse_and(lx)?;
+    loop {
+        match lx.peek() {
+            Some(Token::Punct('^')) => {
+                lx.next();
+                let rhs = parse_and(lx)?;
+                lhs = Expr::Bin('^', Box::new(lhs), Box::new(rhs));
+            }
+            Some(Token::Xnor) => {
+                lx.next();
+                let rhs = parse_and(lx)?;
+                lhs = Expr::Xnor(Box::new(lhs), Box::new(rhs));
+            }
+            _ => break,
+        }
+    }
+    Ok(lhs)
+}
+
+fn parse_and(lx: &mut Lexer) -> Result<Expr, VerilogError> {
+    let mut lhs = parse_unary(lx)?;
+    while lx.peek() == Some(&Token::Punct('&')) {
+        lx.next();
+        let rhs = parse_unary(lx)?;
+        lhs = Expr::Bin('&', Box::new(lhs), Box::new(rhs));
+    }
+    Ok(lhs)
+}
+
+fn parse_unary(lx: &mut Lexer) -> Result<Expr, VerilogError> {
+    match lx.peek() {
+        Some(Token::Punct('~')) => {
+            lx.next();
+            Ok(Expr::Not(Box::new(parse_unary(lx)?)))
+        }
+        _ => parse_primary(lx),
+    }
+}
+
+fn parse_primary(lx: &mut Lexer) -> Result<Expr, VerilogError> {
+    let line = lx.line();
+    match lx.next() {
+        Some(Token::Punct('(')) => {
+            let e = parse_expr(lx)?;
+            lx.expect(&Token::Punct(')'))?;
+            Ok(e)
+        }
+        Some(Token::Const(v)) => Ok(Expr::Const(v)),
+        Some(Token::Ident(name)) if name == "maj" && lx.peek() == Some(&Token::Punct('(')) => {
+            lx.next();
+            let a = parse_expr(lx)?;
+            lx.expect(&Token::Punct(','))?;
+            let b = parse_expr(lx)?;
+            lx.expect(&Token::Punct(','))?;
+            let c = parse_expr(lx)?;
+            lx.expect(&Token::Punct(')'))?;
+            Ok(Expr::Maj(Box::new(a), Box::new(b), Box::new(c)))
+        }
+        Some(Token::Ident(name)) => Ok(Expr::Ref(name)),
+        Some(t) => Err(VerilogError::new(
+            format!("expected expression, found {t:?}"),
+            line,
+        )),
+        None => Err(VerilogError::new("unexpected end of file", line)),
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NetClass {
+    Input,
+    Output,
+    Wire,
+}
+
+/// Parses a module in the structural Verilog subset into a [`Network`].
+///
+/// # Errors
+///
+/// Returns a [`VerilogError`] on lexical or syntax errors, references to
+/// undeclared nets, multiply-driven or undriven nets, and combinational
+/// cycles.
+///
+/// # Example
+///
+/// ```
+/// let src = "module t(a, b, y); input a, b; output y; assign y = a & ~b; endmodule";
+/// let net = mig_netlist::parse_verilog(src)?;
+/// assert_eq!(net.eval(&[true, false]), vec![true]);
+/// # Ok::<(), mig_netlist::VerilogError>(())
+/// ```
+pub fn parse_verilog(text: &str) -> Result<Network, VerilogError> {
+    let mut lx = lex(text)?;
+    lx.expect(&Token::Module)?;
+    let module_name = lx.expect_ident()?;
+    lx.expect(&Token::Punct('('))?;
+    let mut classes: HashMap<String, NetClass> = HashMap::new();
+    let mut input_order: Vec<String> = Vec::new();
+    let mut output_order: Vec<String> = Vec::new();
+
+    let mut ports = Vec::new();
+    if lx.peek() != Some(&Token::Punct(')')) {
+        // ANSI-style `input a, b, output y` declares directions inline; a
+        // direction keyword applies to the names that follow it.
+        let mut ansi_dir: Option<NetClass> = None;
+        loop {
+            match lx.peek() {
+                Some(Token::Input) => {
+                    lx.next();
+                    ansi_dir = Some(NetClass::Input);
+                }
+                Some(Token::Output) => {
+                    lx.next();
+                    ansi_dir = Some(NetClass::Output);
+                }
+                _ => {}
+            }
+            let name = lx.expect_ident()?;
+            if let Some(class) = ansi_dir {
+                classes.insert(name.clone(), class);
+                match class {
+                    NetClass::Input => input_order.push(name.clone()),
+                    NetClass::Output => output_order.push(name.clone()),
+                    NetClass::Wire => {}
+                }
+            }
+            ports.push(name);
+            if lx.peek() == Some(&Token::Punct(',')) {
+                lx.next();
+            } else {
+                break;
+            }
+        }
+    }
+    lx.expect(&Token::Punct(')'))?;
+    lx.expect(&Token::Punct(';'))?;
+    let mut assigns: HashMap<String, Expr> = HashMap::new();
+    let mut assign_order: Vec<String> = Vec::new();
+
+    loop {
+        let line = lx.line();
+        match lx.next() {
+            Some(Token::Input) | Some(Token::Output) | Some(Token::Wire) => {
+                let class = match lx.tokens[lx.pos - 1].0 {
+                    Token::Input => NetClass::Input,
+                    Token::Output => NetClass::Output,
+                    _ => NetClass::Wire,
+                };
+                loop {
+                    let name = lx.expect_ident()?;
+                    if classes.insert(name.clone(), class).is_some() {
+                        return Err(VerilogError::new(
+                            format!("net '{name}' declared twice"),
+                            line,
+                        ));
+                    }
+                    match class {
+                        NetClass::Input => input_order.push(name),
+                        NetClass::Output => output_order.push(name),
+                        NetClass::Wire => {}
+                    }
+                    if lx.peek() == Some(&Token::Punct(',')) {
+                        lx.next();
+                    } else {
+                        break;
+                    }
+                }
+                lx.expect(&Token::Punct(';'))?;
+            }
+            Some(Token::Assign) => {
+                let target = lx.expect_ident()?;
+                lx.expect(&Token::Punct('='))?;
+                let expr = parse_expr(&mut lx)?;
+                lx.expect(&Token::Punct(';'))?;
+                match classes.get(&target) {
+                    None => {
+                        return Err(VerilogError::new(
+                            format!("assignment to undeclared net '{target}'"),
+                            line,
+                        ))
+                    }
+                    Some(NetClass::Input) => {
+                        return Err(VerilogError::new(
+                            format!("assignment to input '{target}'"),
+                            line,
+                        ))
+                    }
+                    Some(_) => {}
+                }
+                if assigns.insert(target.clone(), expr).is_some() {
+                    return Err(VerilogError::new(
+                        format!("net '{target}' driven twice"),
+                        line,
+                    ));
+                }
+                assign_order.push(target);
+            }
+            Some(Token::EndModule) => break,
+            Some(t) => {
+                return Err(VerilogError::new(
+                    format!("expected declaration or assign, found {t:?}"),
+                    line,
+                ))
+            }
+            None => return Err(VerilogError::new("missing endmodule", line)),
+        }
+    }
+
+    // Elaborate into a Network; assigns may reference nets defined later,
+    // so resolve recursively with cycle detection.
+    let mut net = Network::new(module_name);
+    let mut resolved: HashMap<String, GateId> = HashMap::new();
+    for name in &input_order {
+        let id = net.add_input(name.clone());
+        resolved.insert(name.clone(), id);
+    }
+
+    struct Ctx<'a> {
+        net: &'a mut Network,
+        assigns: &'a HashMap<String, Expr>,
+        resolved: HashMap<String, GateId>,
+        in_progress: Vec<String>,
+    }
+
+    fn resolve_net(ctx: &mut Ctx<'_>, name: &str) -> Result<GateId, VerilogError> {
+        if let Some(&id) = ctx.resolved.get(name) {
+            return Ok(id);
+        }
+        if ctx.in_progress.iter().any(|n| n == name) {
+            return Err(VerilogError::new(
+                format!("combinational cycle through net '{name}'"),
+                0,
+            ));
+        }
+        let Some(expr) = ctx.assigns.get(name) else {
+            return Err(VerilogError::new(format!("net '{name}' is never driven"), 0));
+        };
+        ctx.in_progress.push(name.to_string());
+        let expr = expr.clone();
+        let id = build_expr(ctx, &expr)?;
+        ctx.in_progress.pop();
+        ctx.resolved.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    fn build_expr(ctx: &mut Ctx<'_>, expr: &Expr) -> Result<GateId, VerilogError> {
+        Ok(match expr {
+            Expr::Const(v) => ctx.net.constant(*v),
+            Expr::Ref(name) => resolve_net(ctx, name)?,
+            Expr::Not(a) => {
+                let a = build_expr(ctx, a)?;
+                ctx.net.not(a)
+            }
+            Expr::Bin(op, a, b) => {
+                let a = build_expr(ctx, a)?;
+                let b = build_expr(ctx, b)?;
+                let kind = match op {
+                    '&' => GateKind::And,
+                    '|' => GateKind::Or,
+                    '^' => GateKind::Xor,
+                    _ => unreachable!("parser only produces & | ^"),
+                };
+                ctx.net.add_gate(kind, vec![a, b])
+            }
+            Expr::Xnor(a, b) => {
+                let a = build_expr(ctx, a)?;
+                let b = build_expr(ctx, b)?;
+                ctx.net.add_gate(GateKind::Xnor, vec![a, b])
+            }
+            Expr::Mux(s, t, e) => {
+                let s = build_expr(ctx, s)?;
+                let t = build_expr(ctx, t)?;
+                let e = build_expr(ctx, e)?;
+                ctx.net.mux(s, t, e)
+            }
+            Expr::Maj(a, b, c) => {
+                let a = build_expr(ctx, a)?;
+                let b = build_expr(ctx, b)?;
+                let c = build_expr(ctx, c)?;
+                ctx.net.maj(a, b, c)
+            }
+        })
+    }
+
+    let mut ctx = Ctx {
+        net: &mut net,
+        assigns: &assigns,
+        resolved,
+        in_progress: Vec::new(),
+    };
+    let mut outputs = Vec::new();
+    for name in &output_order {
+        let id = resolve_net(&mut ctx, name)?;
+        outputs.push((name.clone(), id));
+    }
+    // Also elaborate wires nobody reads so undriven-wire errors surface even
+    // when the wire is dangling.
+    for name in &assign_order {
+        resolve_net(&mut ctx, name)?;
+    }
+    for (name, id) in outputs {
+        net.set_output(name, id);
+    }
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_module() {
+        let src = "module t (a, b, y);\n input a, b;\n output y;\n assign y = a & b;\nendmodule\n";
+        let net = parse_verilog(src).expect("parses");
+        assert_eq!(net.name(), "t");
+        assert_eq!(net.eval(&[true, true]), vec![true]);
+        assert_eq!(net.eval(&[true, false]), vec![false]);
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // & binds tighter than ^ binds tighter than |
+        let src = "module t(a,b,c,y); input a,b,c; output y; assign y = a | b & c; endmodule";
+        let net = parse_verilog(src).expect("parses");
+        assert_eq!(net.eval(&[true, false, false]), vec![true]);
+        assert_eq!(net.eval(&[false, true, false]), vec![false]);
+        let src2 = "module t(a,b,c,y); input a,b,c; output y; assign y = a ^ b & c; endmodule";
+        let net2 = parse_verilog(src2).expect("parses");
+        assert_eq!(net2.eval(&[true, true, false]), vec![true]); // a ^ (b&c)
+    }
+
+    #[test]
+    fn out_of_order_assigns() {
+        let src = "module t(a,y); input a; output y; wire w;\n\
+                   assign y = w | a;\n assign w = ~a;\nendmodule";
+        let net = parse_verilog(src).expect("parses");
+        assert_eq!(net.eval(&[false]), vec![true]);
+        assert_eq!(net.eval(&[true]), vec![true]);
+    }
+
+    #[test]
+    fn ternary_and_xnor() {
+        let src = "module t(s,a,b,y,z); input s,a,b; output y,z;\n\
+                   assign y = s ? a : b;\n assign z = a ~^ b;\nendmodule";
+        let net = parse_verilog(src).expect("parses");
+        assert_eq!(net.eval(&[true, true, false]), vec![true, false]);
+        assert_eq!(net.eval(&[false, true, false]), vec![false, false]);
+        assert_eq!(net.eval(&[false, true, true]), vec![true, true]);
+    }
+
+    #[test]
+    fn constants_and_comments() {
+        let src = "// top comment\nmodule t(a,y); /* block */ input a; output y;\n\
+                   assign y = a & 1'b1 | 1'b0; // trailing\nendmodule";
+        let net = parse_verilog(src).expect("parses");
+        assert_eq!(net.eval(&[true]), vec![true]);
+        assert_eq!(net.eval(&[false]), vec![false]);
+    }
+
+    #[test]
+    fn error_on_cycle() {
+        let src = "module t(a,y); input a; output y; wire w;\n\
+                   assign w = y; assign y = w & a; endmodule";
+        let err = parse_verilog(src).unwrap_err();
+        assert!(err.to_string().contains("cycle"), "{err}");
+    }
+
+    #[test]
+    fn error_on_undriven() {
+        let src = "module t(a,y); input a; output y; wire w; assign y = w; endmodule";
+        let err = parse_verilog(src).unwrap_err();
+        assert!(err.to_string().contains("never driven"), "{err}");
+    }
+
+    #[test]
+    fn error_on_double_drive() {
+        let src = "module t(a,y); input a; output y;\n\
+                   assign y = a; assign y = ~a; endmodule";
+        let err = parse_verilog(src).unwrap_err();
+        assert!(err.to_string().contains("driven twice"), "{err}");
+    }
+
+    #[test]
+    fn error_on_assign_to_input() {
+        let src = "module t(a,y); input a; output y; assign a = y; endmodule";
+        assert!(parse_verilog(src).is_err());
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let src = "module t(a,y);\ninput a;\noutput y;\nassign y = a @ a;\nendmodule";
+        let err = parse_verilog(src).unwrap_err();
+        assert_eq!(err.line(), 4);
+    }
+
+    #[test]
+    fn ansi_style_ports() {
+        let src = "module t(input a, input b, output y); assign y = a | b; endmodule";
+        let net = parse_verilog(src).expect("parses");
+        assert_eq!(net.num_inputs(), 2);
+        assert_eq!(net.eval(&[false, true]), vec![true]);
+    }
+}

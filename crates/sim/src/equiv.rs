@@ -1,0 +1,138 @@
+//! Simulation-based equivalence checking.
+
+use crate::simulate::simulate;
+use mig_netlist::Network;
+use mig_tt::TruthTable;
+use rand::{Rng, SeedableRng};
+
+/// Exact truth tables of every output (inputs ≤ 16).
+///
+/// # Panics
+///
+/// Panics if the network has more than 16 inputs.
+pub fn output_truth_tables(net: &Network) -> Vec<TruthTable> {
+    let n = net.num_inputs();
+    assert!(n <= 16, "exhaustive simulation limited to 16 inputs");
+    let total = 1usize << n;
+    let mut tables = vec![TruthTable::zeros(n); net.num_outputs()];
+    for base in (0..total).step_by(64) {
+        let chunk = 64.min(total - base);
+        let words: Vec<u64> = (0..n)
+            .map(|v| {
+                let mut w = 0u64;
+                for b in 0..chunk {
+                    if ((base + b) >> v) & 1 == 1 {
+                        w |= 1 << b;
+                    }
+                }
+                w
+            })
+            .collect();
+        let outs = simulate(net, &words);
+        for (o, &w) in outs.iter().enumerate() {
+            for b in 0..chunk {
+                if (w >> b) & 1 == 1 {
+                    tables[o].set_bit(base + b, true);
+                }
+            }
+        }
+    }
+    tables
+}
+
+/// Exhaustive equivalence check (inputs ≤ 16). Exact.
+///
+/// # Panics
+///
+/// Panics if interfaces differ or either network has more than 16 inputs.
+pub fn equivalent_exhaustive(a: &Network, b: &Network) -> bool {
+    assert_eq!(a.num_inputs(), b.num_inputs(), "input counts differ");
+    assert_eq!(a.num_outputs(), b.num_outputs(), "output counts differ");
+    output_truth_tables(a) == output_truth_tables(b)
+}
+
+/// Random equivalence check with `64 × rounds` patterns (seeded,
+/// deterministic). Can only disprove equivalence.
+///
+/// # Panics
+///
+/// Panics if interfaces differ.
+pub fn equivalent_random(a: &Network, b: &Network, rounds: usize) -> bool {
+    assert_eq!(a.num_inputs(), b.num_inputs(), "input counts differ");
+    assert_eq!(a.num_outputs(), b.num_outputs(), "output counts differ");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5EED_CAFE);
+    for _ in 0..rounds {
+        let words: Vec<u64> = (0..a.num_inputs()).map(|_| rng.gen()).collect();
+        if simulate(a, &words) != simulate(b, &words) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Equivalence check: exhaustive when feasible, random otherwise.
+pub fn equivalent(a: &Network, b: &Network, rounds: usize) -> bool {
+    if a.num_inputs() <= 16 {
+        equivalent_exhaustive(a, b)
+    } else {
+        equivalent_random(a, b, rounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mig_netlist::parse_verilog;
+
+    #[test]
+    fn truth_tables_match_eval() {
+        let net = parse_verilog(
+            "module t(a,b,c,y); input a,b,c; output y;\n\
+             assign y = maj(a, b, c); endmodule",
+        )
+        .expect("parses");
+        let tts = output_truth_tables(&net);
+        assert_eq!(tts[0].as_u64(), 0xE8);
+    }
+
+    #[test]
+    fn exhaustive_catches_single_minterm_difference() {
+        let a = parse_verilog(
+            "module t(x0,x1,x2,x3,y); input x0,x1,x2,x3; output y;\n\
+             assign y = x0 & x1 & x2 & x3; endmodule",
+        )
+        .expect("parses");
+        let b = parse_verilog(
+            "module t(x0,x1,x2,x3,y); input x0,x1,x2,x3; output y;\n\
+             assign y = x0 & x1 & x2 & x3 & (x0 | x1); endmodule",
+        )
+        .expect("parses");
+        assert!(equivalent_exhaustive(&a, &b), "actually equal functions");
+        let c = parse_verilog(
+            "module t(x0,x1,x2,x3,y); input x0,x1,x2,x3; output y;\n\
+             assign y = x0 & x1 & x2; endmodule",
+        )
+        .expect("parses");
+        assert!(!equivalent_exhaustive(&a, &c));
+    }
+
+    #[test]
+    fn random_check_on_wide_circuit() {
+        // 20 inputs exercise the random path through `equivalent`.
+        let mut src = String::from("module t(");
+        for i in 0..20 {
+            src.push_str(&format!("x{i},"));
+        }
+        src.push_str("y); input ");
+        for i in 0..20 {
+            src.push_str(&format!("x{i}{}", if i == 19 { ";" } else { "," }));
+        }
+        src.push_str(" output y; assign y = x0");
+        for i in 1..20 {
+            src.push_str(&format!(" ^ x{i}"));
+        }
+        src.push_str("; endmodule");
+        let net = parse_verilog(&src).expect("parses");
+        assert!(equivalent(&net, &net.sweep(), 8));
+    }
+}

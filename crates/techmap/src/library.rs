@@ -1,0 +1,217 @@
+//! Standard-cell library model with a synthetic 22nm-style
+//! characterization.
+//!
+//! The paper's experiments use a library of {MIN-3, MAJ-3, XOR-2, XNOR-2,
+//! NAND-2, NOR-2, INV} cells characterized for CMOS 22nm from predictive
+//! technology models. The absolute numbers here are synthetic but
+//! internally consistent (INV < NAND/NOR < XOR < MAJ in area and delay);
+//! the reproduction target is the *ratio* between mapped flows, not
+//! absolute µm²/ns/µW.
+
+use mig_tt::TruthTable;
+
+/// One library cell: a named ≤ 3-input function with physical costs.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Cell name (e.g. `"MAJ3"`).
+    pub name: &'static str,
+    /// Number of inputs (1–3).
+    pub num_inputs: usize,
+    /// The cell function over its inputs.
+    pub function: TruthTable,
+    /// Cell area in µm².
+    pub area: f64,
+    /// Intrinsic delay in ns.
+    pub delay: f64,
+    /// Input capacitance per pin in fF.
+    pub input_cap: f64,
+    /// Leakage power in nW.
+    pub leakage: f64,
+}
+
+/// A collection of cells plus global electrical constants.
+#[derive(Debug, Clone)]
+pub struct CellLibrary {
+    /// Library name.
+    pub name: &'static str,
+    /// The cells.
+    pub cells: Vec<Cell>,
+    /// Supply voltage in V.
+    pub vdd: f64,
+    /// Clock frequency assumed by the power model, in GHz.
+    pub freq_ghz: f64,
+    /// Extra delay per fanout (wire + pin load), ns.
+    pub fanout_delay: f64,
+}
+
+fn tt1(f: impl Fn(bool) -> bool) -> TruthTable {
+    let mut t = TruthTable::zeros(1);
+    for i in 0..2usize {
+        t.set_bit(i, f(i & 1 == 1));
+    }
+    t
+}
+
+fn tt2(f: impl Fn(bool, bool) -> bool) -> TruthTable {
+    let mut t = TruthTable::zeros(2);
+    for i in 0..4usize {
+        t.set_bit(i, f(i & 1 == 1, i & 2 == 2));
+    }
+    t
+}
+
+fn tt3(f: impl Fn(bool, bool, bool) -> bool) -> TruthTable {
+    let mut t = TruthTable::zeros(3);
+    for i in 0..8usize {
+        t.set_bit(i, f(i & 1 == 1, i & 2 == 2, i & 4 == 4));
+    }
+    t
+}
+
+impl CellLibrary {
+    /// The paper's library: {INV, NAND2, NOR2, XOR2, XNOR2, MAJ3, MIN3}
+    /// with 22nm-style characterization.
+    pub fn cmos22() -> Self {
+        let cells = vec![
+            Cell {
+                name: "INV",
+                num_inputs: 1,
+                function: tt1(|a| !a),
+                area: 0.196,
+                delay: 0.010,
+                input_cap: 1.0,
+                leakage: 1.2,
+            },
+            Cell {
+                name: "NAND2",
+                num_inputs: 2,
+                function: tt2(|a, b| !(a && b)),
+                area: 0.294,
+                delay: 0.016,
+                input_cap: 1.3,
+                leakage: 2.0,
+            },
+            Cell {
+                name: "NOR2",
+                num_inputs: 2,
+                function: tt2(|a, b| !(a || b)),
+                area: 0.294,
+                delay: 0.018,
+                input_cap: 1.3,
+                leakage: 2.1,
+            },
+            Cell {
+                name: "XOR2",
+                num_inputs: 2,
+                function: tt2(|a, b| a ^ b),
+                area: 0.686,
+                delay: 0.030,
+                input_cap: 2.1,
+                leakage: 3.8,
+            },
+            Cell {
+                name: "XNOR2",
+                num_inputs: 2,
+                function: tt2(|a, b| !(a ^ b)),
+                area: 0.686,
+                delay: 0.030,
+                input_cap: 2.1,
+                leakage: 3.8,
+            },
+            Cell {
+                name: "MAJ3",
+                num_inputs: 3,
+                function: tt3(|a, b, c| (a && b) || (a && c) || (b && c)),
+                area: 0.882,
+                delay: 0.033,
+                input_cap: 2.4,
+                leakage: 4.6,
+            },
+            Cell {
+                name: "MIN3",
+                num_inputs: 3,
+                function: tt3(|a, b, c| !((a && b) || (a && c) || (b && c))),
+                area: 0.833,
+                delay: 0.031,
+                input_cap: 2.4,
+                leakage: 4.4,
+            },
+        ];
+        CellLibrary {
+            name: "cmos22",
+            cells,
+            vdd: 0.8,
+            freq_ghz: 1.0,
+            fanout_delay: 0.0025,
+        }
+    }
+
+    /// A majority-free subset (INV/NAND2/NOR2/XOR2/XNOR2) used to model a
+    /// conventional flow that cannot absorb MAJ nodes into single cells.
+    pub fn cmos22_no_maj() -> Self {
+        let mut lib = Self::cmos22();
+        lib.name = "cmos22-nomaj";
+        lib.cells.retain(|c| c.num_inputs <= 2);
+        lib
+    }
+
+    /// Looks a cell up by name.
+    pub fn cell_by_name(&self, name: &str) -> Option<&Cell> {
+        self.cells.iter().find(|c| c.name == name)
+    }
+
+    /// Index of the inverter cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library has no 1-input complement cell.
+    pub fn inverter(&self) -> usize {
+        self.cells
+            .iter()
+            .position(|c| c.num_inputs == 1 && c.function == tt1(|a| !a))
+            .expect("library must contain an inverter")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_is_well_formed() {
+        let lib = CellLibrary::cmos22();
+        assert_eq!(lib.cells.len(), 7);
+        for cell in &lib.cells {
+            assert_eq!(cell.function.num_vars(), cell.num_inputs);
+            assert!(cell.area > 0.0 && cell.delay > 0.0);
+        }
+        assert_eq!(lib.cells[lib.inverter()].name, "INV");
+    }
+
+    #[test]
+    fn relative_costs_are_sane() {
+        let lib = CellLibrary::cmos22();
+        let get = |n: &str| lib.cell_by_name(n).expect("cell exists");
+        assert!(get("INV").area < get("NAND2").area);
+        assert!(get("NAND2").area < get("XOR2").area);
+        assert!(get("XOR2").area < get("MAJ3").area);
+        assert!(get("INV").delay < get("MAJ3").delay);
+    }
+
+    #[test]
+    fn maj3_function_is_majority() {
+        let lib = CellLibrary::cmos22();
+        let maj = lib.cell_by_name("MAJ3").expect("cell exists");
+        assert_eq!(maj.function.as_u64(), 0xE8);
+        let min = lib.cell_by_name("MIN3").expect("cell exists");
+        assert_eq!(min.function.as_u64(), 0x17);
+    }
+
+    #[test]
+    fn no_maj_subset() {
+        let lib = CellLibrary::cmos22_no_maj();
+        assert!(lib.cell_by_name("MAJ3").is_none());
+        assert!(lib.cell_by_name("NAND2").is_some());
+        assert_eq!(lib.cells.len(), 5);
+    }
+}

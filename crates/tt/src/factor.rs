@@ -1,0 +1,334 @@
+//! Algebraic factoring of sum-of-products covers.
+//!
+//! Turns a flat [`Sop`] into a nested AND/OR [`FactoredForm`] with fewer
+//! literals, in the style of the "quick factor" procedures of MIS/SIS:
+//! common-cube division first, then recursive division by the most frequent
+//! literal. Refactoring passes rebuild logic from the factored form, so
+//! fewer literals translates directly into fewer gates.
+
+use crate::isop::{Cube, Sop};
+use crate::TruthTable;
+
+/// A factored Boolean formula over AND/OR/literal/constant operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FactoredForm {
+    /// Constant 0 or 1.
+    Const(bool),
+    /// A possibly-complemented variable.
+    Literal {
+        /// Variable index.
+        var: usize,
+        /// `true` for the positive literal.
+        positive: bool,
+    },
+    /// Conjunction of sub-forms (never empty).
+    And(Vec<FactoredForm>),
+    /// Disjunction of sub-forms (never empty).
+    Or(Vec<FactoredForm>),
+}
+
+impl FactoredForm {
+    /// Number of literal leaves in the form.
+    pub fn num_literals(&self) -> usize {
+        match self {
+            FactoredForm::Const(_) => 0,
+            FactoredForm::Literal { .. } => 1,
+            FactoredForm::And(parts) | FactoredForm::Or(parts) => {
+                parts.iter().map(FactoredForm::num_literals).sum()
+            }
+        }
+    }
+
+    /// Evaluates the form as a truth table over `num_vars` variables.
+    pub fn to_truth_table(&self, num_vars: usize) -> TruthTable {
+        match self {
+            FactoredForm::Const(false) => TruthTable::zeros(num_vars),
+            FactoredForm::Const(true) => TruthTable::ones(num_vars),
+            FactoredForm::Literal { var, positive } => {
+                let v = TruthTable::var(*var, num_vars);
+                if *positive {
+                    v
+                } else {
+                    v.not()
+                }
+            }
+            FactoredForm::And(parts) => parts
+                .iter()
+                .fold(TruthTable::ones(num_vars), |acc, p| {
+                    acc.and(&p.to_truth_table(num_vars))
+                }),
+            FactoredForm::Or(parts) => parts
+                .iter()
+                .fold(TruthTable::zeros(num_vars), |acc, p| {
+                    acc.or(&p.to_truth_table(num_vars))
+                }),
+        }
+    }
+
+    fn flatten_and(self, out: &mut Vec<FactoredForm>) {
+        match self {
+            FactoredForm::And(parts) => {
+                for p in parts {
+                    p.flatten_and(out);
+                }
+            }
+            other => out.push(other),
+        }
+    }
+
+    /// Builds a conjunction, flattening nested ANDs and dropping constants.
+    pub fn and(parts: Vec<FactoredForm>) -> FactoredForm {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                FactoredForm::Const(true) => {}
+                FactoredForm::Const(false) => return FactoredForm::Const(false),
+                other => other.flatten_and(&mut flat),
+            }
+        }
+        match flat.len() {
+            0 => FactoredForm::Const(true),
+            1 => flat.pop().expect("len checked"),
+            _ => FactoredForm::And(flat),
+        }
+    }
+
+    /// Builds a disjunction, flattening nested ORs and dropping constants.
+    pub fn or(parts: Vec<FactoredForm>) -> FactoredForm {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                FactoredForm::Const(false) => {}
+                FactoredForm::Const(true) => return FactoredForm::Const(true),
+                FactoredForm::Or(sub) => flat.extend(sub),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => FactoredForm::Const(false),
+            1 => flat.pop().expect("len checked"),
+            _ => FactoredForm::Or(flat),
+        }
+    }
+}
+
+/// Literal occurrence counts: `(var, polarity) → count`.
+fn literal_counts(cubes: &[Cube], num_vars: usize) -> Vec<[u32; 2]> {
+    let mut counts = vec![[0u32; 2]; num_vars];
+    for c in cubes {
+        for v in 0..num_vars {
+            if (c.mask >> v) & 1 == 1 {
+                let pol = ((c.polarity >> v) & 1) as usize;
+                counts[v][pol] += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Factors an SOP cover into a nested AND/OR form.
+///
+/// The result computes the same function as `sop.to_truth_table()` and
+/// usually has substantially fewer literals than the flat cover.
+///
+/// # Example
+///
+/// ```
+/// use mig_tt::{factor_sop, isop, TruthTable};
+///
+/// // f = ab + ac  factors as  a(b + c)
+/// let a = TruthTable::var(0, 3);
+/// let b = TruthTable::var(1, 3);
+/// let c = TruthTable::var(2, 3);
+/// let f = a.and(&b).or(&a.and(&c));
+/// let ff = factor_sop(&isop(&f));
+/// assert_eq!(ff.to_truth_table(3), f);
+/// assert_eq!(ff.num_literals(), 3);
+/// ```
+pub fn factor_sop(sop: &Sop) -> FactoredForm {
+    factor_cubes(&sop.cubes, sop.num_vars)
+}
+
+fn cube_to_form(cube: &Cube, num_vars: usize) -> FactoredForm {
+    let lits: Vec<FactoredForm> = (0..num_vars)
+        .filter(|v| (cube.mask >> v) & 1 == 1)
+        .map(|var| FactoredForm::Literal {
+            var,
+            positive: (cube.polarity >> var) & 1 == 1,
+        })
+        .collect();
+    FactoredForm::and(lits)
+}
+
+fn factor_cubes(cubes: &[Cube], num_vars: usize) -> FactoredForm {
+    if cubes.is_empty() {
+        return FactoredForm::Const(false);
+    }
+    if cubes.len() == 1 {
+        return cube_to_form(&cubes[0], num_vars);
+    }
+
+    // 1. Divide out the largest common cube, if any.
+    let mut common_mask = u32::MAX;
+    let mut common_pol_and = u32::MAX;
+    let mut common_pol_or = 0u32;
+    for c in cubes {
+        common_mask &= c.mask;
+        common_pol_and &= c.polarity | !c.mask;
+        common_pol_or |= c.polarity & c.mask;
+    }
+    // A variable is a common literal when present everywhere with one polarity.
+    let same_pol = common_pol_and & common_mask | !common_pol_or & common_mask;
+    let common = common_mask & (common_pol_and | !common_pol_or) & same_pol;
+    if common != 0 {
+        let pol = common_pol_or; // polarity where positive everywhere
+        let mut parts: Vec<FactoredForm> = (0..num_vars)
+            .filter(|v| (common >> v) & 1 == 1)
+            .map(|var| FactoredForm::Literal {
+                var,
+                positive: (pol >> var) & 1 == 1,
+            })
+            .collect();
+        let quotient: Vec<Cube> = cubes
+            .iter()
+            .map(|c| Cube {
+                mask: c.mask & !common,
+                polarity: c.polarity & !common,
+            })
+            .collect();
+        parts.push(factor_cubes(&quotient, num_vars));
+        return FactoredForm::and(parts);
+    }
+
+    // 2. Divide by the most frequent literal.
+    let counts = literal_counts(cubes, num_vars);
+    let mut best: Option<(usize, usize, u32)> = None; // (var, pol, count)
+    for (v, c) in counts.iter().enumerate() {
+        for pol in 0..2 {
+            if c[pol] >= 2 {
+                match best {
+                    Some((_, _, bc)) if bc >= c[pol] => {}
+                    _ => best = Some((v, pol, c[pol])),
+                }
+            }
+        }
+    }
+    let Some((var, pol, _)) = best else {
+        // No sharing at all: emit the flat OR of cube forms.
+        return FactoredForm::or(cubes.iter().map(|c| cube_to_form(c, num_vars)).collect());
+    };
+
+    let bit = 1u32 << var;
+    let want = if pol == 1 { bit } else { 0 };
+    let mut quotient = Vec::new();
+    let mut remainder = Vec::new();
+    for c in cubes {
+        if c.mask & bit != 0 && c.polarity & bit == want {
+            quotient.push(Cube {
+                mask: c.mask & !bit,
+                polarity: c.polarity & !bit,
+            });
+        } else {
+            remainder.push(*c);
+        }
+    }
+    let lit = FactoredForm::Literal {
+        var,
+        positive: pol == 1,
+    };
+    let divided = FactoredForm::and(vec![lit, factor_cubes(&quotient, num_vars)]);
+    if remainder.is_empty() {
+        divided
+    } else {
+        FactoredForm::or(vec![divided, factor_cubes(&remainder, num_vars)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isop::isop;
+
+    #[test]
+    fn factor_preserves_function_exhaustive_3vars() {
+        for bits in 0u64..256 {
+            let f = TruthTable::from_u64(3, bits);
+            let ff = factor_sop(&isop(&f));
+            assert_eq!(ff.to_truth_table(3), f, "bits {bits:02x}");
+        }
+    }
+
+    #[test]
+    fn factor_preserves_function_sampled_4vars() {
+        for seed in 0u64..64 {
+            let bits = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .rotate_left(17)
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            let f = TruthTable::from_u64(4, bits & 0xFFFF);
+            let ff = factor_sop(&isop(&f));
+            assert_eq!(ff.to_truth_table(4), f, "bits {bits:04x}");
+        }
+    }
+
+    #[test]
+    fn factor_reduces_literals() {
+        // f = ab + ac + ad : flat cover has 6 literals, factored a(b+c+d) has 4.
+        let a = TruthTable::var(0, 4);
+        let f = a
+            .and(&TruthTable::var(1, 4))
+            .or(&a.and(&TruthTable::var(2, 4)))
+            .or(&a.and(&TruthTable::var(3, 4)));
+        let cover = isop(&f);
+        let ff = factor_sop(&cover);
+        assert!(ff.num_literals() < cover.num_literals() as usize);
+        assert_eq!(ff.num_literals(), 4);
+    }
+
+    #[test]
+    fn factor_constants() {
+        assert_eq!(
+            factor_sop(&Sop::zero(3)),
+            FactoredForm::Const(false)
+        );
+        let one = isop(&TruthTable::ones(3));
+        assert_eq!(factor_sop(&one), FactoredForm::Const(true));
+    }
+
+    #[test]
+    fn smart_constructors_simplify() {
+        let lit = FactoredForm::Literal {
+            var: 0,
+            positive: true,
+        };
+        assert_eq!(
+            FactoredForm::and(vec![FactoredForm::Const(true), lit.clone()]),
+            lit
+        );
+        assert_eq!(
+            FactoredForm::and(vec![FactoredForm::Const(false), lit.clone()]),
+            FactoredForm::Const(false)
+        );
+        assert_eq!(
+            FactoredForm::or(vec![FactoredForm::Const(false), lit.clone()]),
+            lit
+        );
+        assert_eq!(
+            FactoredForm::or(vec![FactoredForm::Const(true), lit]),
+            FactoredForm::Const(true)
+        );
+    }
+
+    #[test]
+    fn common_cube_extracted() {
+        // f = abc + abd = ab(c + d)
+        let a = TruthTable::var(0, 4);
+        let b = TruthTable::var(1, 4);
+        let c = TruthTable::var(2, 4);
+        let d = TruthTable::var(3, 4);
+        let f = a.and(&b).and(&c).or(&a.and(&b).and(&d));
+        let ff = factor_sop(&isop(&f));
+        assert_eq!(ff.to_truth_table(4), f);
+        assert_eq!(ff.num_literals(), 4);
+    }
+}

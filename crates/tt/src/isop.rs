@@ -1,0 +1,281 @@
+//! Irredundant sum-of-products extraction (Minato–Morreale procedure).
+//!
+//! Given a completely-specified function — or an incompletely-specified one
+//! as an interval `[lower, upper]` — [`isop`] / [`isop_interval`] produce an
+//! irredundant cube cover: no cube and no literal can be dropped without
+//! leaving the interval. The cover feeds algebraic factoring
+//! ([`crate::factor`]) in refactoring-style resynthesis.
+
+use crate::TruthTable;
+
+/// A product term over up to 32 variables.
+///
+/// A variable `v` participates when bit `v` of `mask` is set; its polarity
+/// is bit `v` of `polarity` (1 = positive literal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cube {
+    /// Participating-variable mask.
+    pub mask: u32,
+    /// Polarity bits for participating variables.
+    pub polarity: u32,
+}
+
+impl Cube {
+    /// The universal cube (no literals — constant 1).
+    pub const UNIVERSE: Cube = Cube {
+        mask: 0,
+        polarity: 0,
+    };
+
+    /// Single-literal cube.
+    pub fn literal(var: usize, positive: bool) -> Self {
+        Cube {
+            mask: 1 << var,
+            polarity: if positive { 1 << var } else { 0 },
+        }
+    }
+
+    /// Adds a literal, returning the extended cube.
+    #[must_use]
+    pub fn with_literal(mut self, var: usize, positive: bool) -> Self {
+        self.mask |= 1 << var;
+        if positive {
+            self.polarity |= 1 << var;
+        } else {
+            self.polarity &= !(1 << var);
+        }
+        self
+    }
+
+    /// Number of literals in the cube.
+    pub fn num_literals(&self) -> u32 {
+        self.mask.count_ones()
+    }
+
+    /// Evaluates the cube under an input assignment (bit `v` = variable `v`).
+    pub fn eval(&self, assignment: u32) -> bool {
+        (assignment ^ self.polarity) & self.mask == 0
+    }
+
+    /// Truth table of the cube over `num_vars` variables.
+    pub fn to_truth_table(&self, num_vars: usize) -> TruthTable {
+        let mut t = TruthTable::ones(num_vars);
+        for v in 0..num_vars {
+            if (self.mask >> v) & 1 == 1 {
+                let lit = TruthTable::var(v, num_vars);
+                t = t.and(&if (self.polarity >> v) & 1 == 1 {
+                    lit
+                } else {
+                    lit.not()
+                });
+            }
+        }
+        t
+    }
+}
+
+/// A sum of products: a disjunction of [`Cube`]s over `num_vars` variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sop {
+    /// Number of variables in the function's domain.
+    pub num_vars: usize,
+    /// The cubes (OR-ed together).
+    pub cubes: Vec<Cube>,
+}
+
+impl Sop {
+    /// The constant-0 cover.
+    pub fn zero(num_vars: usize) -> Self {
+        Sop {
+            num_vars,
+            cubes: vec![],
+        }
+    }
+
+    /// Total number of literals across all cubes.
+    pub fn num_literals(&self) -> u32 {
+        self.cubes.iter().map(Cube::num_literals).sum()
+    }
+
+    /// Truth table of the whole cover.
+    pub fn to_truth_table(&self) -> TruthTable {
+        let mut t = TruthTable::zeros(self.num_vars);
+        for c in &self.cubes {
+            t = t.or(&c.to_truth_table(self.num_vars));
+        }
+        t
+    }
+}
+
+/// Computes an irredundant SOP cover of the completely-specified function
+/// `f`.
+///
+/// # Example
+///
+/// ```
+/// use mig_tt::{isop, TruthTable};
+///
+/// let a = TruthTable::var(0, 3);
+/// let b = TruthTable::var(1, 3);
+/// let c = TruthTable::var(2, 3);
+/// let cover = isop(&TruthTable::maj(&a, &b, &c));
+/// assert_eq!(cover.to_truth_table(), TruthTable::maj(&a, &b, &c));
+/// assert_eq!(cover.cubes.len(), 3); // ab + ac + bc
+/// ```
+pub fn isop(f: &TruthTable) -> Sop {
+    isop_interval(f, f)
+}
+
+/// Computes an irredundant cover `g` with `lower ⊆ g ⊆ upper`.
+///
+/// # Panics
+///
+/// Panics if `lower ⊄ upper` or variable counts differ.
+pub fn isop_interval(lower: &TruthTable, upper: &TruthTable) -> Sop {
+    assert_eq!(lower.num_vars(), upper.num_vars());
+    assert!(
+        lower.and(&upper.not()).is_zero(),
+        "lower bound must imply upper bound"
+    );
+    let (cubes, _) = isop_rec(lower, upper, lower.num_vars());
+    Sop {
+        num_vars: lower.num_vars(),
+        cubes,
+    }
+}
+
+fn isop_rec(lower: &TruthTable, upper: &TruthTable, nv: usize) -> (Vec<Cube>, TruthTable) {
+    if lower.is_zero() {
+        return (vec![], TruthTable::zeros(nv));
+    }
+    if upper.is_one() {
+        return (vec![Cube::UNIVERSE], TruthTable::ones(nv));
+    }
+    // Split on the highest variable either bound depends on; one must exist
+    // because `upper` is not constant-1 and `lower` is not constant-0.
+    let var = (0..nv)
+        .rev()
+        .find(|&v| lower.depends_on(v) || upper.depends_on(v))
+        .expect("non-constant interval must have a splitting variable");
+
+    let l0 = lower.cofactor0(var);
+    let l1 = lower.cofactor1(var);
+    let u0 = upper.cofactor0(var);
+    let u1 = upper.cofactor1(var);
+
+    // Cubes that must contain the negative / positive literal of `var`.
+    let (c0, cov0) = isop_rec(&l0.and(&u1.not()), &u0, nv);
+    let (c1, cov1) = isop_rec(&l1.and(&u0.not()), &u1, nv);
+
+    // What remains to be covered without using `var`.
+    let lnew = l0.and(&cov0.not()).or(&l1.and(&cov1.not()));
+    let (cs, covs) = isop_rec(&lnew, &u0.and(&u1), nv);
+
+    let mut cubes = Vec::with_capacity(c0.len() + c1.len() + cs.len());
+    cubes.extend(c0.into_iter().map(|c| c.with_literal(var, false)));
+    cubes.extend(c1.into_iter().map(|c| c.with_literal(var, true)));
+    cubes.extend(cs);
+
+    let x = TruthTable::var(var, nv);
+    let cover = x.not().and(&cov0).or(&x.and(&cov1)).or(&covs);
+    (cubes, cover)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars3() -> (TruthTable, TruthTable, TruthTable) {
+        (
+            TruthTable::var(0, 3),
+            TruthTable::var(1, 3),
+            TruthTable::var(2, 3),
+        )
+    }
+
+    #[test]
+    fn cube_eval() {
+        let c = Cube::literal(0, true).with_literal(2, false);
+        assert!(c.eval(0b001));
+        assert!(!c.eval(0b101));
+        assert!(!c.eval(0b000));
+        assert_eq!(c.num_literals(), 2);
+    }
+
+    #[test]
+    fn isop_constants() {
+        assert!(isop(&TruthTable::zeros(3)).cubes.is_empty());
+        let one = isop(&TruthTable::ones(3));
+        assert_eq!(one.cubes, vec![Cube::UNIVERSE]);
+    }
+
+    #[test]
+    fn isop_covers_function() {
+        let (a, b, c) = vars3();
+        for f in [
+            a.and(&b).or(&c),
+            a.xor(&b).xor(&c),
+            TruthTable::maj(&a, &b, &c),
+            a.clone(),
+            a.not().and(&b.not()).and(&c.not()),
+        ] {
+            let cover = isop(&f);
+            assert_eq!(cover.to_truth_table(), f, "function {f}");
+        }
+    }
+
+    #[test]
+    fn isop_exhaustive_3vars() {
+        for bits in 0u64..256 {
+            let f = TruthTable::from_u64(3, bits);
+            assert_eq!(isop(&f).to_truth_table(), f, "bits {bits:02x}");
+        }
+    }
+
+    #[test]
+    fn isop_is_irredundant_on_maj() {
+        let (a, b, c) = vars3();
+        let f = TruthTable::maj(&a, &b, &c);
+        let cover = isop(&f);
+        // Dropping any cube must lose coverage.
+        for skip in 0..cover.cubes.len() {
+            let mut t = TruthTable::zeros(3);
+            for (i, cube) in cover.cubes.iter().enumerate() {
+                if i != skip {
+                    t = t.or(&cube.to_truth_table(3));
+                }
+            }
+            assert_ne!(t, f, "cube {skip} is redundant");
+        }
+    }
+
+    #[test]
+    fn isop_interval_respects_bounds() {
+        let (a, b, _) = vars3();
+        let lower = a.and(&b);
+        let upper = a.or(&b);
+        let cover = isop_interval(&lower, &upper);
+        let g = cover.to_truth_table();
+        assert!(lower.and(&g.not()).is_zero(), "lower ⊆ g");
+        assert!(g.and(&upper.not()).is_zero(), "g ⊆ upper");
+        // With the whole interval free, a single-literal cover suffices.
+        assert_eq!(cover.num_literals(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound must imply upper bound")]
+    fn isop_interval_rejects_bad_bounds() {
+        let (a, b, _) = vars3();
+        let _ = isop_interval(&a.or(&b), &a.and(&b));
+    }
+
+    #[test]
+    fn isop_xor_has_four_cubes() {
+        let (a, b, c) = vars3();
+        let f = a.xor(&b).xor(&c);
+        let cover = isop(&f);
+        // Parity of 3 vars needs exactly 4 minterm cubes.
+        assert_eq!(cover.cubes.len(), 4);
+        assert!(cover.cubes.iter().all(|c| c.num_literals() == 3));
+    }
+}

@@ -1,0 +1,35 @@
+//! Truth-table machinery for logic synthesis.
+//!
+//! This crate provides the Boolean-function plumbing shared by every other
+//! crate in the MIG suite:
+//!
+//! * [`TruthTable`] — a bit-packed truth table for functions of up to 16
+//!   variables, with the usual Boolean operations, cofactoring and support
+//!   computation.
+//! * [`npn`] — exact NPN canonization for small functions (≤ 6 variables),
+//!   used by cut rewriting and Boolean matching.
+//! * [`isop`] — Minato–Morreale irredundant sum-of-products extraction.
+//! * [`factor`] — algebraic factoring of an SOP into a literal-count-cheap
+//!   factored form, used by AIG refactoring.
+//!
+//! # Example
+//!
+//! ```
+//! use mig_tt::TruthTable;
+//!
+//! let a = TruthTable::var(0, 3);
+//! let b = TruthTable::var(1, 3);
+//! let c = TruthTable::var(2, 3);
+//! let maj = TruthTable::maj(&a, &b, &c);
+//! assert_eq!(maj.count_ones(), 4);
+//! ```
+
+pub mod factor;
+pub mod isop;
+pub mod npn;
+mod truth_table;
+
+pub use factor::{factor_sop, FactoredForm};
+pub use isop::{isop, Cube, Sop};
+pub use npn::{npn_canonize, NpnTransform};
+pub use truth_table::TruthTable;

@@ -1,0 +1,232 @@
+//! Exact NPN canonization for small functions.
+//!
+//! Two functions are NPN-equivalent if one can be obtained from the other by
+//! Negating inputs, Permuting inputs, and/or Negating the output. Cut
+//! rewriting and Boolean matching both work on NPN classes: the rewriting
+//! database stores one optimized structure per class, and a matched cut is
+//! mapped through the recorded transform.
+//!
+//! Canonization here is exact (exhaustive over all transforms), which is
+//! practical up to 6 variables — 4-variable cuts (the rewriting default)
+//! need at most 24·16·2 = 768 candidate transforms.
+
+use crate::TruthTable;
+
+/// A recorded NPN transform: `canon = output_flip ⊕ f(perm, input_flips)`.
+///
+/// Applying the transform maps the *original* function onto its canonical
+/// representative; [`NpnTransform::apply`] and [`NpnTransform::invert_apply`]
+/// convert between the two.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NpnTransform {
+    /// `perm[i]` is the original variable that canonical variable `i` reads.
+    pub perm: Vec<usize>,
+    /// Bit `i` set ⇒ original variable `i` is complemented before use.
+    pub input_flips: u32,
+    /// Whether the output is complemented.
+    pub output_flip: bool,
+}
+
+impl NpnTransform {
+    /// Identity transform over `n` variables.
+    pub fn identity(n: usize) -> Self {
+        NpnTransform {
+            perm: (0..n).collect(),
+            input_flips: 0,
+            output_flip: false,
+        }
+    }
+
+    /// Applies this transform to `f`, producing the canonical function.
+    pub fn apply(&self, f: &TruthTable) -> TruthTable {
+        let mut t = f.clone();
+        for v in 0..f.num_vars() {
+            if (self.input_flips >> v) & 1 == 1 {
+                t = t.flip_var(v);
+            }
+        }
+        t = t.permute(&self.perm);
+        if self.output_flip {
+            t = t.not();
+        }
+        t
+    }
+
+    /// Applies the inverse transform: maps the canonical function back onto
+    /// the original function.
+    pub fn invert_apply(&self, canon: &TruthTable) -> TruthTable {
+        let mut t = canon.clone();
+        if self.output_flip {
+            t = t.not();
+        }
+        // Invert the permutation.
+        let n = self.perm.len();
+        let mut inv = vec![0usize; n];
+        for (i, &p) in self.perm.iter().enumerate() {
+            inv[p] = i;
+        }
+        t = t.permute(&inv);
+        for v in 0..n {
+            if (self.input_flips >> v) & 1 == 1 {
+                t = t.flip_var(v);
+            }
+        }
+        t
+    }
+}
+
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut result = vec![vec![]];
+    for _ in 0..n {
+        let mut next = Vec::new();
+        for p in &result {
+            for v in 0..n {
+                if !p.contains(&v) {
+                    let mut q = p.clone();
+                    q.push(v);
+                    next.push(q);
+                }
+            }
+        }
+        result = next;
+    }
+    result
+}
+
+/// Computes the NPN-canonical representative of `f` and the transform that
+/// produces it.
+///
+/// The canonical representative is the lexicographically smallest truth
+/// table reachable by any NPN transform. Exhaustive search: intended for
+/// functions of at most 6 variables (cut functions).
+///
+/// # Panics
+///
+/// Panics if `f` has more than 6 variables.
+///
+/// # Example
+///
+/// ```
+/// use mig_tt::{npn_canonize, TruthTable};
+///
+/// let a = TruthTable::var(0, 2);
+/// let b = TruthTable::var(1, 2);
+/// let (c1, _) = npn_canonize(&a.and(&b));
+/// let (c2, _) = npn_canonize(&a.not().or(&b.not())); // NAND — same class
+/// assert_eq!(c1, c2);
+/// ```
+pub fn npn_canonize(f: &TruthTable) -> (TruthTable, NpnTransform) {
+    let n = f.num_vars();
+    assert!(n <= 6, "exact NPN canonization limited to 6 vars");
+    let mut best: Option<(TruthTable, NpnTransform)> = None;
+    for perm in permutations(n) {
+        for flips in 0..(1u32 << n) {
+            let mut t = f.clone();
+            for v in 0..n {
+                if (flips >> v) & 1 == 1 {
+                    t = t.flip_var(v);
+                }
+            }
+            let t = t.permute(&perm);
+            for &out in &[false, true] {
+                let cand = if out { t.not() } else { t.clone() };
+                let transform = NpnTransform {
+                    perm: perm.clone(),
+                    input_flips: flips,
+                    output_flip: out,
+                };
+                match &best {
+                    Some((b, _)) if *b <= cand => {}
+                    _ => best = Some((cand, transform)),
+                }
+            }
+        }
+    }
+    best.expect("at least the identity transform exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transform_roundtrip() {
+        let a = TruthTable::var(0, 3);
+        let b = TruthTable::var(1, 3);
+        let c = TruthTable::var(2, 3);
+        let f = a.and(&b).or(&c);
+        let (canon, tr) = npn_canonize(&f);
+        assert_eq!(tr.apply(&f), canon);
+        assert_eq!(tr.invert_apply(&canon), f);
+    }
+
+    #[test]
+    fn and_class_members_agree() {
+        let a = TruthTable::var(0, 2);
+        let b = TruthTable::var(1, 2);
+        let variants = [
+            a.and(&b),
+            a.not().and(&b),
+            a.and(&b.not()),
+            a.not().and(&b.not()),
+            a.or(&b),
+            a.not().or(&b.not()),
+        ];
+        let (canon, _) = npn_canonize(&variants[0]);
+        for v in &variants {
+            assert_eq!(npn_canonize(v).0, canon, "variant {v}");
+        }
+    }
+
+    #[test]
+    fn xor_is_its_own_class() {
+        let a = TruthTable::var(0, 2);
+        let b = TruthTable::var(1, 2);
+        let (cx, _) = npn_canonize(&a.xor(&b));
+        let (cnx, _) = npn_canonize(&a.xor(&b).not());
+        assert_eq!(cx, cnx);
+        let (cand, _) = npn_canonize(&a.and(&b));
+        assert_ne!(cx, cand);
+    }
+
+    #[test]
+    fn constants_canonize_to_zero() {
+        let (c, _) = npn_canonize(&TruthTable::ones(3));
+        assert!(c.is_zero());
+        let (c, _) = npn_canonize(&TruthTable::zeros(3));
+        assert!(c.is_zero());
+    }
+
+    #[test]
+    fn count_2var_npn_classes() {
+        // There are exactly 4 NPN classes of 2-variable functions:
+        // const, single-var, AND-like, XOR-like.
+        let mut classes = std::collections::HashSet::new();
+        for bits in 0u64..16 {
+            let f = TruthTable::from_u64(2, bits);
+            classes.insert(npn_canonize(&f).0);
+        }
+        assert_eq!(classes.len(), 4);
+    }
+
+    #[test]
+    fn count_3var_npn_classes() {
+        // Known result: 14 NPN classes of 3-variable functions.
+        let mut classes = std::collections::HashSet::new();
+        for bits in 0u64..256 {
+            let f = TruthTable::from_u64(3, bits);
+            classes.insert(npn_canonize(&f).0);
+        }
+        assert_eq!(classes.len(), 14);
+    }
+
+    #[test]
+    fn maj_class_contains_min() {
+        let a = TruthTable::var(0, 3);
+        let b = TruthTable::var(1, 3);
+        let c = TruthTable::var(2, 3);
+        let maj = TruthTable::maj(&a, &b, &c);
+        let min = maj.not();
+        assert_eq!(npn_canonize(&maj).0, npn_canonize(&min).0);
+    }
+}
