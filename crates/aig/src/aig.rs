@@ -293,10 +293,7 @@ impl Aig {
     /// Marks nodes reachable from the outputs.
     pub fn reachable(&self) -> Vec<bool> {
         let mut mark = vec![false; self.nodes.len()];
-        mark[0] = true;
-        for i in 1..=self.num_inputs {
-            mark[i] = true;
-        }
+        mark[..=self.num_inputs].fill(true);
         let mut stack: Vec<u32> = self.outputs.iter().map(|&(_, l)| l.node()).collect();
         while let Some(n) = stack.pop() {
             if mark[n as usize] {
@@ -331,11 +328,11 @@ impl Aig {
     pub fn fanout_counts(&self) -> Vec<u32> {
         let mark = self.reachable();
         let mut counts = vec![0u32; self.nodes.len()];
-        for i in self.num_inputs + 1..self.nodes.len() {
+        for (i, fanins) in self.nodes.iter().enumerate().skip(self.num_inputs + 1) {
             if !mark[i] {
                 continue;
             }
-            for l in self.nodes[i] {
+            for l in fanins {
                 counts[l.node() as usize] += 1;
             }
         }
@@ -358,8 +355,8 @@ impl Aig {
         }
         let mark = self.reachable();
         let mut map: Vec<Lit> = vec![Lit::FALSE; self.nodes.len()];
-        for i in 0..=self.num_inputs {
-            map[i] = Lit::new(i as u32, false);
+        for (i, m) in map.iter_mut().enumerate().take(self.num_inputs + 1) {
+            *m = Lit::new(i as u32, false);
         }
         for i in self.num_inputs + 1..self.nodes.len() {
             if !mark[i] {
@@ -412,10 +409,7 @@ impl Aig {
             let [a, b] = self.nodes[i];
             values[i] = val(&values, a) & val(&values, b);
         }
-        self.outputs
-            .iter()
-            .map(|&(_, l)| val(&values, l))
-            .collect()
+        self.outputs.iter().map(|&(_, l)| val(&values, l)).collect()
     }
 
     /// Equivalence check: exhaustive for ≤ 16 inputs, random otherwise.
@@ -510,7 +504,7 @@ mod tests {
             assert_eq!(out[0], v[0] | v[1]);
             assert_eq!(out[1], v[0] ^ v[1]);
             assert_eq!(out[2], if v[2] { v[0] } else { v[1] });
-            assert_eq!(out[3], (v[0] && v[1]) || (v[0] && v[2]) || (v[1] && v[2]));
+            assert_eq!(out[3], (v[0] && v[1]) || (v[2] && (v[0] || v[1])));
         }
     }
 

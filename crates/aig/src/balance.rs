@@ -36,8 +36,8 @@ pub fn balance(aig: &Aig) -> Aig {
         out.add_input(aig.input_name(i).to_string());
     }
     let mut map: Vec<Lit> = vec![Lit::FALSE; aig.num_nodes()];
-    for i in 0..=aig.num_inputs() {
-        map[i] = Lit::new(i as u32, false);
+    for (i, m) in map.iter_mut().enumerate().take(aig.num_inputs() + 1) {
+        *m = Lit::new(i as u32, false);
     }
 
     // A gate is an internal tree node when it feeds exactly one parent,

@@ -27,7 +27,9 @@ impl Cut {
 
     /// True if `other`'s leaves are a subset of this cut's leaves.
     pub fn dominates(&self, other: &Cut) -> bool {
-        self.leaves.iter().all(|l| other.leaves.binary_search(l).is_ok())
+        self.leaves
+            .iter()
+            .all(|l| other.leaves.binary_search(l).is_ok())
     }
 
     fn mask(&self) -> u16 {
@@ -75,8 +77,13 @@ pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> Vec<Vec<Cut>> {
         leaves: vec![],
         tt: 0,
     }];
-    for i in 1..=aig.num_inputs() {
-        cuts[i] = vec![Cut::unit(i as u32)];
+    for (i, c) in cuts
+        .iter_mut()
+        .enumerate()
+        .take(aig.num_inputs() + 1)
+        .skip(1)
+    {
+        *c = vec![Cut::unit(i as u32)];
     }
     for node in aig.gate_ids() {
         let [fa, fb] = aig.fanins(node);
@@ -101,7 +108,10 @@ pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> Vec<Vec<Cut>> {
                 if fb.is_complemented() {
                     tb = !tb;
                 }
-                let cut = Cut { leaves, tt: ta & tb };
+                let cut = Cut {
+                    leaves,
+                    tt: ta & tb,
+                };
                 let cut = Cut {
                     tt: cut.tt & cut.mask(),
                     ..cut

@@ -25,8 +25,8 @@
 
 mod aig;
 mod balance;
-pub mod cuts;
 mod convert;
+pub mod cuts;
 mod refactor;
 mod resyn;
 mod rewrite;

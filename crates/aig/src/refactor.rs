@@ -60,19 +60,14 @@ pub(crate) fn cone_tt(aig: &Aig, node: u32, leaves: &[u32]) -> TruthTable {
     for (i, &l) in leaves.iter().enumerate() {
         memo.insert(l, TruthTable::var(i, nv));
     }
-    fn rec(
-        aig: &Aig,
-        n: u32,
-        memo: &mut std::collections::HashMap<u32, TruthTable>,
-        nv: usize,
-    ) -> TruthTable {
+    fn rec(aig: &Aig, n: u32, memo: &mut std::collections::HashMap<u32, TruthTable>) -> TruthTable {
         if let Some(t) = memo.get(&n) {
             return t.clone();
         }
         assert!(aig.is_gate(n), "cone must be bounded by the leaves");
         let [a, b] = aig.fanins(n);
         let ta = {
-            let t = rec(aig, a.node(), memo, nv);
+            let t = rec(aig, a.node(), memo);
             if a.is_complemented() {
                 t.not()
             } else {
@@ -80,7 +75,7 @@ pub(crate) fn cone_tt(aig: &Aig, node: u32, leaves: &[u32]) -> TruthTable {
             }
         };
         let tb = {
-            let t = rec(aig, b.node(), memo, nv);
+            let t = rec(aig, b.node(), memo);
             if b.is_complemented() {
                 t.not()
             } else {
@@ -91,7 +86,7 @@ pub(crate) fn cone_tt(aig: &Aig, node: u32, leaves: &[u32]) -> TruthTable {
         memo.insert(n, t.clone());
         t
     }
-    rec(aig, node, &mut memo, nv)
+    rec(aig, node, &mut memo)
 }
 
 /// Size of the maximal fanout-free cone of `node` bounded by `leaves`:
@@ -184,8 +179,7 @@ pub(crate) fn dry_run_factored(out: &Aig, ff: &FactoredForm, leaf_lits: &[Lit]) 
                 let mut acc: Option<Lit> = None;
                 let mut first = true;
                 for p in parts {
-                    let lit = rec(out, p, leaf_lits, misses)
-                        .map(|l| l.complement_if(is_or));
+                    let lit = rec(out, p, leaf_lits, misses).map(|l| l.complement_if(is_or));
                     if first {
                         acc = lit;
                         first = false;
@@ -226,8 +220,8 @@ pub fn refactor(aig: &Aig, zero_gain: bool) -> Aig {
         out.add_input(aig.input_name(i).to_string());
     }
     let mut map: Vec<Lit> = vec![Lit::FALSE; aig.num_nodes()];
-    for i in 0..=aig.num_inputs() {
-        map[i] = Lit::new(i as u32, false);
+    for (i, m) in map.iter_mut().enumerate().take(aig.num_inputs() + 1) {
+        *m = Lit::new(i as u32, false);
     }
     for node in aig.gate_ids() {
         if !mark[node as usize] {

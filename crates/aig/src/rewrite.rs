@@ -95,17 +95,13 @@ impl MiniBuilder {
         match ff {
             FactoredForm::Const(false) => MiniLit::FALSE,
             FactoredForm::Const(true) => MiniLit::TRUE,
-            FactoredForm::Literal { var, positive } => {
-                MiniLit::var(*var).complement_if(!positive)
-            }
+            FactoredForm::Literal { var, positive } => MiniLit::var(*var).complement_if(!positive),
             FactoredForm::And(parts) => {
-                let lits: Vec<MiniLit> =
-                    parts.iter().map(|p| self.build_factored(p)).collect();
+                let lits: Vec<MiniLit> = parts.iter().map(|p| self.build_factored(p)).collect();
                 self.fold(lits, false)
             }
             FactoredForm::Or(parts) => {
-                let lits: Vec<MiniLit> =
-                    parts.iter().map(|p| self.build_factored(p)).collect();
+                let lits: Vec<MiniLit> = parts.iter().map(|p| self.build_factored(p)).collect();
                 self.fold(lits, true)
             }
         }
@@ -200,10 +196,9 @@ fn dry_run(out: &Aig, mini: &MiniAig, inputs: &[Lit; 4]) -> usize {
 /// flip_{perm[i]}`.
 fn transform_inputs(tr: &NpnTransform, leaf_lits: &[Lit]) -> ([Lit; 4], bool) {
     let mut inputs = [Lit::FALSE; 4];
-    for i in 0..4 {
-        let src = tr.perm[i];
+    for (input, &src) in inputs.iter_mut().zip(&tr.perm) {
         let base = leaf_lits.get(src).copied().unwrap_or(Lit::FALSE);
-        inputs[i] = base.complement_if((tr.input_flips >> src) & 1 == 1);
+        *input = base.complement_if((tr.input_flips >> src) & 1 == 1);
     }
     (inputs, tr.output_flip)
 }
@@ -239,8 +234,8 @@ pub fn rewrite(aig: &Aig, zero_gain: bool) -> Aig {
         out.add_input(aig.input_name(i).to_string());
     }
     let mut map: Vec<Lit> = vec![Lit::FALSE; aig.num_nodes()];
-    for i in 0..=aig.num_inputs() {
-        map[i] = Lit::new(i as u32, false);
+    for (i, m) in map.iter_mut().enumerate().take(aig.num_inputs() + 1) {
+        *m = Lit::new(i as u32, false);
     }
 
     for node in aig.gate_ids() {
@@ -343,7 +338,9 @@ mod tests {
         // structure through the transform, verify the original returns.
         let mut state = 0xDEADBEEFu64;
         for _ in 0..20 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let f = TruthTable::from_u64(4, state >> 32 & 0xFFFF);
             if f.is_zero() || f.is_one() {
                 continue;
@@ -357,7 +354,11 @@ mod tests {
             aig.add_output("y", out);
             for bits in 0..16usize {
                 let assign: Vec<bool> = (0..4).map(|i| (bits >> i) & 1 == 1).collect();
-                assert_eq!(aig.eval(&assign)[0], f.get_bit(bits), "f {f} bits {bits:04b}");
+                assert_eq!(
+                    aig.eval(&assign)[0],
+                    f.get_bit(bits),
+                    "f {f} bits {bits:04b}"
+                );
             }
         }
     }

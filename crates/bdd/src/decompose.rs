@@ -209,9 +209,7 @@ mod tests {
         let net = parse_verilog(src).expect("parses");
         let opt = bds_optimize(&net);
         check_equal(&net, &opt);
-        let has_xnor = opt
-            .iter()
-            .any(|(_, g)| g.kind() == GateKind::Xnor);
+        let has_xnor = opt.iter().any(|(_, g)| g.kind() == GateKind::Xnor);
         assert!(has_xnor, "parity decomposes through the XNOR rule");
     }
 

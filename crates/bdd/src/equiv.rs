@@ -52,23 +52,17 @@ mod tests {
 
     #[test]
     fn different_functions_rejected() {
-        let n1 = parse_verilog(
-            "module t(a,b,y); input a,b; output y; assign y = a & b; endmodule",
-        )
-        .expect("parses");
-        let n2 = parse_verilog(
-            "module t(a,b,y); input a,b; output y; assign y = a | b; endmodule",
-        )
-        .expect("parses");
+        let n1 = parse_verilog("module t(a,b,y); input a,b; output y; assign y = a & b; endmodule")
+            .expect("parses");
+        let n2 = parse_verilog("module t(a,b,y); input a,b; output y; assign y = a | b; endmodule")
+            .expect("parses");
         assert_eq!(check_equivalence(&n1, &n2, 1 << 20), Some(false));
     }
 
     #[test]
     fn node_limit_triggers_fallback() {
-        let n1 = parse_verilog(
-            "module t(a,b,y); input a,b; output y; assign y = a ^ b; endmodule",
-        )
-        .expect("parses");
+        let n1 = parse_verilog("module t(a,b,y); input a,b; output y; assign y = a ^ b; endmodule")
+            .expect("parses");
         assert_eq!(check_equivalence(&n1, &n1, 1), None);
     }
 

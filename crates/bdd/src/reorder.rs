@@ -40,8 +40,8 @@ pub fn affinity_order(net: &Network) -> Vec<usize> {
         }
     }
     // Unreached inputs go last, in declaration order.
-    for i in 0..net.num_inputs() {
-        if pos_of_input[i] == usize::MAX {
+    for (i, &pos) in pos_of_input.iter().enumerate() {
+        if pos == usize::MAX {
             order.push(i);
         }
     }

@@ -227,7 +227,12 @@ mod tests {
         let net = alu4();
         let a = 0b1100u64;
         let b = 0b1010u64;
-        for (sel, expect) in [(0b00u64, a & b), (0b01, a | b), (0b10, a ^ b), (0b11, !a & 0xF)] {
+        for (sel, expect) in [
+            (0b00u64, a & b),
+            (0b01, a | b),
+            (0b10, a ^ b),
+            (0b11, !a & 0xF),
+        ] {
             let mut assign = bits(a, 4);
             assign.extend(bits(b, 4));
             assign.extend(bits(sel, 4)); // s2=s3=0

@@ -180,7 +180,11 @@ mod tests {
             let mut assign = bits(a, 8);
             assign.extend(bits(b, 8));
             assign.push(cin == 1);
-            assert_eq!(cla.eval(&assign), rca.eval(&assign), "a={a} b={b} cin={cin}");
+            assert_eq!(
+                cla.eval(&assign),
+                rca.eval(&assign),
+                "a={a} b={b} cin={cin}"
+            );
         }
     }
 

@@ -91,8 +91,8 @@ pub fn compression_circuit(units: usize) -> Network {
 
     // Literal fallback: first window byte gated by "no match".
     let no_match = net.not(any_before);
-    for i in 0..8 {
-        let lit = net.and(window[i], no_match);
+    for (i, &w) in window.iter().enumerate().take(8) {
+        let lit = net.and(w, no_match);
         net.set_output(format!("lit{i}"), lit);
     }
     net

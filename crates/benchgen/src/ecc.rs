@@ -2,9 +2,7 @@
 //! C1908 (both are single-error-correcting codec circuits dominated by
 //! XOR parity trees and a correction decoder).
 
-use mig_netlist::{GateId, Network};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mig_netlist::{GateId, Network, SplitMix64};
 
 /// Builds a balanced XOR tree over the given gates.
 fn xor_tree(net: &mut Network, mut bits: Vec<GateId>) -> GateId {
@@ -37,11 +35,16 @@ fn ecc_circuit(
     seed: u64,
 ) -> Network {
     assert!(checks >= decode_bits);
-    assert!((1usize << decode_bits) >= data, "decoder must cover data bits");
-    let mut rng = StdRng::seed_from_u64(seed);
+    assert!(
+        (1usize << decode_bits) >= data,
+        "decoder must cover data bits"
+    );
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut net = Network::new(name.to_string());
     let d: Vec<GateId> = (0..data).map(|i| net.add_input(format!("d{i}"))).collect();
-    let chk: Vec<GateId> = (0..checks).map(|i| net.add_input(format!("c{i}"))).collect();
+    let chk: Vec<GateId> = (0..checks)
+        .map(|i| net.add_input(format!("c{i}")))
+        .collect();
 
     // Parity groups: check j covers a seeded subset of the data bits
     // (every data bit lands in at least one group).
@@ -71,14 +74,14 @@ fn ecc_circuit(
         }
         acc
     };
-    for i in 0..data {
+    for (i, &di) in d.iter().enumerate().take(data) {
         // correct_i = enable & (sel == i)
         let mut term = enable;
         for (b, (&s, &ns)) in sel.iter().zip(&nsel).enumerate() {
             let lit = if (i >> b) & 1 == 1 { s } else { ns };
             term = net.and(term, lit);
         }
-        let corrected = net.xor(d[i], term);
+        let corrected = net.xor(di, term);
         net.set_output(format!("o{i}"), corrected);
     }
     // Status outputs: pairwise syndrome combinations.
@@ -130,7 +133,7 @@ mod tests {
         // All-zero data with all-zero checks has zero parity in every
         // group, so no correction fires and the data passes through.
         let net = ecc_c1355();
-        let out = net.eval(&vec![false; 41]);
+        let out = net.eval(&[false; 41]);
         assert!(out.iter().all(|&b| !b), "clean zero word passes through");
     }
 

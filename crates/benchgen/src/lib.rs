@@ -40,8 +40,8 @@ use mig_netlist::Network;
 
 /// The 14 MCNC circuits of the paper's Table I, in the paper's order.
 pub const MCNC_NAMES: [&str; 14] = [
-    "C1355", "C1908", "C6288", "bigkey", "my_adder", "cla", "dalu", "b9", "count", "alu4",
-    "clma", "mm30a", "s38417", "misex3",
+    "C1355", "C1908", "C6288", "bigkey", "my_adder", "cla", "dalu", "b9", "count", "alu4", "clma",
+    "mm30a", "s38417", "misex3",
 ];
 
 /// Generates the named benchmark circuit, or `None` for unknown names.

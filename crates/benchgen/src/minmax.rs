@@ -26,8 +26,12 @@ pub fn minmax(width: usize) -> Network {
     let mut net = Network::new(format!("mm{width}a"));
     let x: Vec<GateId> = (0..width).map(|i| net.add_input(format!("x{i}"))).collect();
     let y: Vec<GateId> = (0..width).map(|i| net.add_input(format!("y{i}"))).collect();
-    let cur_min: Vec<GateId> = (0..width).map(|i| net.add_input(format!("min{i}"))).collect();
-    let cur_max: Vec<GateId> = (0..width).map(|i| net.add_input(format!("max{i}"))).collect();
+    let cur_min: Vec<GateId> = (0..width)
+        .map(|i| net.add_input(format!("min{i}")))
+        .collect();
+    let cur_max: Vec<GateId> = (0..width)
+        .map(|i| net.add_input(format!("max{i}")))
+        .collect();
     let ctrl: Vec<GateId> = (0..4).map(|i| net.add_input(format!("ctrl{i}"))).collect();
 
     let x_lt_min = less_than(&mut net, &x, &cur_min);

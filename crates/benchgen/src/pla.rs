@@ -2,9 +2,7 @@
 //! PLA-derived MCNC circuits `misex3` (14/14) and the control circuit
 //! `b9` (41/21).
 
-use mig_netlist::{GateId, Network};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mig_netlist::{GateId, Network, SplitMix64};
 
 /// Parameters of a seeded PLA.
 #[derive(Debug, Clone)]
@@ -46,9 +44,11 @@ fn balanced_tree(
 /// Generates a two-level AND/OR network from seeded product terms.
 /// Product terms are shared between outputs, as in a real PLA.
 pub fn seeded_pla(name: &str, p: &PlaParams) -> Network {
-    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut rng = SplitMix64::seed_from_u64(p.seed);
     let mut net = Network::new(name.to_string());
-    let inputs: Vec<GateId> = (0..p.inputs).map(|i| net.add_input(format!("x{i}"))).collect();
+    let inputs: Vec<GateId> = (0..p.inputs)
+        .map(|i| net.add_input(format!("x{i}")))
+        .collect();
     let ninputs: Vec<GateId> = inputs.iter().map(|&g| net.not(g)).collect();
 
     // Product terms: balanced AND trees over random literal sets.
@@ -63,16 +63,20 @@ pub fn seeded_pla(name: &str, p: &PlaParams) -> Network {
         }
         let lits: Vec<GateId> = vars[..nlits]
             .iter()
-            .map(|&v| if rng.gen_bool(0.5) { inputs[v] } else { ninputs[v] })
+            .map(|&v| {
+                if rng.gen_bool(0.5) {
+                    inputs[v]
+                } else {
+                    ninputs[v]
+                }
+            })
             .collect();
         terms.push(balanced_tree(&mut net, lits, |n, a, b| n.and(a, b)));
     }
 
     // Outputs: balanced OR of a random subset of terms (each ≥ 1 term).
     for o in 0..p.outputs {
-        let count = rng
-            .gen_range(1..=2 * p.cubes_per_output)
-            .clamp(1, p.cubes);
+        let count = rng.gen_range(1..=2 * p.cubes_per_output).clamp(1, p.cubes);
         let mut chosen: Vec<GateId> = (0..count)
             .map(|_| terms[rng.gen_range(0..terms.len())])
             .collect();
@@ -95,7 +99,7 @@ pub fn misex3() -> Network {
             cubes: 220,
             literals: (6, 11),
             cubes_per_output: 28,
-            seed: 0x315E_3,
+            seed: 0x0003_15E3,
         },
     )
 }
@@ -143,7 +147,7 @@ mod tests {
         // nonzero.
         let m = misex3();
         let depth = m.depth();
-        assert!(depth >= 3 && depth <= 16, "depth {depth}");
+        assert!((3..=16).contains(&depth), "depth {depth}");
     }
 
     #[test]
@@ -158,9 +162,11 @@ mod tests {
         let m = misex3();
         // At least half the outputs toggle across a small sample.
         let mut toggling = 0;
-        let base = m.eval(&vec![false; 14]);
+        let base = m.eval(&[false; 14]);
         for t in 0..20u64 {
-            let assign: Vec<bool> = (0..14).map(|i| (t >> (i % 6)) & 1 == 1 || i as u64 == t % 14).collect();
+            let assign: Vec<bool> = (0..14)
+                .map(|i| (t >> (i % 6)) & 1 == 1 || i as u64 == t % 14)
+                .collect();
             let out = m.eval(&assign);
             toggling += out.iter().zip(&base).filter(|(a, b)| a != b).count();
         }

@@ -6,9 +6,7 @@
 //! core of `s38417`. The generators produce deterministic, reconvergent,
 //! multi-level networks at the same interface and scale.
 
-use mig_netlist::{GateId, GateKind, Network};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mig_netlist::{GateId, GateKind, Network, SplitMix64};
 
 /// Parameters for [`layered_random`].
 #[derive(Debug, Clone)]
@@ -31,9 +29,11 @@ pub struct RandomLogicParams {
 /// the inputs.
 pub fn layered_random(name: &str, p: &RandomLogicParams) -> Network {
     assert!(p.layers >= 1 && p.gates >= p.layers);
-    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut rng = SplitMix64::seed_from_u64(p.seed);
     let mut net = Network::new(name.to_string());
-    let inputs: Vec<GateId> = (0..p.inputs).map(|i| net.add_input(format!("x{i}"))).collect();
+    let inputs: Vec<GateId> = (0..p.inputs)
+        .map(|i| net.add_input(format!("x{i}")))
+        .collect();
 
     let per_layer = p.gates / p.layers;
     let mut prev: Vec<GateId> = inputs.clone();
@@ -45,8 +45,8 @@ pub fn layered_random(name: &str, p: &RandomLogicParams) -> Network {
         for g in 0..per_layer {
             // Fanin source pools: previous layer (70%), layer before
             // that (20%), a long edge to any earlier gate or input (10%).
-            let pick = |rng: &mut StdRng| -> GateId {
-                let r: f64 = rng.gen();
+            let pick = |rng: &mut SplitMix64| -> GateId {
+                let r: f64 = rng.next_f64();
                 if r < 0.7 || prev2.is_empty() {
                     prev[rng.gen_range(0..prev.len())]
                 } else if r < 0.9 || all_gates.is_empty() {
@@ -56,13 +56,12 @@ pub fn layered_random(name: &str, p: &RandomLogicParams) -> Network {
                 }
             };
             // In layer 0, make sure every input is touched early.
-            let a = if layer == 0 && g < p.inputs {
-                inputs[g]
-            } else {
-                pick(&mut rng)
+            let a = match if layer == 0 { inputs.get(g) } else { None } {
+                Some(&inp) => inp,
+                None => pick(&mut rng),
             };
             let b = pick(&mut rng);
-            let kind_roll: f64 = rng.gen();
+            let kind_roll: f64 = rng.next_f64();
             let id = if kind_roll < 0.32 {
                 net.add_gate(GateKind::And, vec![a, b])
             } else if kind_roll < 0.58 {
@@ -106,10 +105,14 @@ pub fn layered_random(name: &str, p: &RandomLogicParams) -> Network {
 pub fn bigkey() -> Network {
     let data_bits = 421;
     let key_bits = 66;
-    let mut rng = StdRng::seed_from_u64(0xB16_4E7);
+    let mut rng = SplitMix64::seed_from_u64(0xB16_4E7);
     let mut net = Network::new("bigkey".to_string());
-    let data: Vec<GateId> = (0..data_bits).map(|i| net.add_input(format!("d{i}"))).collect();
-    let key: Vec<GateId> = (0..key_bits).map(|i| net.add_input(format!("k{i}"))).collect();
+    let data: Vec<GateId> = (0..data_bits)
+        .map(|i| net.add_input(format!("d{i}")))
+        .collect();
+    let key: Vec<GateId> = (0..key_bits)
+        .map(|i| net.add_input(format!("k{i}")))
+        .collect();
 
     let mut state = data.clone();
     for round in 0..2 {
@@ -129,8 +132,16 @@ pub fn bigkey() -> Network {
             let (a, b, c, d) = (chunk[0], chunk[1], chunk[2], chunk[3]);
             for _ in 0..4 {
                 // A random 2-level function of the four bits.
-                let l1 = if rng.gen_bool(0.5) { net.and(a, b) } else { net.xor(a, b) };
-                let l2 = if rng.gen_bool(0.5) { net.or(c, d) } else { net.xor(c, d) };
+                let l1 = if rng.gen_bool(0.5) {
+                    net.and(a, b)
+                } else {
+                    net.xor(a, b)
+                };
+                let l2 = if rng.gen_bool(0.5) {
+                    net.or(c, d)
+                } else {
+                    net.xor(c, d)
+                };
                 let f = match rng.gen_range(0..3) {
                     0 => net.xor(l1, l2),
                     1 => net.and(l1, l2),
@@ -235,7 +246,7 @@ mod tests {
             seed: 99,
         };
         let net = layered_random("t", &p);
-        let base = net.eval(&vec![false; 16]);
+        let base = net.eval(&[false; 16]);
         let mut changed = false;
         for i in 0..16 {
             let mut assign = vec![false; 16];

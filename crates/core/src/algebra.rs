@@ -39,9 +39,7 @@ impl Mig {
             return None;
         }
         // The remaining inner fanin plays y.
-        let y = *kids
-            .iter()
-            .find(|&&k| k != shared && k != swap_out)?;
+        let y = *kids.iter().find(|&&k| k != shared && k != swap_out)?;
         let new_inner = self.maj(y, shared, outer_other);
         Some(self.maj(swap_out, shared, new_inner))
     }
@@ -176,9 +174,10 @@ impl Mig {
         let mut affected: HashMap<NodeId, Signal> = HashMap::new();
         // Arena order is topological: children precede parents.
         for &n in &cone {
-            let touches = self.children(n).iter().any(|c| {
-                c.node() == from || affected.contains_key(&c.node())
-            });
+            let touches = self
+                .children(n)
+                .iter()
+                .any(|c| c.node() == from || affected.contains_key(&c.node()));
             if !touches {
                 continue;
             }
@@ -497,10 +496,7 @@ mod tests {
             .find(|&s| mig.as_maj(s).is_some())
             .expect("inner majority");
         let kids = mig.as_maj(inner).expect("inner is a gate");
-        let m2_pos = kids
-            .iter()
-            .position(|&s| s == m2)
-            .expect("m2 still inside");
+        let m2_pos = kids.iter().position(|&s| s == m2).expect("m2 still inside");
         let (xs, zs) = match m2_pos {
             0 => (kids[1], kids[2]),
             1 => (kids[0], kids[2]),

@@ -200,7 +200,8 @@ impl Mig {
             return a;
         }
         // Ω.I: keep at most one complemented fanin in the stored node.
-        let n_compl = a.is_complemented() as u8 + b.is_complemented() as u8 + c.is_complemented() as u8;
+        let n_compl =
+            a.is_complemented() as u8 + b.is_complemented() as u8 + c.is_complemented() as u8;
         if n_compl >= 2 {
             return !self.maj_canonical(!a, !b, !c);
         }
@@ -229,16 +230,15 @@ impl Mig {
         if b == !c {
             return Some(a);
         }
-        let n_compl = a.is_complemented() as u8 + b.is_complemented() as u8 + c.is_complemented() as u8;
+        let n_compl =
+            a.is_complemented() as u8 + b.is_complemented() as u8 + c.is_complemented() as u8;
         let (mut key, flip) = if n_compl >= 2 {
             ([!a, !b, !c], true)
         } else {
             ([a, b, c], false)
         };
         key.sort_unstable();
-        self.strash
-            .get(&key)
-            .map(|&node| Signal::new(node, flip))
+        self.strash.get(&key).map(|&node| Signal::new(node, flip))
     }
 
     fn maj_canonical(&mut self, a: Signal, b: Signal, c: Signal) -> Signal {
@@ -286,10 +286,7 @@ impl Mig {
     /// Marks every node reachable from the outputs.
     pub fn reachable(&self) -> Vec<bool> {
         let mut mark = vec![false; self.children.len()];
-        mark[0] = true;
-        for i in 1..=self.num_inputs {
-            mark[i] = true;
-        }
+        mark[..=self.num_inputs].fill(true);
         let mut stack: Vec<NodeId> = self.outputs.iter().map(|&(_, s)| s.node()).collect();
         while let Some(n) = stack.pop() {
             if mark[n.index()] {
@@ -327,11 +324,11 @@ impl Mig {
     pub fn fanout_counts(&self) -> Vec<u32> {
         let mark = self.reachable();
         let mut counts = vec![0u32; self.children.len()];
-        for i in self.num_inputs + 1..self.children.len() {
+        for (i, kids) in self.children.iter().enumerate().skip(self.num_inputs + 1) {
             if !mark[i] {
                 continue;
             }
-            for child in self.children[i] {
+            for child in kids {
                 counts[child.node().index()] += 1;
             }
         }
@@ -350,8 +347,8 @@ impl Mig {
         }
         let mark = self.reachable();
         let mut map: Vec<Signal> = vec![Signal::FALSE; self.children.len()];
-        for i in 0..=self.num_inputs {
-            map[i] = Signal::new(NodeId::from_index(i), false);
+        for (i, m) in map.iter_mut().enumerate().take(self.num_inputs + 1) {
+            *m = Signal::new(NodeId::from_index(i), false);
         }
         for i in self.num_inputs + 1..self.children.len() {
             if !mark[i] {
@@ -385,9 +382,7 @@ impl Mig {
     pub fn signal_probabilities(&self, input_probs: &[f64]) -> Vec<f64> {
         assert_eq!(input_probs.len(), self.num_inputs);
         let mut p = vec![0.0f64; self.children.len()];
-        for i in 0..self.num_inputs {
-            p[i + 1] = input_probs[i];
-        }
+        p[1..=self.num_inputs].copy_from_slice(input_probs);
         let prob_of = |p: &[f64], s: Signal| {
             let q = p[s.node().index()];
             if s.is_complemented() {

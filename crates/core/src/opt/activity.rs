@@ -7,8 +7,8 @@
 //!    whose probability is close to 0.5 (maximum switching) for one whose
 //!    probability is near 0 or 1 (paper Fig. 2(d)).
 
-use super::size::{eliminate_pass, optimize_size, SizeOptConfig};
 use super::rebuild;
+use super::size::{eliminate_pass, optimize_size, SizeOptConfig};
 use crate::{Mig, Signal};
 
 /// Tuning knobs for [`optimize_activity`].

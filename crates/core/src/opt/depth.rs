@@ -115,7 +115,14 @@ const DEPTH_FUEL: u32 = 2;
 /// depth-aware constructor below.
 pub(crate) fn push_up_pass(mig: &Mig, allow_area_increase: bool) -> Mig {
     rebuild(mig, |new, kids, _| {
-        maj_depth_aware(new, kids[0], kids[1], kids[2], allow_area_increase, DEPTH_FUEL)
+        maj_depth_aware(
+            new,
+            kids[0],
+            kids[1],
+            kids[2],
+            allow_area_increase,
+            DEPTH_FUEL,
+        )
     })
 }
 

@@ -34,17 +34,17 @@ where
         new.add_input(old.input_name(i).to_string());
     }
     let mut map: Vec<Signal> = vec![Signal::FALSE; old.num_nodes()];
-    for i in 0..=old.num_inputs() {
-        map[i] = Signal::new(NodeId::from_index(i), false);
+    for (i, m) in map.iter_mut().enumerate().take(old.num_inputs() + 1) {
+        *m = Signal::new(NodeId::from_index(i), false);
     }
     let mark = old.reachable();
     for node in old.gate_ids() {
         if !mark[node.index()] {
             continue;
         }
-        let kids = old.children(node).map(|s| {
-            map[s.node().index()].complement_if(s.is_complemented())
-        });
+        let kids = old
+            .children(node)
+            .map(|s| map[s.node().index()].complement_if(s.is_complemented()));
         map[node.index()] = make(&mut new, kids, node);
     }
     for (name, s) in old.outputs() {

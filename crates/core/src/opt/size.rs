@@ -140,9 +140,7 @@ pub(crate) fn maj_with_relevance(
                 continue;
             }
             let cand = new.psi_r(x, y, z);
-            let cand_size = new
-                .cone_size_within(cand, cone_limit)
-                .unwrap_or(usize::MAX);
+            let cand_size = new.cone_size_within(cand, cone_limit).unwrap_or(usize::MAX);
             if cand_size < best_size {
                 best = cand;
                 best_size = cand_size;
@@ -189,13 +187,9 @@ pub(crate) fn reshape_pass(mig: &Mig, cone_limit: usize) -> Mig {
                         .iter()
                         .find(|&&s| s != shared && s != swap_out)
                         .expect("three distinct fanins");
-                    let new_inner =
-                        maj_with_relevance(new, t, shared, outer_other, cone_limit);
-                    let cand =
-                        maj_with_relevance(new, swap_out, shared, new_inner, cone_limit);
-                    let cand_size = new
-                        .cone_size_within(cand, cone_limit)
-                        .unwrap_or(usize::MAX);
+                    let new_inner = maj_with_relevance(new, t, shared, outer_other, cone_limit);
+                    let cand = maj_with_relevance(new, swap_out, shared, new_inner, cone_limit);
+                    let cand_size = new.cone_size_within(cand, cone_limit).unwrap_or(usize::MAX);
                     if cand_size < best_size {
                         best = cand;
                         best_size = cand_size;
@@ -208,9 +202,7 @@ pub(crate) fn reshape_pass(mig: &Mig, cone_limit: usize) -> Mig {
                     continue;
                 }
                 if let Some(cand) = new.psi_c(other, u, z) {
-                    let cand_size = new
-                        .cone_size_within(cand, cone_limit)
-                        .unwrap_or(usize::MAX);
+                    let cand_size = new.cone_size_within(cand, cone_limit).unwrap_or(usize::MAX);
                     if cand_size < best_size {
                         best = cand;
                         best_size = cand_size;

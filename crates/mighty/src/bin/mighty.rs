@@ -1,1 +1,165 @@
-fn main() {}
+//! `mighty` — command-line driver for the MIG suite.
+//!
+//! ```text
+//! mighty opt [INPUT] [--target size|depth|activity|all] [--effort N]
+//!            [--rounds N] [-o FILE]
+//! mighty stats [INPUT]...
+//! mighty gen BENCH [-o FILE]
+//! mighty equiv A B [--rounds N]
+//! mighty list
+//! ```
+//!
+//! `INPUT` is a benchmark name from `mighty list` or a structural-Verilog
+//! file path; `-o -` writes Verilog to stdout.
+
+use std::process::ExitCode;
+
+use mig_mighty::{emit_verilog, load_input, render_report, run_opt, OptTarget};
+
+const USAGE: &str = "mighty — Majority-Inverter Graph optimization driver
+
+USAGE:
+    mighty opt [INPUT] [--target size|depth|activity|all] [--effort N]
+               [--rounds N] [-o FILE]   optimize, verify, report (default
+                                        INPUT: my_adder, target: all)
+    mighty stats [INPUT]...             print circuit statistics
+    mighty gen BENCH [-o FILE]          emit a generated benchmark as Verilog
+    mighty equiv A B [--rounds N]       check two circuits for equivalence
+    mighty list                         list the generated MCNC benchmarks
+    mighty help                         show this message
+
+INPUT is a benchmark name (see `mighty list`) or a Verilog file path.";
+
+struct Args {
+    positional: Vec<String>,
+    target: OptTarget,
+    effort: usize,
+    rounds: usize,
+    output: Option<String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        positional: Vec::new(),
+        target: OptTarget::All,
+        effort: 2,
+        rounds: 32,
+        output: None,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match a.as_str() {
+            "--target" | "-t" => args.target = OptTarget::parse(&value(a)?)?,
+            "--effort" | "-e" => {
+                args.effort = value(a)?.parse().map_err(|e| format!("--effort: {e}"))?;
+            }
+            "--rounds" | "-r" => {
+                args.rounds = value(a)?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--rounds: {e}"))?
+                    .max(1);
+            }
+            "--output" | "-o" => args.output = Some(value(a)?),
+            flag if flag.starts_with('-') && flag != "-" => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            _ => args.positional.push(a.clone()),
+        }
+    }
+    Ok(args)
+}
+
+fn cmd_opt(args: &Args) -> Result<bool, String> {
+    let spec = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("my_adder");
+    let net = load_input(spec)?;
+    let outcome = run_opt(&net, args.target, args.effort, args.rounds);
+    print!("{}", render_report(&outcome));
+    if let Some(path) = &args.output {
+        emit_verilog(&outcome.optimized, path)?;
+    }
+    Ok(outcome.mig_equiv && outcome.net_equiv)
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let specs: Vec<&str> = if args.positional.is_empty() {
+        vec!["my_adder"]
+    } else {
+        args.positional.iter().map(String::as_str).collect()
+    };
+    for spec in specs {
+        let net = load_input(spec)?;
+        println!("{}", net.stats());
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let name = args
+        .positional
+        .first()
+        .ok_or("gen requires a benchmark name (see `mighty list`)")?;
+    let net = mig_benchgen::generate(name)
+        .ok_or_else(|| format!("unknown benchmark `{name}` (see `mighty list`)"))?;
+    emit_verilog(&net, args.output.as_deref().unwrap_or("-"))
+}
+
+fn cmd_equiv(args: &Args) -> Result<bool, String> {
+    let [a, b] = args.positional.as_slice() else {
+        return Err("equiv requires exactly two inputs".into());
+    };
+    let na = load_input(a)?;
+    let nb = load_input(b)?;
+    if na.num_inputs() != nb.num_inputs() || na.num_outputs() != nb.num_outputs() {
+        println!("NOT EQUIVALENT (interface mismatch)");
+        return Ok(false);
+    }
+    let ok = mig_sim::equivalent(&na, &nb, args.rounds);
+    println!("{}", if ok { "EQUIVALENT" } else { "NOT EQUIVALENT" });
+    Ok(ok)
+}
+
+fn run() -> Result<bool, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        println!("{USAGE}");
+        return Ok(true);
+    };
+    let args = parse_args(rest)?;
+    match cmd.as_str() {
+        "opt" => cmd_opt(&args),
+        "stats" => cmd_stats(&args).map(|()| true),
+        "gen" => cmd_gen(&args).map(|()| true),
+        "equiv" => cmd_equiv(&args),
+        "list" => {
+            for name in mig_benchgen::MCNC_NAMES {
+                println!("{name}");
+            }
+            Ok(true)
+        }
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(true)
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("mighty: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

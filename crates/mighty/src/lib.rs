@@ -1,1 +1,309 @@
-//! (under construction)
+//! # MIGhty — the end-to-end driver of the MIG suite
+//!
+//! This crate reproduces the role of the paper's *MIGhty* tool: a
+//! command-line front end that takes a circuit (a generated MCNC stand-in
+//! from [`mig_benchgen`] or a structural-Verilog file), imports it into a
+//! Majority-Inverter Graph, runs the paper's optimizers
+//! ([`mig_core::optimize_size`] — Algorithm 1, [`mig_core::optimize_depth`]
+//! — Algorithm 2, [`mig_core::optimize_activity`] — §IV-C), verifies the
+//! result against the input with [`mig_sim`] equivalence checking, and
+//! reports before/after size, depth and switching-activity statistics.
+//!
+//! The binary is `mighty`; the library half exposes the same pipeline as
+//! plain functions ([`load_input`], [`run_opt`], [`render_report`]) so
+//! integration tests and future benchmark harnesses drive the exact code
+//! path the CLI does.
+//!
+//! ```
+//! use mig_mighty::{load_input, run_opt, OptTarget};
+//!
+//! let net = load_input("my_adder").unwrap();
+//! let outcome = run_opt(&net, OptTarget::Depth, 2, 16);
+//! assert!(outcome.mig_equiv && outcome.net_equiv);
+//! assert!(outcome.after.depth <= outcome.before.depth);
+//! ```
+
+use std::fmt;
+use std::time::Instant;
+
+use mig_core::{
+    optimize_activity, optimize_depth, optimize_size, ActivityOptConfig, DepthOptConfig, Mig,
+    SizeOptConfig,
+};
+use mig_netlist::{parse_verilog, write_verilog, Network};
+
+/// Which cost function the `opt` pipeline minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptTarget {
+    /// Algorithm 1: node count.
+    Size,
+    /// Algorithm 2: logic depth.
+    Depth,
+    /// §IV-C: switching activity under uniform input probabilities.
+    Activity,
+    /// The paper's Table I flow: size, then depth, then activity.
+    All,
+}
+
+impl OptTarget {
+    /// Parses a target name as given on the command line.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "size" => Ok(Self::Size),
+            "depth" => Ok(Self::Depth),
+            "activity" => Ok(Self::Activity),
+            "all" => Ok(Self::All),
+            other => Err(format!(
+                "unknown target `{other}` (expected size, depth, activity or all)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for OptTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Size => "size",
+            Self::Depth => "depth",
+            Self::Activity => "activity",
+            Self::All => "all",
+        })
+    }
+}
+
+/// The three paper metrics of one MIG, captured at a pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Snapshot {
+    /// Majority-node count (paper "Size").
+    pub size: usize,
+    /// Logic levels (paper "Depth"); inverters are free edge attributes.
+    pub depth: u32,
+    /// `Σ p(1−p)` under uniform inputs (paper "Activity").
+    pub activity: f64,
+}
+
+impl Snapshot {
+    /// Captures size/depth/activity of `mig`.
+    pub fn of(mig: &Mig) -> Self {
+        Snapshot {
+            size: mig.size(),
+            depth: mig.depth(),
+            activity: mig.switching_activity_uniform(),
+        }
+    }
+}
+
+/// Everything `mighty opt` produces: per-stage metrics, the equivalence
+/// verdicts, and the optimized network ready to be written back out.
+#[derive(Debug, Clone)]
+pub struct OptOutcome {
+    /// Circuit name as recorded in the netlist.
+    pub name: String,
+    /// The cost function that was optimized.
+    pub target: OptTarget,
+    /// Metrics of the imported (unoptimized) MIG.
+    pub before: Snapshot,
+    /// Metrics after optimization.
+    pub after: Snapshot,
+    /// `(stage label, metrics after that stage)`, in run order.
+    pub stages: Vec<(&'static str, Snapshot)>,
+    /// MIG-level equivalence of the optimized graph against the import.
+    pub mig_equiv: bool,
+    /// Network-level equivalence of the exported result against the input
+    /// netlist, checked through `mig_sim` (exhaustive ≤ 16 inputs, seeded
+    /// random otherwise).
+    pub net_equiv: bool,
+    /// Optimized circuit exported back to the interchange form.
+    pub optimized: Network,
+    /// Wall-clock optimization time in milliseconds (excludes I/O).
+    pub millis: u128,
+}
+
+/// Resolves a CLI input spec: a known benchmark name from
+/// [`mig_benchgen::MCNC_NAMES`], or a path to a structural-Verilog file.
+pub fn load_input(spec: &str) -> Result<Network, String> {
+    if let Some(net) = mig_benchgen::generate(spec) {
+        return Ok(net);
+    }
+    let text = std::fs::read_to_string(spec).map_err(|e| {
+        format!(
+            "`{spec}` is neither a known benchmark ({}) nor a readable file: {e}",
+            mig_benchgen::MCNC_NAMES.join(", ")
+        )
+    })?;
+    parse_verilog(&text).map_err(|e| format!("{spec}: {e}"))
+}
+
+/// Runs the full optimize-and-verify pipeline on one network.
+///
+/// `effort` scales every optimizer's iteration budget; `rounds` is the
+/// number of 64-pattern blocks used by the random half of the equivalence
+/// checks (small input counts are always checked exhaustively). Both are
+/// clamped to at least 1 so a zero never silently skips verification.
+pub fn run_opt(net: &Network, target: OptTarget, effort: usize, rounds: usize) -> OptOutcome {
+    let rounds = rounds.max(1);
+    let mig = Mig::from_network(net);
+    let before = Snapshot::of(&mig);
+    let uniform = vec![0.5; mig.num_inputs()];
+
+    let start = Instant::now();
+    let mut stages: Vec<(&'static str, Snapshot)> = Vec::new();
+    let mut cur = mig.cleanup();
+    if Snapshot::of(&cur) != before {
+        stages.push(("cleanup", Snapshot::of(&cur)));
+    }
+    if matches!(target, OptTarget::Size | OptTarget::All) {
+        cur = optimize_size(
+            &cur,
+            &SizeOptConfig {
+                effort: effort.max(1),
+                ..SizeOptConfig::default()
+            },
+        );
+        stages.push(("size (Alg. 1)", Snapshot::of(&cur)));
+    }
+    if matches!(target, OptTarget::Depth | OptTarget::All) {
+        cur = optimize_depth(
+            &cur,
+            &DepthOptConfig {
+                effort: effort.max(1),
+                ..DepthOptConfig::default()
+            },
+        );
+        stages.push(("depth (Alg. 2)", Snapshot::of(&cur)));
+    }
+    if matches!(target, OptTarget::Activity | OptTarget::All) {
+        cur = optimize_activity(
+            &cur,
+            &uniform,
+            &ActivityOptConfig {
+                effort: effort.max(1),
+                ..ActivityOptConfig::default()
+            },
+        );
+        stages.push(("activity (§IV-C)", Snapshot::of(&cur)));
+    }
+    let millis = start.elapsed().as_millis();
+
+    let after = Snapshot::of(&cur);
+    let mig_equiv = cur.equiv(&mig, rounds);
+    let optimized = cur.to_network();
+    let net_equiv = mig_sim::equivalent(net, &optimized, rounds);
+
+    OptOutcome {
+        name: net.name().to_string(),
+        target,
+        before,
+        after,
+        stages,
+        mig_equiv,
+        net_equiv,
+        optimized,
+        millis,
+    }
+}
+
+fn pct(before: f64, after: f64) -> String {
+    if before == 0.0 {
+        return "—".to_string();
+    }
+    format!("{:+.1}%", (after - before) / before * 100.0)
+}
+
+/// Renders the human-readable before/after report the CLI prints.
+pub fn render_report(o: &OptOutcome) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "=== {} · target={} · {} ms ===\n",
+        o.name, o.target, o.millis
+    ));
+    s.push_str(&format!(
+        "{:<24} {:>8} {:>8} {:>12}\n",
+        "stage", "size", "depth", "activity"
+    ));
+    s.push_str(&format!(
+        "{:<24} {:>8} {:>8} {:>12.3}\n",
+        "import", o.before.size, o.before.depth, o.before.activity
+    ));
+    for (label, snap) in &o.stages {
+        s.push_str(&format!(
+            "{:<24} {:>8} {:>8} {:>12.3}\n",
+            label, snap.size, snap.depth, snap.activity
+        ));
+    }
+    s.push_str(&format!(
+        "{:<24} {:>8} {:>8} {:>12}\n",
+        "Δ vs import",
+        pct(o.before.size as f64, o.after.size as f64),
+        pct(o.before.depth as f64, o.after.depth as f64),
+        pct(o.before.activity, o.after.activity),
+    ));
+    s.push_str(&format!(
+        "equivalence: MIG {} · netlist (mig_sim) {}\n",
+        if o.mig_equiv { "PASS" } else { "FAIL" },
+        if o.net_equiv { "PASS" } else { "FAIL" },
+    ));
+    s
+}
+
+/// Writes `net` as structural Verilog to `path`, or stdout for `-`.
+pub fn emit_verilog(net: &Network, path: &str) -> Result<(), String> {
+    let text = write_verilog(net);
+    if path == "-" {
+        print!("{text}");
+        Ok(())
+    } else {
+        std::fs::write(path, text).map_err(|e| format!("writing `{path}`: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_input_resolves_benchmarks_and_rejects_garbage() {
+        let net = load_input("alu4").expect("benchmark name resolves");
+        assert_eq!(net.num_inputs(), 14);
+        let err = load_input("no_such_benchmark_or_file").unwrap_err();
+        assert!(err.contains("neither a known benchmark"));
+    }
+
+    #[test]
+    fn opt_all_improves_and_stays_equivalent() {
+        let net = load_input("my_adder").unwrap();
+        let o = run_opt(&net, OptTarget::All, 2, 16);
+        assert!(o.mig_equiv, "MIG-level equivalence must hold");
+        assert!(o.net_equiv, "network-level equivalence must hold");
+        assert!(o.after.size <= o.before.size);
+        assert!(o.after.depth <= o.before.depth);
+        let labels: Vec<&str> = o.stages.iter().map(|(l, _)| *l).collect();
+        for expected in ["size (Alg. 1)", "depth (Alg. 2)", "activity (§IV-C)"] {
+            assert!(labels.contains(&expected), "missing stage {expected}");
+        }
+    }
+
+    #[test]
+    fn report_mentions_every_metric_and_verdict() {
+        let net = load_input("my_adder").unwrap();
+        let o = run_opt(&net, OptTarget::Size, 1, 8);
+        let r = render_report(&o);
+        assert!(r.contains("size"), "{r}");
+        assert!(r.contains("depth"), "{r}");
+        assert!(r.contains("activity"), "{r}");
+        assert!(r.contains("PASS"), "{r}");
+    }
+
+    #[test]
+    fn target_parsing_round_trips() {
+        for t in [
+            OptTarget::Size,
+            OptTarget::Depth,
+            OptTarget::Activity,
+            OptTarget::All,
+        ] {
+            assert_eq!(OptTarget::parse(&t.to_string()).unwrap(), t);
+        }
+        assert!(OptTarget::parse("speed").is_err());
+    }
+}

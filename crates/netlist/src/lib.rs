@@ -28,10 +28,12 @@
 //! ```
 
 mod network;
+pub mod rng;
 mod stats;
 mod topo;
 pub mod verilog;
 
 pub use network::{Gate, GateId, GateKind, Network};
+pub use rng::SplitMix64;
 pub use stats::NetworkStats;
 pub use verilog::{parse_verilog, write_verilog, VerilogError};

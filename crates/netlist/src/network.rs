@@ -92,9 +92,7 @@ impl GateKind {
                     values[2]
                 }
             }
-            GateKind::Maj => {
-                (values[0] && values[1]) || (values[0] && values[2]) || (values[1] && values[2])
-            }
+            GateKind::Maj => (values[0] && values[1]) || (values[2] && (values[0] || values[1])),
         }
     }
 
@@ -206,10 +204,7 @@ impl Network {
     pub fn add_gate(&mut self, kind: GateKind, fanins: Vec<GateId>) -> GateId {
         let id = GateId::from_index(self.gates.len());
         for &f in &fanins {
-            assert!(
-                f.index() < self.gates.len(),
-                "fanin {f} does not exist yet"
-            );
+            assert!(f.index() < self.gates.len(), "fanin {f} does not exist yet");
         }
         match kind.arity() {
             Some(n) => assert_eq!(fanins.len(), n, "{kind:?} expects {n} fanins"),
@@ -396,7 +391,10 @@ mod tests {
         net.set_output("a", and);
         net.set_output("x", xor);
         assert_eq!(net.eval(&[true; 5]), vec![true, true]);
-        assert_eq!(net.eval(&[true, true, true, true, false]), vec![false, false]);
+        assert_eq!(
+            net.eval(&[true, true, true, true, false]),
+            vec![false, false]
+        );
     }
 
     #[test]

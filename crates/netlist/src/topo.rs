@@ -47,7 +47,9 @@ impl Network {
 
     /// Number of inverters.
     pub fn num_inverters(&self) -> usize {
-        self.iter().filter(|(_, g)| g.kind() == GateKind::Not).count()
+        self.iter()
+            .filter(|(_, g)| g.kind() == GateKind::Not)
+            .count()
     }
 
     /// Marks every gate reachable from the outputs (transitive fanin).
@@ -162,7 +164,10 @@ mod tests {
         let swept = net.sweep();
         assert_eq!(swept.num_inverters(), 1);
         assert_eq!(
-            swept.iter().filter(|(_, g)| g.kind() == GateKind::Buf).count(),
+            swept
+                .iter()
+                .filter(|(_, g)| g.kind() == GateKind::Buf)
+                .count(),
             0
         );
         assert_eq!(swept.eval(&[false]), vec![true]);

@@ -28,7 +28,11 @@ impl VerilogError {
 
 impl fmt::Display for VerilogError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "verilog parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "verilog parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -463,7 +467,10 @@ pub fn parse_verilog(text: &str) -> Result<Network, VerilogError> {
             ));
         }
         let Some(expr) = ctx.assigns.get(name) else {
-            return Err(VerilogError::new(format!("net '{name}' is never driven"), 0));
+            return Err(VerilogError::new(
+                format!("net '{name}' is never driven"),
+                0,
+            ));
         };
         ctx.in_progress.push(name.to_string());
         let expr = expr.clone();

@@ -8,8 +8,7 @@
 //! independence approximation drifts).
 
 use crate::simulate::simulate_all;
-use mig_netlist::{GateKind, Network};
-use rand::{Rng, SeedableRng};
+use mig_netlist::{GateKind, Network, SplitMix64};
 
 /// Probability of logic 1 for every gate, assuming independent fanins.
 ///
@@ -33,9 +32,7 @@ pub fn signal_probabilities(net: &Network, input_probs: &[f64]) -> Vec<f64> {
             GateKind::Buf => f(0),
             GateKind::Not => 1.0 - f(0),
             GateKind::And => gate.fanins().iter().map(|g| p[g.index()]).product(),
-            GateKind::Nand => {
-                1.0 - gate.fanins().iter().map(|g| p[g.index()]).product::<f64>()
-            }
+            GateKind::Nand => 1.0 - gate.fanins().iter().map(|g| p[g.index()]).product::<f64>(),
             GateKind::Or => {
                 1.0 - gate
                     .fanins()
@@ -74,9 +71,7 @@ pub fn switching_activity(net: &Network, input_probs: &[f64]) -> f64 {
     let p = signal_probabilities(net, input_probs);
     let reach = net.reachable();
     net.iter()
-        .filter(|(id, g)| {
-            reach[id.index()] && g.kind().is_logic() && g.kind() != GateKind::Not
-        })
+        .filter(|(id, g)| reach[id.index()] && g.kind().is_logic() && g.kind() != GateKind::Not)
         .map(|(id, _)| p[id.index()] * (1.0 - p[id.index()]))
         .sum()
 }
@@ -84,11 +79,11 @@ pub fn switching_activity(net: &Network, input_probs: &[f64]) -> f64 {
 /// Empirical switching activity from `64 × rounds` sampled patterns:
 /// for each gate, `p̂(1−p̂)` with `p̂` the sampled probability of 1.
 pub fn empirical_activity(net: &Network, rounds: usize, seed: u64) -> f64 {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut ones = vec![0u64; net.num_gates()];
     let mut total = 0u64;
     for _ in 0..rounds {
-        let words: Vec<u64> = (0..net.num_inputs()).map(|_| rng.gen()).collect();
+        let words: Vec<u64> = (0..net.num_inputs()).map(|_| rng.next_u64()).collect();
         let (gates, _) = simulate_all(net, &words);
         for (o, w) in ones.iter_mut().zip(&gates) {
             *o += w.count_ones() as u64;
@@ -97,9 +92,7 @@ pub fn empirical_activity(net: &Network, rounds: usize, seed: u64) -> f64 {
     }
     let reach = net.reachable();
     net.iter()
-        .filter(|(id, g)| {
-            reach[id.index()] && g.kind().is_logic() && g.kind() != GateKind::Not
-        })
+        .filter(|(id, g)| reach[id.index()] && g.kind().is_logic() && g.kind() != GateKind::Not)
         .map(|(id, _)| {
             let p = ones[id.index()] as f64 / total as f64;
             p * (1.0 - p)
@@ -170,7 +163,7 @@ mod tests {
             layer = next;
         }
         net.set_output("y", layer[0]);
-        let analytic = switching_activity(&net, &vec![0.5; 8]);
+        let analytic = switching_activity(&net, &[0.5; 8]);
         let empirical = empirical_activity(&net, 256, 42);
         assert!(
             (analytic - empirical).abs() < 0.05,

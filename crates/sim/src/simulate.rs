@@ -11,8 +11,7 @@ use mig_netlist::{GateKind, Network};
 ///
 /// Panics if `input_words.len() != net.num_inputs()`.
 pub fn simulate(net: &Network, input_words: &[u64]) -> Vec<u64> {
-    simulate_all(net, input_words)
-        .1
+    simulate_all(net, input_words).1
 }
 
 /// Simulates 64 patterns and returns `(per-gate words, per-output words)`.
@@ -35,11 +34,7 @@ pub fn simulate_all(net: &Network, input_words: &[u64]) -> (Vec<u64>, Vec<u64>) 
                 w
             }
             kind => {
-                let vals: Vec<u64> = gate
-                    .fanins()
-                    .iter()
-                    .map(|f| values[f.index()])
-                    .collect();
+                let vals: Vec<u64> = gate.fanins().iter().map(|f| values[f.index()]).collect();
                 kind.eval_words(&vals)
             }
         };

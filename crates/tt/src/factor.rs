@@ -52,16 +52,12 @@ impl FactoredForm {
                     v.not()
                 }
             }
-            FactoredForm::And(parts) => parts
-                .iter()
-                .fold(TruthTable::ones(num_vars), |acc, p| {
-                    acc.and(&p.to_truth_table(num_vars))
-                }),
-            FactoredForm::Or(parts) => parts
-                .iter()
-                .fold(TruthTable::zeros(num_vars), |acc, p| {
-                    acc.or(&p.to_truth_table(num_vars))
-                }),
+            FactoredForm::And(parts) => parts.iter().fold(TruthTable::ones(num_vars), |acc, p| {
+                acc.and(&p.to_truth_table(num_vars))
+            }),
+            FactoredForm::Or(parts) => parts.iter().fold(TruthTable::zeros(num_vars), |acc, p| {
+                acc.or(&p.to_truth_table(num_vars))
+            }),
         }
     }
 
@@ -116,10 +112,10 @@ impl FactoredForm {
 fn literal_counts(cubes: &[Cube], num_vars: usize) -> Vec<[u32; 2]> {
     let mut counts = vec![[0u32; 2]; num_vars];
     for c in cubes {
-        for v in 0..num_vars {
+        for (v, count) in counts.iter_mut().enumerate() {
             if (c.mask >> v) & 1 == 1 {
                 let pol = ((c.polarity >> v) & 1) as usize;
-                counts[v][pol] += 1;
+                count[pol] += 1;
             }
         }
     }
@@ -204,11 +200,11 @@ fn factor_cubes(cubes: &[Cube], num_vars: usize) -> FactoredForm {
     let counts = literal_counts(cubes, num_vars);
     let mut best: Option<(usize, usize, u32)> = None; // (var, pol, count)
     for (v, c) in counts.iter().enumerate() {
-        for pol in 0..2 {
-            if c[pol] >= 2 {
+        for (pol, &cnt) in c.iter().enumerate() {
+            if cnt >= 2 {
                 match best {
-                    Some((_, _, bc)) if bc >= c[pol] => {}
-                    _ => best = Some((v, pol, c[pol])),
+                    Some((_, _, bc)) if bc >= cnt => {}
+                    _ => best = Some((v, pol, cnt)),
                 }
             }
         }
@@ -287,10 +283,7 @@ mod tests {
 
     #[test]
     fn factor_constants() {
-        assert_eq!(
-            factor_sop(&Sop::zero(3)),
-            FactoredForm::Const(false)
-        );
+        assert_eq!(factor_sop(&Sop::zero(3)), FactoredForm::Const(false));
         let one = isop(&TruthTable::ones(3));
         assert_eq!(factor_sop(&one), FactoredForm::Const(true));
     }

@@ -63,7 +63,10 @@ impl TruthTable {
     ///
     /// Panics if `num_vars > 16`.
     pub fn zeros(num_vars: usize) -> Self {
-        assert!(num_vars <= MAX_VARS, "truth table limited to {MAX_VARS} vars");
+        assert!(
+            num_vars <= MAX_VARS,
+            "truth table limited to {MAX_VARS} vars"
+        );
         TruthTable {
             num_vars,
             words: vec![0; word_count(num_vars)],
