@@ -1,1 +1,469 @@
-//! (under construction)
+//! # Benchmark harness for the MIG suite
+//!
+//! Runs the paper's three optimizers over the generated MCNC suite,
+//! timing every pass, and serializes the result as `BENCH_opt.json` in a
+//! stable schema so successive PRs accumulate a performance trajectory
+//! (compare the committed file against a fresh run to spot regressions).
+//!
+//! The schema (`mig-bench/v1`, documented in `DESIGN.md` §7):
+//!
+//! ```json
+//! {
+//!   "schema": "mig-bench/v1",
+//!   "suite": "mcnc14",
+//!   "mode": "full",
+//!   "effort": 4,
+//!   "benchmarks": [
+//!     {
+//!       "name": "alu4", "inputs": 14, "outputs": 8,
+//!       "import": {"size": 151, "depth": 16, "activity": 29.03},
+//!       "passes": [
+//!         {"pass": "size", "size": 83, "depth": 14,
+//!          "activity": 18.1, "millis": 12.3}
+//!       ],
+//!       "equiv": true, "size_ok": true, "total_millis": 40.1
+//!     }
+//!   ],
+//!   "totals": {"benchmarks": 14, "millis": 400.0,
+//!              "size_before": 1000, "size_after": 800, "all_ok": true}
+//! }
+//! ```
+//!
+//! Numbers are written with enough precision to diff; wall times are
+//! machine-dependent and meant for *relative* comparison on one machine.
+//!
+//! ```
+//! use mig_bench::{run_suite, BenchConfig};
+//!
+//! let cfg = BenchConfig { names: vec!["my_adder".into()], ..BenchConfig::quick() };
+//! let report = run_suite(&cfg);
+//! assert!(report.all_ok());
+//! assert_eq!(report.benchmarks.len(), 1);
+//! assert!(mig_bench::to_json(&report).contains("\"schema\": \"mig-bench/v1\""));
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use mig_core::{
+    optimize_activity, optimize_depth, optimize_size, ActivityOptConfig, DepthOptConfig, Mig,
+    SizeOptConfig,
+};
+
+/// Which optimizers the harness runs, in order.
+pub const PASSES: [&str; 3] = ["size", "depth", "activity"];
+
+/// Benchmarks skipped in `--quick` mode (the largest generators — they
+/// dominate wall time without adding CI signal).
+pub const QUICK_SKIP: [&str; 3] = ["clma", "s38417", "bigkey"];
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Benchmark names to run; empty means the full MCNC suite (minus
+    /// [`QUICK_SKIP`] when `quick`).
+    pub names: Vec<String>,
+    /// Quick mode: lower effort, fewer equivalence rounds, big
+    /// benchmarks skipped. Intended for CI.
+    pub quick: bool,
+    /// Optimizer effort (the paper's reshape/eliminate cycle budget).
+    pub effort: usize,
+    /// 64-pattern blocks for the random half of equivalence checking.
+    pub rounds: usize,
+}
+
+impl BenchConfig {
+    /// Full-suite defaults: every benchmark with Algorithm 1's default
+    /// effort (4) applied uniformly to all three optimizers, so a single
+    /// number describes the run (the configuration the perf trajectory
+    /// tracks; note `mighty opt` instead uses each optimizer's own
+    /// default).
+    pub fn full() -> Self {
+        BenchConfig {
+            names: Vec::new(),
+            quick: false,
+            effort: SizeOptConfig::default().effort,
+            rounds: 8,
+        }
+    }
+
+    /// CI defaults: effort 1, biggest circuits skipped.
+    pub fn quick() -> Self {
+        BenchConfig {
+            names: Vec::new(),
+            quick: true,
+            effort: 1,
+            rounds: 4,
+        }
+    }
+}
+
+/// Size/depth/activity of one MIG at one pipeline point.
+#[derive(Debug, Clone, Copy)]
+pub struct Metrics {
+    pub size: usize,
+    pub depth: u32,
+    pub activity: f64,
+}
+
+impl Metrics {
+    fn of(mig: &Mig) -> Self {
+        Metrics {
+            size: mig.size(),
+            depth: mig.depth(),
+            activity: mig.switching_activity_uniform(),
+        }
+    }
+}
+
+/// One timed optimizer pass.
+#[derive(Debug, Clone)]
+pub struct PassResult {
+    /// Pass name, one of [`PASSES`].
+    pub pass: &'static str,
+    /// Metrics after the pass.
+    pub after: Metrics,
+    /// Wall-clock time of the pass alone.
+    pub millis: f64,
+}
+
+/// Full record for one benchmark circuit.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    pub name: String,
+    pub inputs: usize,
+    pub outputs: usize,
+    /// Metrics of the imported (unoptimized) MIG.
+    pub import: Metrics,
+    pub passes: Vec<PassResult>,
+    /// MIG-level equivalence of the final result against the import.
+    pub equiv: bool,
+    /// True when the size pass honored Algorithm 1's contract: its result
+    /// is no larger than the import. (Later passes may trade size for
+    /// depth/activity by design, so they are not gated on size.)
+    pub size_ok: bool,
+    /// Wall-clock time over all passes (excludes verify).
+    pub total_millis: f64,
+}
+
+/// The whole suite run.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    pub mode: &'static str,
+    pub effort: usize,
+    pub benchmarks: Vec<BenchRecord>,
+}
+
+impl BenchReport {
+    /// True when every benchmark verified equivalent and none grew.
+    pub fn all_ok(&self) -> bool {
+        self.benchmarks.iter().all(|b| b.equiv && b.size_ok)
+    }
+
+    /// Total optimization wall time over all benchmarks.
+    pub fn total_millis(&self) -> f64 {
+        self.benchmarks.iter().map(|b| b.total_millis).sum()
+    }
+}
+
+fn millis_since(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Runs the configured benchmarks through size → depth → activity
+/// optimization, timing each pass and verifying the final result.
+///
+/// # Panics
+///
+/// Panics if `config.names` contains an unknown benchmark name.
+pub fn run_suite(config: &BenchConfig) -> BenchReport {
+    let names: Vec<String> = if config.names.is_empty() {
+        mig_benchgen::MCNC_NAMES
+            .iter()
+            .filter(|n| !(config.quick && QUICK_SKIP.contains(n)))
+            .map(|n| n.to_string())
+            .collect()
+    } else {
+        config.names.clone()
+    };
+    let effort = config.effort.max(1);
+    let rounds = config.rounds.max(1);
+    let mut benchmarks = Vec::new();
+    for name in &names {
+        let net = mig_benchgen::generate(name)
+            .unwrap_or_else(|| panic!("unknown benchmark `{name}` (see `mighty list`)"));
+        let mig = Mig::from_network(&net);
+        let import = Metrics::of(&mig);
+        let mut cur = mig.cleanup();
+        let mut passes = Vec::new();
+
+        let t = Instant::now();
+        cur = optimize_size(
+            &cur,
+            &SizeOptConfig {
+                effort,
+                ..SizeOptConfig::default()
+            },
+        );
+        // Stop the clock before measuring metrics: Metrics::of walks the
+        // graph and must not count toward the pass's wall time.
+        let millis = millis_since(t);
+        passes.push(PassResult {
+            pass: "size",
+            after: Metrics::of(&cur),
+            millis,
+        });
+
+        let t = Instant::now();
+        cur = optimize_depth(
+            &cur,
+            &DepthOptConfig {
+                effort,
+                ..DepthOptConfig::default()
+            },
+        );
+        let millis = millis_since(t);
+        passes.push(PassResult {
+            pass: "depth",
+            after: Metrics::of(&cur),
+            millis,
+        });
+
+        let uniform = vec![0.5; cur.num_inputs()];
+        let t = Instant::now();
+        cur = optimize_activity(
+            &cur,
+            &uniform,
+            &ActivityOptConfig {
+                effort,
+                ..ActivityOptConfig::default()
+            },
+        );
+        let millis = millis_since(t);
+        passes.push(PassResult {
+            pass: "activity",
+            after: Metrics::of(&cur),
+            millis,
+        });
+
+        let total_millis = passes.iter().map(|p| p.millis).sum();
+        let size_pass = passes.first().expect("three passes").after;
+        benchmarks.push(BenchRecord {
+            name: name.clone(),
+            inputs: mig.num_inputs(),
+            outputs: mig.num_outputs(),
+            import,
+            passes,
+            equiv: cur.equiv(&mig, rounds),
+            size_ok: size_pass.size <= import.size,
+            total_millis,
+        });
+    }
+    BenchReport {
+        mode: if config.quick { "quick" } else { "full" },
+        effort,
+        benchmarks,
+    }
+}
+
+/// Serializes a report in the stable `mig-bench/v1` schema.
+///
+/// Hand-rolled (the workspace has zero third-party dependencies); all
+/// strings in the schema are benchmark names and pass labels, which never
+/// need escaping.
+pub fn to_json(report: &BenchReport) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"mig-bench/v1\",");
+    let _ = writeln!(s, "  \"suite\": \"mcnc14\",");
+    let _ = writeln!(s, "  \"mode\": \"{}\",", report.mode);
+    let _ = writeln!(s, "  \"effort\": {},", report.effort);
+    s.push_str("  \"benchmarks\": [\n");
+    for (i, b) in report.benchmarks.iter().enumerate() {
+        s.push_str("    {\n");
+        let _ = writeln!(s, "      \"name\": \"{}\",", b.name);
+        let _ = writeln!(s, "      \"inputs\": {},", b.inputs);
+        let _ = writeln!(s, "      \"outputs\": {},", b.outputs);
+        let _ = writeln!(
+            s,
+            "      \"import\": {{\"size\": {}, \"depth\": {}, \"activity\": {:.3}}},",
+            b.import.size, b.import.depth, b.import.activity
+        );
+        s.push_str("      \"passes\": [\n");
+        for (j, p) in b.passes.iter().enumerate() {
+            let _ = write!(
+                s,
+                "        {{\"pass\": \"{}\", \"size\": {}, \"depth\": {}, \
+                 \"activity\": {:.3}, \"millis\": {:.2}}}",
+                p.pass, p.after.size, p.after.depth, p.after.activity, p.millis
+            );
+            s.push_str(if j + 1 < b.passes.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("      ],\n");
+        let _ = writeln!(s, "      \"equiv\": {},", b.equiv);
+        let _ = writeln!(s, "      \"size_ok\": {},", b.size_ok);
+        let _ = writeln!(s, "      \"total_millis\": {:.2}", b.total_millis);
+        s.push_str("    }");
+        s.push_str(if i + 1 < report.benchmarks.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ],\n");
+    let size_before: usize = report.benchmarks.iter().map(|b| b.import.size).sum();
+    let size_after: usize = report
+        .benchmarks
+        .iter()
+        .map(|b| b.passes.last().map_or(b.import.size, |p| p.after.size))
+        .sum();
+    let _ = writeln!(s, "  \"totals\": {{");
+    let _ = writeln!(s, "    \"benchmarks\": {},", report.benchmarks.len());
+    let _ = writeln!(s, "    \"millis\": {:.2},", report.total_millis());
+    let _ = writeln!(s, "    \"size_before\": {size_before},");
+    let _ = writeln!(s, "    \"size_after\": {size_after},");
+    let _ = writeln!(s, "    \"all_ok\": {}", report.all_ok());
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Human-readable per-pass table for the CLI.
+pub fn render_table(report: &BenchReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "mighty bench · mode={} · effort={}",
+        report.mode, report.effort
+    );
+    let _ = writeln!(
+        s,
+        "{:<10} {:>7} {:>6} | {:^23} | {:^23} | {:^23} |",
+        "", "import", "", "size pass", "depth pass", "activity pass"
+    );
+    let _ = writeln!(
+        s,
+        "{:<10} {:>7} {:>6} | {:>7} {:>6} {:>8} | {:>7} {:>6} {:>8} | {:>7} {:>6} {:>8} | {:>6}",
+        "bench",
+        "size",
+        "depth",
+        "size",
+        "depth",
+        "ms",
+        "size",
+        "depth",
+        "ms",
+        "size",
+        "depth",
+        "ms",
+        "equiv"
+    );
+    for b in &report.benchmarks {
+        let _ = write!(
+            s,
+            "{:<10} {:>7} {:>6} |",
+            b.name, b.import.size, b.import.depth
+        );
+        for p in &b.passes {
+            let _ = write!(
+                s,
+                " {:>7} {:>6} {:>8.1} |",
+                p.after.size, p.after.depth, p.millis
+            );
+        }
+        let _ = writeln!(
+            s,
+            " {:>6}",
+            if b.equiv && b.size_ok { "PASS" } else { "FAIL" }
+        );
+    }
+    let _ = writeln!(
+        s,
+        "total: {} benchmarks · {:.1} ms optimization · {}",
+        report.benchmarks.len(),
+        report.total_millis(),
+        if report.all_ok() {
+            "all PASS"
+        } else {
+            "FAILURES PRESENT"
+        }
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> BenchConfig {
+        BenchConfig {
+            names: vec!["my_adder".into(), "count".into()],
+            ..BenchConfig::quick()
+        }
+    }
+
+    #[test]
+    fn suite_runs_and_verifies() {
+        let report = run_suite(&tiny_config());
+        assert_eq!(report.benchmarks.len(), 2);
+        assert!(report.all_ok(), "equivalence and size must hold");
+        for b in &report.benchmarks {
+            assert_eq!(b.passes.len(), 3);
+            let names: Vec<&str> = b.passes.iter().map(|p| p.pass).collect();
+            assert_eq!(names, PASSES);
+            let size_pass = b.passes.first().unwrap().after.size;
+            assert!(size_pass <= b.import.size, "Algorithm 1 must not grow");
+        }
+    }
+
+    #[test]
+    fn json_has_stable_schema_fields() {
+        let report = run_suite(&tiny_config());
+        let json = to_json(&report);
+        for field in [
+            "\"schema\": \"mig-bench/v1\"",
+            "\"suite\": \"mcnc14\"",
+            "\"mode\": \"quick\"",
+            "\"benchmarks\": [",
+            "\"import\":",
+            "\"passes\": [",
+            "\"pass\": \"size\"",
+            "\"pass\": \"depth\"",
+            "\"pass\": \"activity\"",
+            "\"equiv\": true",
+            "\"size_ok\": true",
+            "\"totals\": {",
+            "\"all_ok\": true",
+        ] {
+            assert!(json.contains(field), "missing {field} in:\n{json}");
+        }
+        // Must be balanced-brace JSON (cheap structural sanity check).
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes, "unbalanced JSON");
+    }
+
+    #[test]
+    fn quick_mode_skips_the_giants() {
+        let names: Vec<String> = mig_benchgen::MCNC_NAMES
+            .iter()
+            .filter(|n| !QUICK_SKIP.contains(n))
+            .map(|n| n.to_string())
+            .collect();
+        // The quick-mode name resolution run_suite performs, checked
+        // without paying for a full run.
+        assert_eq!(names.len(), 11);
+        assert!(BenchConfig::quick().names.is_empty());
+        for skip in QUICK_SKIP {
+            assert!(!names.contains(&skip.to_string()));
+        }
+    }
+
+    #[test]
+    fn table_mentions_every_benchmark() {
+        let report = run_suite(&tiny_config());
+        let table = render_table(&report);
+        assert!(table.contains("my_adder"));
+        assert!(table.contains("count"));
+        assert!(table.contains("PASS"));
+    }
+}

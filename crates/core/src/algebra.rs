@@ -18,7 +18,6 @@
 //! [`Mig::cleanup`].
 
 use crate::{Mig, NodeId, Signal};
-use std::collections::HashMap;
 
 impl Mig {
     /// `Ω.A` associativity: `M(x, u, M(y, u, z)) = M(z, u, M(y, u, x))`.
@@ -78,32 +77,42 @@ impl Mig {
     pub fn omega_d_rl(&mut self, p: Signal, q: Signal, z: Signal) -> Option<Signal> {
         let pk = self.as_maj(p)?;
         let qk = self.as_maj(q)?;
-        // Find two shared fanins (as signals, complement included).
-        let mut qk_left: Vec<Signal> = qk.to_vec();
-        let mut shared = Vec::new();
-        let mut p_rest = Vec::new();
+        // Find two shared fanins (as signals, complement included) with a
+        // greedy bipartite match over the 3×3 pairs — fixed-size state, no
+        // allocation in this hot eliminate-phase helper.
+        let mut q_used = [false; 3];
+        let mut shared = [Signal::FALSE; 2];
+        let mut n_shared = 0usize;
+        let mut p_first_rest: Option<Signal> = None;
         for s in pk {
-            if let Some(pos) = qk_left.iter().position(|&t| t == s) {
-                qk_left.remove(pos);
-                shared.push(s);
-            } else {
-                p_rest.push(s);
+            let matched = (0..3).find(|&j| !q_used[j] && qk[j] == s);
+            match matched {
+                Some(j) => {
+                    q_used[j] = true;
+                    if n_shared < 2 {
+                        shared[n_shared] = s;
+                    }
+                    n_shared += 1;
+                }
+                None => {
+                    if p_first_rest.is_none() {
+                        p_first_rest = Some(s);
+                    }
+                }
             }
         }
-        if shared.len() < 2 {
+        if n_shared < 2 {
             return None;
         }
         // With all three shared, the nodes are identical (strashing would
         // have merged them) — still handled: u = v makes the inner trivial.
-        if shared.len() == 3 {
-            shared.pop();
-            let dup = shared[1];
-            p_rest.push(dup);
-            qk_left.push(dup);
-        }
+        let (u, v) = if n_shared == 3 {
+            (shared[1], shared[1])
+        } else {
+            let v = qk[(0..3).find(|&j| !q_used[j]).expect("one q fanin left")];
+            (p_first_rest.expect("one p fanin left"), v)
+        };
         let (x, y) = (shared[0], shared[1]);
-        let u = p_rest[0];
-        let v = qk_left[0];
         let inner = self.maj(u, v, z);
         Some(self.maj(x, y, inner))
     }
@@ -162,6 +171,10 @@ impl Mig {
     /// Rebuilds the cone of `root`, replacing every occurrence of node
     /// `from` by the signal `to`. Untouched sub-cones are shared, not
     /// copied. Returns the (possibly identical) new root.
+    ///
+    /// Runs on the epoch-stamped [`SubstScratch`](crate::SubstScratch):
+    /// the cone order buffer and the `NodeId → Signal` rebuild map are
+    /// reused across calls, so the `Ψ.R`/`Ψ.S` inner loops never allocate.
     pub fn substitute(&mut self, root: Signal, from: NodeId, to: Signal) -> Signal {
         if root.node() == from {
             return to.complement_if(root.is_complemented());
@@ -169,70 +182,85 @@ impl Mig {
         if !self.is_gate(root.node()) {
             return root;
         }
-        // Collect the cone gates that actually reach `from`.
-        let cone = self.cone_gates(root);
-        let mut affected: HashMap<NodeId, Signal> = HashMap::new();
-        // Arena order is topological: children precede parents.
-        for &n in &cone {
-            let touches = self
-                .children(n)
+        let mut ss = self.take_subst_scratch();
+        ss.begin(self.num_nodes());
+        // Collect the cone gates; arena order is topological, so sorting
+        // ascending makes children precede parents.
+        {
+            let mut trav = self.trav_scratch();
+            trav.begin(self.num_nodes());
+            trav.stack.push(root.node());
+            while let Some(n) = trav.stack.pop() {
+                if !self.is_gate(n) || !trav.mark(n) {
+                    continue;
+                }
+                ss.order.push(n);
+                for c in self.children(n) {
+                    trav.stack.push(c.node());
+                }
+            }
+        }
+        ss.order.sort_unstable();
+        let map_sig = |ss: &crate::scratch::SubstScratch, s: Signal| {
+            if s.node() == from {
+                to.complement_if(s.is_complemented())
+            } else if let Some(ns) = ss.get(s.node()) {
+                ns.complement_if(s.is_complemented())
+            } else {
+                s
+            }
+        };
+        for i in 0..ss.order.len() {
+            let n = ss.order[i];
+            let [a, b, c] = self.children(n);
+            let touches = [a, b, c]
                 .iter()
-                .any(|c| c.node() == from || affected.contains_key(&c.node()));
+                .any(|s| s.node() == from || ss.get(s.node()).is_some());
             if !touches {
                 continue;
             }
-            let [a, b, c] = self.children(n);
-            let map_sig = |m: &HashMap<NodeId, Signal>, s: Signal| {
-                if s.node() == from {
-                    to.complement_if(s.is_complemented())
-                } else if let Some(&ns) = m.get(&s.node()) {
-                    ns.complement_if(s.is_complemented())
-                } else {
-                    s
-                }
-            };
-            let (na, nb, nc) = (
-                map_sig(&affected, a),
-                map_sig(&affected, b),
-                map_sig(&affected, c),
-            );
+            let (na, nb, nc) = (map_sig(&ss, a), map_sig(&ss, b), map_sig(&ss, c));
             let ns = self.maj(na, nb, nc);
-            affected.insert(n, ns);
+            ss.set(n, ns);
         }
-        match affected.get(&root.node()) {
-            Some(&ns) => ns.complement_if(root.is_complemented()),
+        let result = match ss.get(root.node()) {
+            Some(ns) => ns.complement_if(root.is_complemented()),
             None => root,
-        }
+        };
+        self.put_subst_scratch(ss);
+        result
     }
 
     /// The gate nodes in the transitive fanin cone of `root`, in
     /// topological (ascending arena) order.
     pub fn cone_gates(&self, root: Signal) -> Vec<NodeId> {
         let mut seen: Vec<NodeId> = Vec::new();
-        let mut visited = HashMap::new();
-        let mut stack = vec![root.node()];
-        while let Some(n) = stack.pop() {
-            if !self.is_gate(n) || visited.contains_key(&n) {
+        let mut trav = self.trav_scratch();
+        trav.begin(self.num_nodes());
+        trav.stack.push(root.node());
+        while let Some(n) = trav.stack.pop() {
+            if !self.is_gate(n) || !trav.mark(n) {
                 continue;
             }
-            visited.insert(n, ());
             seen.push(n);
             for c in self.children(n) {
-                stack.push(c.node());
+                trav.stack.push(c.node());
             }
         }
+        drop(trav);
         seen.sort_unstable();
         seen
     }
 
     /// Number of gates in the transitive fanin cone of `root`, or `None`
-    /// if the cone exceeds `limit` gates.
+    /// if the cone exceeds `limit` gates. Allocation-free (epoch-marked).
     pub fn cone_size_within(&self, root: Signal, limit: usize) -> Option<usize> {
-        let mut visited = std::collections::HashSet::new();
-        let mut stack = vec![root.node()];
+        let mut trav = self.trav_scratch();
+        trav.begin(self.num_nodes());
+        trav.stack.push(root.node());
         let mut count = 0usize;
-        while let Some(n) = stack.pop() {
-            if !self.is_gate(n) || !visited.insert(n) {
+        while let Some(n) = trav.stack.pop() {
+            if !self.is_gate(n) || !trav.mark(n) {
                 continue;
             }
             count += 1;
@@ -240,7 +268,7 @@ impl Mig {
                 return None;
             }
             for c in self.children(n) {
-                stack.push(c.node());
+                trav.stack.push(c.node());
             }
         }
         Some(count)
@@ -248,16 +276,17 @@ impl Mig {
 
     /// True if node `target` occurs in the transitive fanin cone of
     /// `root` (checking at most `limit` gates; `None` means the limit was
-    /// hit without finding it).
+    /// hit without finding it). Allocation-free (epoch-marked).
     pub fn cone_contains(&self, root: Signal, target: NodeId, limit: usize) -> Option<bool> {
-        let mut visited = std::collections::HashSet::new();
-        let mut stack = vec![root.node()];
+        let mut trav = self.trav_scratch();
+        trav.begin(self.num_nodes());
+        trav.stack.push(root.node());
         let mut steps = 0usize;
-        while let Some(n) = stack.pop() {
+        while let Some(n) = trav.stack.pop() {
             if n == target {
                 return Some(true);
             }
-            if !self.is_gate(n) || !visited.insert(n) {
+            if !self.is_gate(n) || !trav.mark(n) {
                 continue;
             }
             steps += 1;
@@ -265,7 +294,7 @@ impl Mig {
                 return None;
             }
             for c in self.children(n) {
-                stack.push(c.node());
+                trav.stack.push(c.node());
             }
         }
         Some(false)

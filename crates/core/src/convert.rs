@@ -80,7 +80,7 @@ impl Mig {
         for i in 0..self.num_inputs() {
             node_map[i + 1] = Some(net.add_input(self.input_name(i).to_string()));
         }
-        let mark = self.reachable();
+        let mark = self.reach_ref();
 
         fn resolve(
             net: &mut Network,

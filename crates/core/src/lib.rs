@@ -43,8 +43,10 @@ mod algebra;
 mod convert;
 mod mig;
 pub mod opt;
+pub(crate) mod scratch;
 mod signal;
 mod simulate;
+pub(crate) mod strash;
 
 pub use crate::mig::Mig;
 pub use opt::{

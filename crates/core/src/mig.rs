@@ -1,7 +1,9 @@
 //! The Majority-Inverter Graph arena.
 
+use crate::scratch::{SubstScratch, TravScratch};
+use crate::strash::StrashTable;
 use crate::{NodeId, Signal};
-use std::collections::HashMap;
+use std::cell::{Ref, RefCell, RefMut};
 
 /// A Majority-Inverter Graph: a DAG whose internal nodes all compute the
 /// three-input majority function and whose edges carry an optional
@@ -13,6 +15,12 @@ use std::collections::HashMap;
 /// `Ω.M` simplifications and an `Ω.I`-based inverter normalization (a
 /// stored node has at most one complemented fanin), so structurally
 /// equivalent subgraphs are shared automatically.
+///
+/// Structural hashing runs on an in-repo open-addressing table
+/// (`StrashTable`) and every traversal-style query (reachability, cone
+/// sizes, substitution) runs on epoch-marked scratchpads
+/// (`TravScratch`/`SubstScratch`) so the optimization inner loops do
+/// not touch the allocator; see `DESIGN.md` §6.
 ///
 /// # Example
 ///
@@ -36,7 +44,24 @@ pub struct Mig {
     num_inputs: usize,
     input_names: Vec<String>,
     outputs: Vec<(String, Signal)>,
-    strash: HashMap<[Signal; 3], NodeId>,
+    strash: StrashTable,
+    /// Epoch-marked scratch for `&self` traversals (cone queries,
+    /// reachability). Interior-mutable: scratch state is not logical
+    /// state.
+    trav: RefCell<TravScratch>,
+    /// Scratch map for [`Mig::substitute`]; taken out while the rebuild
+    /// runs so `&mut self` construction can proceed alongside it.
+    subst: RefCell<SubstScratch>,
+    /// Cached reachability marks and reachable-gate count, invalidated on
+    /// any mutation.
+    reach: RefCell<ReachCache>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ReachCache {
+    valid: bool,
+    mark: Vec<bool>,
+    size: usize,
 }
 
 impl Mig {
@@ -49,7 +74,10 @@ impl Mig {
             num_inputs: 0,
             input_names: Vec::new(),
             outputs: Vec::new(),
-            strash: HashMap::new(),
+            strash: StrashTable::default(),
+            trav: RefCell::new(TravScratch::default()),
+            subst: RefCell::new(SubstScratch::default()),
+            reach: RefCell::new(ReachCache::default()),
         }
     }
 
@@ -61,6 +89,11 @@ impl Mig {
     /// Renames the design.
     pub fn set_name(&mut self, name: impl Into<String>) {
         self.name = name.into();
+    }
+
+    #[inline]
+    fn invalidate_cache(&mut self) {
+        self.reach.get_mut().valid = false;
     }
 
     /// Adds a primary input and returns its signal.
@@ -79,6 +112,7 @@ impl Mig {
         self.level.push(0);
         self.num_inputs += 1;
         self.input_names.push(name.into());
+        self.invalidate_cache();
         Signal::new(NodeId::from_index(self.num_inputs), false)
     }
 
@@ -102,6 +136,7 @@ impl Mig {
     pub fn add_output(&mut self, name: impl Into<String>, signal: Signal) {
         assert!(signal.node().index() < self.children.len());
         self.outputs.push((name.into(), signal));
+        self.invalidate_cache();
     }
 
     /// The primary outputs as `(name, signal)` pairs.
@@ -118,6 +153,7 @@ impl Mig {
     pub fn set_output(&mut self, i: usize, signal: Signal) {
         assert!(signal.node().index() < self.children.len());
         self.outputs[i].1 = signal;
+        self.invalidate_cache();
     }
 
     /// True if `node` is a majority gate (not the constant, not an input).
@@ -238,13 +274,15 @@ impl Mig {
             ([a, b, c], false)
         };
         key.sort_unstable();
-        self.strash.get(&key).map(|&node| Signal::new(node, flip))
+        self.strash
+            .get(key, &self.children)
+            .map(|node| Signal::new(node, flip))
     }
 
     fn maj_canonical(&mut self, a: Signal, b: Signal, c: Signal) -> Signal {
         let mut key = [a, b, c];
         key.sort_unstable();
-        if let Some(&node) = self.strash.get(&key) {
+        if let Some(node) = self.strash.get(key, &self.children) {
             return Signal::new(node, false);
         }
         let node = NodeId::from_index(self.children.len());
@@ -255,7 +293,8 @@ impl Mig {
             .expect("three children");
         self.children.push(key);
         self.level.push(lvl);
-        self.strash.insert(key, node);
+        self.strash.insert(key, node, &self.children);
+        self.invalidate_cache();
         Signal::new(node, false)
     }
 
@@ -283,30 +322,78 @@ impl Mig {
         self.or(p, q)
     }
 
-    /// Marks every node reachable from the outputs.
-    pub fn reachable(&self) -> Vec<bool> {
-        let mut mark = vec![false; self.children.len()];
-        mark[..=self.num_inputs].fill(true);
-        let mut stack: Vec<NodeId> = self.outputs.iter().map(|&(_, s)| s.node()).collect();
-        while let Some(n) = stack.pop() {
-            if mark[n.index()] {
+    /// Exclusive borrow of the traversal scratchpad. Crate-internal:
+    /// holders must release it before handing control to code that may
+    /// start another traversal on the same MIG.
+    pub(crate) fn trav_scratch(&self) -> RefMut<'_, TravScratch> {
+        self.trav.borrow_mut()
+    }
+
+    /// Takes the substitution scratch out of the MIG (leaving a fresh
+    /// default) so `&mut self` construction can run while it is in use;
+    /// return it with [`Mig::put_subst_scratch`].
+    pub(crate) fn take_subst_scratch(&self) -> SubstScratch {
+        self.subst.take()
+    }
+
+    /// Returns the substitution scratch taken by
+    /// [`Mig::take_subst_scratch`].
+    pub(crate) fn put_subst_scratch(&self, scratch: SubstScratch) {
+        self.subst.replace(scratch);
+    }
+
+    fn ensure_reach(&self) {
+        if self.reach.borrow().valid {
+            return;
+        }
+        let mut cache = self.reach.borrow_mut();
+        let cache = &mut *cache;
+        cache.mark.clear();
+        cache.mark.resize(self.children.len(), false);
+        for m in cache.mark[..=self.num_inputs].iter_mut() {
+            *m = true;
+        }
+        let mut trav = self.trav.borrow_mut();
+        trav.stack.clear();
+        trav.stack
+            .extend(self.outputs.iter().map(|&(_, s)| s.node()));
+        while let Some(n) = trav.stack.pop() {
+            if cache.mark[n.index()] {
                 continue;
             }
-            mark[n.index()] = true;
+            cache.mark[n.index()] = true;
             for child in self.children[n.index()] {
-                stack.push(child.node());
+                trav.stack.push(child.node());
             }
         }
-        mark
+        cache.size = (self.num_inputs + 1..self.children.len())
+            .filter(|&i| cache.mark[i])
+            .count();
+        cache.valid = true;
+    }
+
+    /// Borrowed reachability marks (computed once, cached until the next
+    /// mutation). Crate-internal so passes can index without copying.
+    pub(crate) fn reach_ref(&self) -> Ref<'_, [bool]> {
+        self.ensure_reach();
+        Ref::map(self.reach.borrow(), |c| c.mark.as_slice())
+    }
+
+    /// Marks every node reachable from the outputs.
+    ///
+    /// The marks are cached between mutations; this copies them out. Hot
+    /// paths inside the crate use the cached borrow directly.
+    pub fn reachable(&self) -> Vec<bool> {
+        self.reach_ref().to_vec()
     }
 
     /// Size: the number of majority gates reachable from the outputs (the
     /// paper's "size" metric — inverters are free edge attributes).
+    ///
+    /// Cached: repeated calls between mutations are O(1).
     pub fn size(&self) -> usize {
-        let mark = self.reachable();
-        (self.num_inputs + 1..self.children.len())
-            .filter(|&i| mark[i])
-            .count()
+        self.ensure_reach();
+        self.reach.borrow().size
     }
 
     /// Depth: the maximum logic level over all outputs (the paper's number
@@ -322,8 +409,17 @@ impl Mig {
     /// Fanout count per node: how many gate fanins and outputs reference
     /// it (complemented or not), counting only reachable gates.
     pub fn fanout_counts(&self) -> Vec<u32> {
-        let mark = self.reachable();
-        let mut counts = vec![0u32; self.children.len()];
+        let mut counts = Vec::new();
+        self.fanout_counts_into(&mut counts);
+        counts
+    }
+
+    /// [`Mig::fanout_counts`] into a caller-owned buffer, so per-pass
+    /// callers can reuse the allocation.
+    pub fn fanout_counts_into(&self, counts: &mut Vec<u32>) {
+        let mark = self.reach_ref();
+        counts.clear();
+        counts.resize(self.children.len(), 0);
         for (i, kids) in self.children.iter().enumerate().skip(self.num_inputs + 1) {
             if !mark[i] {
                 continue;
@@ -335,7 +431,27 @@ impl Mig {
         for &(_, s) in &self.outputs {
             counts[s.node().index()] += 1;
         }
-        counts
+    }
+
+    /// Clears this arena and re-declares `proto`'s inputs so a rebuild
+    /// pass can construct into it. Keeps every buffer allocation
+    /// (children, levels, strash slots) from the arena's previous life.
+    pub(crate) fn reset_for_rebuild(&mut self, proto: &Mig) {
+        self.name.clear();
+        self.name.push_str(proto.name());
+        self.children.truncate(1);
+        self.level.truncate(1);
+        self.num_inputs = 0;
+        self.input_names.clear();
+        self.outputs.clear();
+        self.strash.clear();
+        self.invalidate_cache();
+        for i in 0..proto.num_inputs() {
+            self.children.push([Signal::FALSE; 3]);
+            self.level.push(0);
+            self.num_inputs += 1;
+            self.input_names.push(proto.input_name(i).to_string());
+        }
     }
 
     /// Returns a compacted copy without dead nodes. Signals are remapped;
@@ -345,7 +461,7 @@ impl Mig {
         for name in &self.input_names {
             out.add_input(name.clone());
         }
-        let mark = self.reachable();
+        let mark = self.reach_ref();
         let mut map: Vec<Signal> = vec![Signal::FALSE; self.children.len()];
         for (i, m) in map.iter_mut().enumerate().take(self.num_inputs + 1) {
             *m = Signal::new(NodeId::from_index(i), false);
@@ -380,8 +496,21 @@ impl Mig {
     ///
     /// Panics if `input_probs.len() != num_inputs()`.
     pub fn signal_probabilities(&self, input_probs: &[f64]) -> Vec<f64> {
+        let mut p = Vec::new();
+        self.signal_probabilities_into(input_probs, &mut p);
+        p
+    }
+
+    /// [`Mig::signal_probabilities`] into a caller-owned buffer, so the
+    /// activity optimizer can recompute per candidate without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_probs.len() != num_inputs()`.
+    pub fn signal_probabilities_into(&self, input_probs: &[f64], p: &mut Vec<f64>) {
         assert_eq!(input_probs.len(), self.num_inputs);
-        let mut p = vec![0.0f64; self.children.len()];
+        p.clear();
+        p.resize(self.children.len(), 0.0);
         p[1..=self.num_inputs].copy_from_slice(input_probs);
         let prob_of = |p: &[f64], s: Signal| {
             let q = p[s.node().index()];
@@ -393,10 +522,9 @@ impl Mig {
         };
         for i in self.num_inputs + 1..self.children.len() {
             let [a, b, c] = self.children[i];
-            let (pa, pb, pc) = (prob_of(&p, a), prob_of(&p, b), prob_of(&p, c));
+            let (pa, pb, pc) = (prob_of(p, a), prob_of(p, b), prob_of(p, c));
             p[i] = pa * pb + pa * pc + pb * pc - 2.0 * pa * pb * pc;
         }
-        p
     }
 
     /// The paper's switching-activity metric: `Σ p(1−p)` over all
@@ -404,7 +532,7 @@ impl Mig {
     /// logic 1 (Section IV-C / Table I "Activity").
     pub fn switching_activity(&self, input_probs: &[f64]) -> f64 {
         let p = self.signal_probabilities(input_probs);
-        let mark = self.reachable();
+        let mark = self.reach_ref();
         (self.num_inputs + 1..self.children.len())
             .filter(|&i| mark[i])
             .map(|i| p[i] * (1.0 - p[i]))
@@ -494,6 +622,21 @@ mod tests {
     }
 
     #[test]
+    fn size_cache_invalidates_on_mutation() {
+        let (mut mig, a, b, c) = three_inputs();
+        let m = mig.maj(a, b, c);
+        mig.add_output("y", m);
+        assert_eq!(mig.size(), 1);
+        assert_eq!(mig.size(), 1, "cached second read");
+        let n = mig.and(m, c);
+        assert_eq!(mig.size(), 1, "new node is dead until referenced");
+        mig.add_output("z", n);
+        assert_eq!(mig.size(), 2, "add_output invalidates the cache");
+        mig.set_output(1, m);
+        assert_eq!(mig.size(), 1, "set_output invalidates the cache");
+    }
+
+    #[test]
     fn cleanup_preserves_complemented_outputs() {
         let (mut mig, a, b, c) = three_inputs();
         let m = mig.maj(a, b, c);
@@ -573,5 +716,92 @@ mod tests {
         let _ = mig.and(a, b);
         let c = mig.add_input("c");
         let _ = c;
+    }
+
+    #[test]
+    fn traversals_survive_epoch_rollover() {
+        // Force the shared scratch generation counter to the wraparound
+        // boundary and check that every traversal-backed query stays
+        // correct while the counter rolls over u32::MAX.
+        let (mut mig, a, b, c) = three_inputs();
+        let p = mig.and(a, b);
+        let q = mig.or(p, c);
+        let r = mig.maj(q, p, a);
+        mig.add_output("y", r);
+        let expect_sizes: Vec<Option<usize>> = [p, q, r]
+            .iter()
+            .map(|&s| mig.cone_size_within(s, 10))
+            .collect();
+        let expect_gates = mig.cone_gates(r);
+        mig.trav_scratch().force_epoch(u32::MAX - 3);
+        for round in 0..8 {
+            let got: Vec<Option<usize>> = [p, q, r]
+                .iter()
+                .map(|&s| mig.cone_size_within(s, 10))
+                .collect();
+            assert_eq!(got, expect_sizes, "round {round}");
+            assert_eq!(mig.cone_gates(r), expect_gates, "round {round}");
+            assert_eq!(
+                mig.cone_contains(r, a.node(), 10),
+                Some(true),
+                "round {round}"
+            );
+            assert_eq!(
+                mig.cone_contains(p, c.node(), 10),
+                Some(false),
+                "round {round}"
+            );
+        }
+        assert!(
+            mig.trav_scratch().epoch() < 100,
+            "the counter must have wrapped"
+        );
+    }
+
+    #[test]
+    fn substitute_survives_epoch_rollover() {
+        let (mut mig, a, b, c) = three_inputs();
+        let p = mig.and(a, b);
+        let r = mig.maj(p, c, a);
+        let expect = mig.substitute(r, b.node(), c);
+        {
+            let mut ss = mig.take_subst_scratch();
+            ss.force_epoch(u32::MAX - 2);
+            mig.put_subst_scratch(ss);
+        }
+        mig.trav_scratch().force_epoch(u32::MAX - 2);
+        for round in 0..6 {
+            assert_eq!(mig.substitute(r, b.node(), c), expect, "round {round}");
+        }
+    }
+
+    #[test]
+    fn reset_for_rebuild_reuses_arena() {
+        let (mut mig, a, b, c) = three_inputs();
+        let m = mig.maj(a, b, c);
+        mig.add_output("y", m);
+        let mut other = Mig::new("other");
+        let x = other.add_input("x");
+        let y = other.add_input("y");
+        let g = other.and(x, y);
+        other.add_output("g", g);
+        other.reset_for_rebuild(&mig);
+        assert_eq!(other.name(), "t");
+        assert_eq!(other.num_inputs(), 3);
+        assert_eq!(other.num_gates(), 0);
+        assert_eq!(other.num_outputs(), 0);
+        assert_eq!(other.input_name(2), "c");
+        // The recycled arena behaves exactly like a fresh one.
+        let a2 = other.input(0);
+        let b2 = other.input(1);
+        let c2 = other.input(2);
+        let m2 = other.maj(a2, b2, c2);
+        other.add_output("y", m2);
+        assert_eq!(other.size(), 1);
+        assert_eq!(
+            other.lookup_maj(a2, b2, c2),
+            Some(m2),
+            "strash cleared and repopulated"
+        );
     }
 }

@@ -7,8 +7,8 @@
 //!    whose probability is close to 0.5 (maximum switching) for one whose
 //!    probability is near 0 or 1 (paper Fig. 2(d)).
 
-use super::rebuild;
-use super::size::{eliminate_pass, optimize_size, SizeOptConfig};
+use super::size::{eliminate_pass, optimize_size_with, SizeOptConfig};
+use super::OptBuffers;
 use crate::{Mig, Signal};
 
 /// Tuning knobs for [`optimize_activity`].
@@ -65,31 +65,38 @@ impl Default for ActivityOptConfig {
 /// ```
 pub fn optimize_activity(mig: &Mig, input_probs: &[f64], config: &ActivityOptConfig) -> Mig {
     assert_eq!(input_probs.len(), mig.num_inputs());
+    let bufs = &mut OptBuffers::new();
     let mut best = mig.cleanup();
     let mut best_cost = cost(&best, input_probs);
     for _ in 0..config.effort {
-        let mut cur = probability_reshape_pass(&best, input_probs, config.cone_limit);
-        cur = eliminate_pass(&cur).cleanup();
+        let r = probability_reshape_pass(&best, input_probs, config.cone_limit, bufs);
+        let e = eliminate_pass(&r, bufs);
+        bufs.recycle(r);
+        let cur = bufs.cleanup(&e);
+        bufs.recycle(e);
         // Size recovery via Algorithm 1 (limited effort).
-        let recovered = optimize_size(
+        let recovered = optimize_size_with(
             &cur,
             &SizeOptConfig {
                 effort: 1,
                 cone_limit: config.cone_limit,
                 use_substitution: false,
             },
+            bufs,
         );
         let rec_cost = cost(&recovered, input_probs);
         let cur_cost = cost(&cur, input_probs);
         let (cand, cand_cost) = if rec_cost <= cur_cost {
+            bufs.recycle(cur);
             (recovered, rec_cost)
         } else {
+            bufs.recycle(recovered);
             (cur, cur_cost)
         };
         let within_slack =
             cand.size() as f64 <= best.size() as f64 * (1.0 + config.size_slack) + 1.0;
         if cand_cost < best_cost && within_slack {
-            best = cand;
+            bufs.recycle(std::mem::replace(&mut best, cand));
             best_cost = cand_cost;
         } else {
             break;
@@ -105,17 +112,31 @@ fn cost(mig: &Mig, input_probs: &[f64]) -> f64 {
 /// One `Ψ.R`-driven reshaping pass: at every node, if a reconvergent fanin
 /// has near-0.5 probability and the exchanged variable is strongly biased,
 /// try the exchange and keep it when the bounded-cone activity drops.
-fn probability_reshape_pass(mig: &Mig, input_probs: &[f64], cone_limit: usize) -> Mig {
-    rebuild(mig, |new, kids, _| {
+fn probability_reshape_pass(
+    mig: &Mig,
+    input_probs: &[f64],
+    cone_limit: usize,
+    bufs: &mut OptBuffers,
+) -> Mig {
+    // Probability buffers reused across every node and candidate of the
+    // pass (the closure used to allocate one `Vec<f64>` per candidate).
+    let mut probs: Vec<f64> = Vec::new();
+    let mut cand_probs: Vec<f64> = Vec::new();
+    bufs.rebuild(mig, |new, kids, _| {
         let base = new.maj(kids[0], kids[1], kids[2]);
         if new.as_maj(base).is_none() {
+            return base;
+        }
+        // A Ψ.R exchange needs a majority fanin to rewrite through; skip
+        // the O(n) probability propagation when no candidate exists.
+        if !kids.iter().any(|&k| new.as_maj(k).is_some()) {
             return base;
         }
         // Probabilities in the new graph (recomputed lazily per node: the
         // graph is small enough during rebuild that a full propagation per
         // candidate would be wasteful; we use cone-local evaluation).
-        let probs = new.signal_probabilities(input_probs);
-        let p_of = |s: Signal| {
+        new.signal_probabilities_into(input_probs, &mut probs);
+        let p_of = |probs: &[f64], s: Signal| {
             let p = probs[s.node().index()];
             if s.is_complemented() {
                 1.0 - p
@@ -136,8 +157,8 @@ fn probability_reshape_pass(mig: &Mig, input_probs: &[f64], cone_limit: usize) -
                     continue;
                 }
                 // Only exchange a "hot" variable for a biased one.
-                let hot = (p_of(x) - 0.5).abs();
-                let cold = ((1.0 - p_of(y)) - 0.5).abs();
+                let hot = (p_of(&probs, x) - 0.5).abs();
+                let cold = ((1.0 - p_of(&probs, y)) - 0.5).abs();
                 if cold <= hot {
                     continue;
                 }
@@ -145,8 +166,8 @@ fn probability_reshape_pass(mig: &Mig, input_probs: &[f64], cone_limit: usize) -
                     continue;
                 }
                 let cand = new.psi_r(x, y, z);
-                let probs2 = new.signal_probabilities(input_probs);
-                let act = cone_activity(new, cand, &probs2, cone_limit);
+                new.signal_probabilities_into(input_probs, &mut cand_probs);
+                let act = cone_activity(new, cand, &cand_probs, cone_limit);
                 if act < best_act {
                     best = cand;
                     best_act = act;
@@ -157,14 +178,16 @@ fn probability_reshape_pass(mig: &Mig, input_probs: &[f64], cone_limit: usize) -
     })
 }
 
-/// Total `p(1−p)` over the bounded cone of `root`.
+/// Total `p(1−p)` over the bounded cone of `root` (epoch-marked, no
+/// allocation).
 fn cone_activity(mig: &Mig, root: Signal, probs: &[f64], limit: usize) -> f64 {
-    let mut seen = std::collections::HashSet::new();
-    let mut stack = vec![root.node()];
+    let mut trav = mig.trav_scratch();
+    trav.begin(mig.num_nodes());
+    trav.stack.push(root.node());
     let mut acc = 0.0;
     let mut steps = 0;
-    while let Some(n) = stack.pop() {
-        if !mig.is_gate(n) || !seen.insert(n) {
+    while let Some(n) = trav.stack.pop() {
+        if !mig.is_gate(n) || !trav.mark(n) {
             continue;
         }
         steps += 1;
@@ -174,7 +197,7 @@ fn cone_activity(mig: &Mig, root: Signal, probs: &[f64], limit: usize) -> f64 {
         let p = probs[n.index()];
         acc += p * (1.0 - p);
         for c in mig.children(n) {
-            stack.push(c.node());
+            trav.stack.push(c.node());
         }
     }
     acc

@@ -13,7 +13,7 @@
 //! cycle finishes with a size-recovery elimination pass.
 
 use super::size::{eliminate_pass, reshape_pass, substitution_kick};
-use super::{depth_size, rebuild};
+use super::{depth_size, OptBuffers};
 use crate::{Mig, Signal};
 
 /// Tuning knobs for [`optimize_depth`].
@@ -69,36 +69,52 @@ impl Default for DepthOptConfig {
 /// assert_eq!(opt.depth(), 2);
 /// ```
 pub fn optimize_depth(mig: &Mig, config: &DepthOptConfig) -> Mig {
+    let bufs = &mut OptBuffers::new();
     let mut best = mig.cleanup();
+    // Runs one pass and recycles its input's buffers.
+    let step = |bufs: &mut OptBuffers, cur: Mig, f: &dyn Fn(&Mig, &mut OptBuffers) -> Mig| {
+        let next = f(&cur, bufs);
+        bufs.recycle(cur);
+        next
+    };
     for cycle in 0..config.effort {
         // Push-up rounds (two, as in Algorithm 2's pseudocode).
-        let mut cur = push_up_pass(&best, config.allow_area_increase);
-        cur = push_up_pass(&cur, config.allow_area_increase);
+        let mut cur = push_up_pass(&best, config.allow_area_increase, bufs);
+        cur = step(bufs, cur, &|m, b| {
+            push_up_pass(m, config.allow_area_increase, b)
+        });
         if config.reshape {
-            cur = reshape_pass(&cur, config.cone_limit);
+            cur = step(bufs, cur, &|m, b| reshape_pass(m, config.cone_limit, b));
         }
-        cur = push_up_pass(&cur, config.allow_area_increase);
+        cur = step(bufs, cur, &|m, b| {
+            push_up_pass(m, config.allow_area_increase, b)
+        });
         if config.area_recovery {
-            cur = eliminate_pass(&cur);
+            cur = step(bufs, cur, &eliminate_pass);
         }
-        cur = cur.cleanup();
+        cur = step(bufs, cur, &|m, b| b.cleanup(m));
         if depth_size(&cur) < depth_size(&best) {
-            best = cur;
+            bufs.recycle(std::mem::replace(&mut best, cur));
             continue;
         }
+        bufs.recycle(cur);
         // Local minimum: Ψ.S kick (paper Fig. 2(b)), then retry once.
         if config.reshape {
             let kicked = substitution_kick(&best, cycle);
-            let mut k = push_up_pass(&kicked, config.allow_area_increase);
-            k = push_up_pass(&k, config.allow_area_increase);
+            let mut k = push_up_pass(&kicked, config.allow_area_increase, bufs);
+            bufs.recycle(kicked);
+            k = step(bufs, k, &|m, b| {
+                push_up_pass(m, config.allow_area_increase, b)
+            });
             if config.area_recovery {
-                k = eliminate_pass(&k);
+                k = step(bufs, k, &eliminate_pass);
             }
-            k = k.cleanup();
+            k = step(bufs, k, &|m, b| b.cleanup(m));
             if depth_size(&k) < depth_size(&best) {
-                best = k;
+                bufs.recycle(std::mem::replace(&mut best, k));
                 continue;
             }
+            bufs.recycle(k);
         }
         break;
     }
@@ -113,8 +129,8 @@ const DEPTH_FUEL: u32 = 2;
 
 /// One bottom-up push-up pass: every gate is reconstructed with the
 /// depth-aware constructor below.
-pub(crate) fn push_up_pass(mig: &Mig, allow_area_increase: bool) -> Mig {
-    rebuild(mig, |new, kids, _| {
+pub(crate) fn push_up_pass(mig: &Mig, allow_area_increase: bool, bufs: &mut OptBuffers) -> Mig {
+    bufs.rebuild(mig, |new, kids, _| {
         maj_depth_aware(
             new,
             kids[0],
@@ -191,8 +207,17 @@ pub(crate) fn maj_depth_aware(
         if !g.contains(&!u) {
             continue;
         }
-        let rest: Vec<Signal> = g.iter().copied().filter(|&s| s != !u).collect();
-        if rest.len() != 2 {
+        let mut rest = [Signal::FALSE; 2];
+        let mut n_rest = 0usize;
+        for &s in g.iter().filter(|&&s| s != !u) {
+            if n_rest == 2 {
+                n_rest = 3; // more than two leftovers: pattern mismatch
+                break;
+            }
+            rest[n_rest] = s;
+            n_rest += 1;
+        }
+        if n_rest != 2 {
             continue;
         }
         let inner = maj_depth_aware(new, rest[0], other, rest[1], allow_area_increase, fuel - 1);
@@ -321,7 +346,7 @@ mod tests {
         let inner = mig.maj(c, d, a);
         let outer = mig.maj(a, b, inner);
         mig.add_output("y", outer);
-        let p = push_up_pass(&mig, true);
+        let p = push_up_pass(&mig, true, &mut OptBuffers::new());
         assert!(p.equiv(&mig, 4));
     }
 }

@@ -18,40 +18,104 @@ pub use size::{optimize_size, SizeOptConfig};
 
 use crate::{Mig, NodeId, Signal};
 
-/// Rebuilds `old` into a fresh MIG, calling `make` once per reachable gate
-/// in topological order with the gate's fanins already mapped into the new
-/// graph. `make` returns the signal that represents the old gate.
+/// Reusable buffers for the rebuild-style optimization passes.
 ///
-/// This is the backbone of every pass: passes are pure functions from MIG
-/// to MIG, so arena order always stays topological and strashing keeps the
-/// result canonical.
-pub(crate) fn rebuild<F>(old: &Mig, mut make: F) -> Mig
+/// The eliminate → reshape → eliminate → cleanup cycle used to allocate a
+/// fresh [`Mig`] (children, levels, strash) plus a signal map and a fanout
+/// vector *per pass, per cycle*. This engine keeps a pool of retired
+/// arenas and the side buffers alive across passes: a pass takes a spare
+/// arena, [`Mig::reset_for_rebuild`]s it (O(1), keeps allocations), and
+/// when its input MIG is no longer needed the caller
+/// [`recycle`](OptBuffers::recycle)s it back into the pool. In steady
+/// state an `effort`-cycle optimization run performs no arena allocations
+/// after the first cycle.
+#[derive(Debug, Default)]
+pub struct OptBuffers {
+    spares: Vec<Mig>,
+    map: Vec<Signal>,
+    /// Scratch fanout-count buffer for the passes that need one.
+    pub(crate) fanout: Vec<u32>,
+}
+
+impl OptBuffers {
+    /// Creates an empty buffer pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a retired MIG's buffers to the pool for the next pass.
+    pub fn recycle(&mut self, used: Mig) {
+        // A tiny pool is plenty: the pipeline is at most three deep.
+        if self.spares.len() < 4 {
+            self.spares.push(used);
+        }
+    }
+
+    /// Rebuilds `old` into a (possibly recycled) destination MIG, calling
+    /// `make` once per reachable gate in topological order with the gate's
+    /// fanins already mapped into the new graph. `make` returns the signal
+    /// that represents the old gate.
+    ///
+    /// This is the backbone of every pass: passes are pure functions from
+    /// MIG to MIG, so arena order always stays topological and strashing
+    /// keeps the result canonical.
+    pub(crate) fn rebuild<F>(&mut self, old: &Mig, mut make: F) -> Mig
+    where
+        F: FnMut(&mut Mig, [Signal; 3], NodeId) -> Signal,
+    {
+        let mut new = match self.spares.pop() {
+            Some(mut m) => {
+                m.reset_for_rebuild(old);
+                m
+            }
+            None => {
+                let mut m = Mig::new(old.name().to_string());
+                for i in 0..old.num_inputs() {
+                    m.add_input(old.input_name(i).to_string());
+                }
+                m
+            }
+        };
+        self.map.clear();
+        self.map.resize(old.num_nodes(), Signal::FALSE);
+        for (i, m) in self.map.iter_mut().enumerate().take(old.num_inputs() + 1) {
+            *m = Signal::new(NodeId::from_index(i), false);
+        }
+        {
+            let mark = old.reach_ref();
+            for node in old.gate_ids() {
+                if !mark[node.index()] {
+                    continue;
+                }
+                let kids = old
+                    .children(node)
+                    .map(|s| self.map[s.node().index()].complement_if(s.is_complemented()));
+                self.map[node.index()] = make(&mut new, kids, node);
+            }
+        }
+        for (name, s) in old.outputs() {
+            let mapped = self.map[s.node().index()].complement_if(s.is_complemented());
+            new.add_output(name.clone(), mapped);
+        }
+        new
+    }
+
+    /// Dead-node sweep through the engine: a rebuild that recreates every
+    /// reachable gate verbatim (the buffer-reusing equivalent of
+    /// [`Mig::cleanup`]).
+    pub(crate) fn cleanup(&mut self, old: &Mig) -> Mig {
+        self.rebuild(old, |new, [a, b, c], _| new.maj(a, b, c))
+    }
+}
+
+/// One-shot rebuild without buffer reuse (kept for tests and callers
+/// outside the optimization pipeline).
+#[cfg(test)]
+pub(crate) fn rebuild<F>(old: &Mig, make: F) -> Mig
 where
     F: FnMut(&mut Mig, [Signal; 3], NodeId) -> Signal,
 {
-    let mut new = Mig::new(old.name().to_string());
-    for i in 0..old.num_inputs() {
-        new.add_input(old.input_name(i).to_string());
-    }
-    let mut map: Vec<Signal> = vec![Signal::FALSE; old.num_nodes()];
-    for (i, m) in map.iter_mut().enumerate().take(old.num_inputs() + 1) {
-        *m = Signal::new(NodeId::from_index(i), false);
-    }
-    let mark = old.reachable();
-    for node in old.gate_ids() {
-        if !mark[node.index()] {
-            continue;
-        }
-        let kids = old
-            .children(node)
-            .map(|s| map[s.node().index()].complement_if(s.is_complemented()));
-        map[node.index()] = make(&mut new, kids, node);
-    }
-    for (name, s) in old.outputs() {
-        let mapped = map[s.node().index()].complement_if(s.is_complemented());
-        new.add_output(name.clone(), mapped);
-    }
-    new
+    OptBuffers::new().rebuild(old, make)
 }
 
 /// `(size, depth)` cost used for lexicographic acceptance tests.

@@ -8,7 +8,7 @@
 //! reshape/eliminate cycle repeats `effort` times and keeps the smallest
 //! intermediate result.
 
-use super::{rebuild, size_depth};
+use super::{size_depth, OptBuffers};
 use crate::{Mig, Signal};
 
 /// Tuning knobs for [`optimize_size`].
@@ -56,26 +56,44 @@ impl Default for SizeOptConfig {
 /// assert_eq!(opt.size(), 1);
 /// ```
 pub fn optimize_size(mig: &Mig, config: &SizeOptConfig) -> Mig {
+    optimize_size_with(mig, config, &mut OptBuffers::new())
+}
+
+/// [`optimize_size`] with caller-provided rebuild buffers, so composite
+/// flows (depth/activity recovery, the bench harness) share one arena
+/// pool across every pass they run.
+pub(crate) fn optimize_size_with(mig: &Mig, config: &SizeOptConfig, bufs: &mut OptBuffers) -> Mig {
     let mut best = mig.cleanup();
     for cycle in 0..config.effort {
-        let mut cur = eliminate_pass(&best);
-        cur = reshape_pass(&cur, config.cone_limit);
-        cur = eliminate_pass(&cur).cleanup();
+        let a = eliminate_pass(&best, bufs);
+        let b = reshape_pass(&a, config.cone_limit, bufs);
+        bufs.recycle(a);
+        let c = eliminate_pass(&b, bufs);
+        bufs.recycle(b);
+        let cur = bufs.cleanup(&c);
+        bufs.recycle(c);
         if size_depth(&cur) < size_depth(&best) {
-            best = cur;
+            bufs.recycle(std::mem::replace(&mut best, cur));
             continue;
         }
+        bufs.recycle(cur);
         // Stuck in a local minimum: optionally kick with Ψ.S, then give
         // elimination one more chance before concluding.
         if config.use_substitution {
             let kicked = substitution_kick(&best, cycle);
-            let kicked = eliminate_pass(&kicked);
-            let kicked = reshape_pass(&kicked, config.cone_limit);
-            let kicked = eliminate_pass(&kicked).cleanup();
+            let k1 = eliminate_pass(&kicked, bufs);
+            bufs.recycle(kicked);
+            let k2 = reshape_pass(&k1, config.cone_limit, bufs);
+            bufs.recycle(k1);
+            let k3 = eliminate_pass(&k2, bufs);
+            bufs.recycle(k2);
+            let kicked = bufs.cleanup(&k3);
+            bufs.recycle(k3);
             if size_depth(&kicked) < size_depth(&best) {
-                best = kicked;
+                bufs.recycle(std::mem::replace(&mut best, kicked));
                 continue;
             }
+            bufs.recycle(kicked);
         }
         break;
     }
@@ -85,9 +103,10 @@ pub fn optimize_size(mig: &Mig, config: &SizeOptConfig) -> Mig {
 /// Elimination: rebuilds the MIG applying `Ω.M` (via the constructor) and
 /// `Ω.D` right-to-left wherever two fanins share two common children and
 /// would become dangling.
-pub(crate) fn eliminate_pass(mig: &Mig) -> Mig {
-    let fanout = mig.fanout_counts();
-    rebuild(mig, |new, kids, old_id| {
+pub(crate) fn eliminate_pass(mig: &Mig, bufs: &mut OptBuffers) -> Mig {
+    let mut fanout = std::mem::take(&mut bufs.fanout);
+    mig.fanout_counts_into(&mut fanout);
+    let out = bufs.rebuild(mig, |new, kids, old_id| {
         let old_kids = mig.children(old_id);
         // Ω.D R→L: M(M(x,y,u), M(x,y,v), z) = M(x, y, M(u,v,z)).
         for (i, j, k) in [(0usize, 1usize, 2usize), (0, 2, 1), (1, 2, 0)] {
@@ -104,7 +123,9 @@ pub(crate) fn eliminate_pass(mig: &Mig) -> Mig {
             }
         }
         new.maj(kids[0], kids[1], kids[2])
-    })
+    });
+    bufs.fanout = fanout;
+    out
 }
 
 /// Builds `M(a,b,c)` but first tries the `Ψ.R` relevance rewrites on every
@@ -153,9 +174,10 @@ pub(crate) fn maj_with_relevance(
 /// Reshaping: applies `Ψ.R` directly and explores `Ω.A`/`Ψ.C` moves whose
 /// relevance-aware inner reconstruction shrinks the local cone (this is
 /// the composition that solves the paper's Fig. 2(a) automatically).
-pub(crate) fn reshape_pass(mig: &Mig, cone_limit: usize) -> Mig {
-    let fanout = mig.fanout_counts();
-    rebuild(mig, |new, kids, old_id| {
+pub(crate) fn reshape_pass(mig: &Mig, cone_limit: usize, bufs: &mut OptBuffers) -> Mig {
+    let mut fanout = std::mem::take(&mut bufs.fanout);
+    mig.fanout_counts_into(&mut fanout);
+    let out = bufs.rebuild(mig, |new, kids, old_id| {
         let base = maj_with_relevance(new, kids[0], kids[1], kids[2], cone_limit);
         let Some(_) = new.as_maj(base) else {
             return base;
@@ -211,7 +233,9 @@ pub(crate) fn reshape_pass(mig: &Mig, cone_limit: usize) -> Mig {
             }
         }
         best
-    })
+    });
+    bufs.fanout = fanout;
+    out
 }
 
 /// `Ψ.S` kick: rewrites the deepest output cone through a substituted
@@ -280,7 +304,7 @@ mod tests {
         let top = mig.maj(p, q, z);
         mig.add_output("f", top);
         assert_eq!(mig.size(), 3);
-        let opt = eliminate_pass(&mig).cleanup();
+        let opt = eliminate_pass(&mig, &mut OptBuffers::new()).cleanup();
         assert!(opt.equiv(&mig, 4));
         assert_eq!(opt.size(), 2, "Ω.D R→L merges the shared pair");
     }
@@ -294,7 +318,7 @@ mod tests {
         let top = mig.maj(p, q, z);
         mig.add_output("f", top);
         mig.add_output("p", p); // p has a second fanout: merging would not pay
-        let opt = eliminate_pass(&mig).cleanup();
+        let opt = eliminate_pass(&mig, &mut OptBuffers::new()).cleanup();
         assert!(opt.equiv(&mig, 4));
         assert_eq!(opt.size(), 3, "no merge when the pair is shared");
     }
@@ -387,6 +411,36 @@ mod tests {
         let opt = optimize_size(&mig, &SizeOptConfig::default());
         assert!(opt.equiv(&mig, 4));
         assert!(opt.size() <= 6);
+    }
+
+    #[test]
+    fn recycled_buffers_match_fresh_ones() {
+        // Running two different circuits through one shared buffer pool
+        // must give exactly the results of independent fresh runs.
+        let (mut m1, a, b, c, d) = four_inputs();
+        let n1 = m1.maj(a, b, c);
+        let n2 = m1.mux(d, n1, a);
+        m1.add_output("f", n2);
+        let mut m2 = Mig::new("x3");
+        let a2 = m2.add_input("a");
+        let b2 = m2.add_input("b");
+        let c2 = m2.add_input("c");
+        let x1 = m2.xor(a2, b2);
+        let x2 = m2.xor(x1, c2);
+        m2.add_output("f", x2);
+
+        let config = SizeOptConfig::default();
+        let mut bufs = OptBuffers::new();
+        let shared1 = optimize_size_with(&m1, &config, &mut bufs);
+        let shared2 = optimize_size_with(&m2, &config, &mut bufs);
+        let fresh1 = optimize_size(&m1, &config);
+        let fresh2 = optimize_size(&m2, &config);
+        assert_eq!(shared1.size(), fresh1.size());
+        assert_eq!(shared1.depth(), fresh1.depth());
+        assert_eq!(shared2.size(), fresh2.size());
+        assert_eq!(shared2.depth(), fresh2.depth());
+        assert!(shared1.equiv(&m1, 4));
+        assert!(shared2.equiv(&m2, 4));
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Epoch-marked traversal scratchpads.
+//!
+//! Every bounded-cone query of the optimization inner loops
+//! (`cone_size_within`, `cone_contains`, `substitute`, …) needs a "have I
+//! visited this node" set. Allocating a fresh `HashSet` per query — several
+//! per node per pass — dominated the optimizer's profile, so the set is
+//! replaced by the classic ABC-style *travId* scheme: one `u32` stamp per
+//! arena slot plus a generation counter. A node is visited iff its stamp
+//! equals the current generation; starting a new traversal is a single
+//! counter increment, and the buffers are grown lazily and reused forever.
+//!
+//! Generation `0` is reserved as "never visited" so freshly grown stamp
+//! slots are automatically unvisited. When the counter would wrap past
+//! `u32::MAX` the stamps are zeroed once and the generation restarts at 1 —
+//! traversals stay correct across rollover (see the tests below).
+
+use crate::{NodeId, Signal};
+
+/// Reusable epoch-marking scratchpad for graph traversals.
+///
+/// One instance supports one traversal at a time: [`TravScratch::begin`]
+/// opens a new generation, invalidating all marks of the previous one in
+/// O(1).
+#[derive(Debug, Clone, Default)]
+pub struct TravScratch {
+    stamp: Vec<u32>,
+    epoch: u32,
+    /// Reusable DFS stack, cleared by `begin`.
+    pub stack: Vec<NodeId>,
+}
+
+impl TravScratch {
+    /// Starts a new traversal over an arena of `n` nodes: bumps the
+    /// generation (handling `u32` rollover) and ensures capacity.
+    pub fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+        if self.epoch == u32::MAX {
+            // Rollover: a single O(n) reset buys another 2^32 - 1 epochs.
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.stack.clear();
+    }
+
+    /// Marks `node` visited in the current generation. Returns `true` if
+    /// it was not yet visited (i.e. the caller should process it).
+    #[inline]
+    pub fn mark(&mut self, node: NodeId) -> bool {
+        let slot = &mut self.stamp[node.index()];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+
+    /// True if `node` was visited in the current generation.
+    #[cfg(test)]
+    pub fn is_marked(&self, node: NodeId) -> bool {
+        self.stamp[node.index()] == self.epoch
+    }
+
+    /// The current generation counter (exposed for the rollover tests).
+    #[cfg(test)]
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Forces the generation counter, for exercising rollover in tests.
+    #[cfg(test)]
+    pub fn force_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
+    }
+}
+
+/// Scratch state for [`Mig::substitute`](crate::Mig::substitute): an
+/// epoch-stamped sparse `NodeId → Signal` map plus a reusable topological
+/// order buffer, replacing the per-call `HashMap` + `Vec` the cone rebuild
+/// used to allocate.
+#[derive(Debug, Clone, Default)]
+pub struct SubstScratch {
+    stamp: Vec<u32>,
+    value: Vec<Signal>,
+    epoch: u32,
+    /// Cone gates in ascending (topological) arena order, filled by the
+    /// caller and cleared by `begin`.
+    pub order: Vec<NodeId>,
+    /// Reusable DFS stack for collecting the cone.
+    pub stack: Vec<NodeId>,
+}
+
+impl SubstScratch {
+    /// Starts a new substitution over an arena of `n` nodes.
+    pub fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.value.resize(n, Signal::FALSE);
+        }
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.order.clear();
+        self.stack.clear();
+    }
+
+    /// Records that `node` rebuilds to `signal`.
+    #[inline]
+    pub fn set(&mut self, node: NodeId, signal: Signal) {
+        self.stamp[node.index()] = self.epoch;
+        self.value[node.index()] = signal;
+    }
+
+    /// The rebuilt signal for `node`, if one was recorded this epoch.
+    #[inline]
+    pub fn get(&self, node: NodeId) -> Option<Signal> {
+        if self.stamp[node.index()] == self.epoch {
+            Some(self.value[node.index()])
+        } else {
+            None
+        }
+    }
+
+    /// Forces the generation counter, for exercising rollover in tests.
+    #[cfg(test)]
+    pub fn force_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marks_reset_per_epoch() {
+        let mut sc = TravScratch::default();
+        sc.begin(4);
+        let n = NodeId::from_index(2);
+        assert!(sc.mark(n));
+        assert!(!sc.mark(n), "second mark in same epoch");
+        assert!(sc.is_marked(n));
+        sc.begin(4);
+        assert!(!sc.is_marked(n), "new epoch clears marks in O(1)");
+        assert!(sc.mark(n));
+    }
+
+    #[test]
+    fn lazy_growth_keeps_new_slots_unmarked() {
+        let mut sc = TravScratch::default();
+        sc.begin(2);
+        assert!(sc.mark(NodeId::from_index(1)));
+        sc.begin(8);
+        assert!(!sc.is_marked(NodeId::from_index(5)));
+        assert!(sc.mark(NodeId::from_index(5)));
+    }
+
+    #[test]
+    fn epoch_rollover_resets_stamps() {
+        let mut sc = TravScratch::default();
+        sc.begin(4);
+        sc.force_epoch(u32::MAX - 1);
+        let n = NodeId::from_index(1);
+        // Epoch MAX-1: mark survives within the epoch.
+        assert!(sc.mark(n));
+        sc.begin(4); // → u32::MAX
+        assert_eq!(sc.epoch(), u32::MAX);
+        assert!(!sc.is_marked(n));
+        assert!(sc.mark(n));
+        sc.begin(4); // rollover: stamps zeroed, epoch restarts at 1
+        assert_eq!(sc.epoch(), 1);
+        assert!(!sc.is_marked(n), "stale MAX stamp must not alias epoch 1");
+        assert!(sc.mark(n));
+        sc.begin(4);
+        assert_eq!(sc.epoch(), 2);
+        assert!(!sc.is_marked(n));
+    }
+
+    #[test]
+    fn subst_map_is_epoch_scoped() {
+        let mut ss = SubstScratch::default();
+        ss.begin(4);
+        let n = NodeId::from_index(3);
+        assert_eq!(ss.get(n), None);
+        ss.set(n, Signal::TRUE);
+        assert_eq!(ss.get(n), Some(Signal::TRUE));
+        ss.begin(4);
+        assert_eq!(ss.get(n), None, "new epoch forgets mappings");
+    }
+
+    #[test]
+    fn subst_rollover_forgets_mappings() {
+        let mut ss = SubstScratch::default();
+        ss.begin(2);
+        ss.force_epoch(u32::MAX);
+        ss.set(NodeId::from_index(1), Signal::TRUE);
+        ss.begin(2); // rollover
+        assert_eq!(ss.get(NodeId::from_index(1)), None);
+    }
+}

@@ -1,0 +1,202 @@
+//! Structural-hashing table for majority nodes.
+//!
+//! The strash used to be a `HashMap<[Signal; 3], NodeId>`: every lookup
+//! paid SipHash over 12 key bytes plus the std hashtable's control-byte
+//! dance, and every pass rebuilt the map from scratch. This replacement is
+//! a purpose-built open-addressing table that exploits two invariants of
+//! the [`Mig`](crate::Mig) arena:
+//!
+//! * a stored node's sorted fanin triple **is** its key, so slots hold
+//!   only the `NodeId` (4 bytes) and lookups compare against the arena's
+//!   `children` array directly — no keys are duplicated into the table;
+//! * nodes are never deleted from the arena, so the table needs no
+//!   tombstones, and `clear` (used when an arena is recycled between
+//!   optimization passes) just wipes the slot words while keeping the
+//!   allocation.
+//!
+//! The hash is a splitmix64-style finalizer over the three packed signal
+//! words (the same mixer as `mig_netlist::SplitMix64`, matching the PR-1
+//! zero-third-party-deps PRNG policy), with linear probing and growth at
+//! ~70 % load.
+
+use crate::{NodeId, Signal};
+
+const EMPTY: u32 = u32::MAX;
+/// Smallest non-empty capacity; always a power of two.
+const MIN_CAPACITY: usize = 16;
+
+/// Open-addressing structural-hashing table: maps a sorted fanin triple to
+/// the arena node that holds it, storing only node ids.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StrashTable {
+    /// Slot array; `EMPTY` marks a free slot, anything else is a raw
+    /// `NodeId` index. Length is always zero or a power of two.
+    slots: Vec<u32>,
+    /// Number of occupied slots.
+    len: usize,
+}
+
+/// Splitmix64-style mix of the three packed signal words.
+#[inline]
+fn hash_key(key: [Signal; 3]) -> u64 {
+    let lo = key[0].raw() as u64 | ((key[1].raw() as u64) << 32);
+    let mut z = lo ^ (key[2].raw() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl StrashTable {
+    /// Looks up the node whose stored fanins equal `key` (which must be
+    /// sorted, as produced by the `maj` canonicalization).
+    #[inline]
+    pub fn get(&self, key: [Signal; 3], children: &[[Signal; 3]]) -> Option<NodeId> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = hash_key(key) as usize & mask;
+        loop {
+            let slot = self.slots[i];
+            if slot == EMPTY {
+                return None;
+            }
+            if children[slot as usize] == key {
+                return Some(NodeId::from_index(slot as usize));
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Inserts `node` under `key`. The node's fanins must already be
+    /// stored in `children` (the table re-derives keys from the arena when
+    /// it grows). The caller guarantees the key is absent.
+    pub fn insert(&mut self, key: [Signal; 3], node: NodeId, children: &[[Signal; 3]]) {
+        // Grow at ~70 % load (len + 1 > 0.7 · capacity).
+        if (self.len + 1) * 10 > self.slots.len() * 7 {
+            self.grow(children);
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = hash_key(key) as usize & mask;
+        while self.slots[i] != EMPTY {
+            debug_assert_ne!(
+                children[self.slots[i] as usize], key,
+                "duplicate strash key"
+            );
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = node.index() as u32;
+        self.len += 1;
+    }
+
+    /// Empties the table, keeping its allocation for reuse.
+    pub fn clear(&mut self) {
+        self.slots.fill(EMPTY);
+        self.len = 0;
+    }
+
+    /// Number of hashed nodes (exposed for tests).
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    fn grow(&mut self, children: &[[Signal; 3]]) {
+        let new_cap = (self.slots.len() * 2).max(MIN_CAPACITY);
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY; new_cap]);
+        let mask = new_cap - 1;
+        for slot in old {
+            if slot == EMPTY {
+                continue;
+            }
+            let key = children[slot as usize];
+            let mut i = hash_key(key) as usize & mask;
+            while self.slots[i] != EMPTY {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(i: usize, c: bool) -> Signal {
+        Signal::new(NodeId::from_index(i), c)
+    }
+
+    #[test]
+    fn get_on_empty_is_none() {
+        let t = StrashTable::default();
+        assert_eq!(t.get([sig(1, false); 3], &[]), None);
+    }
+
+    #[test]
+    fn insert_then_get_through_growth() {
+        // Simulate an arena: children[i] is node i's sorted key.
+        let mut children: Vec<[Signal; 3]> = vec![[Signal::FALSE; 3]; 4]; // const + 3 inputs
+        let mut table = StrashTable::default();
+        // 200 distinct keys force several growth/rehash rounds.
+        for n in 0..200usize {
+            let mut key = [
+                sig(1 + n % 3, n % 2 == 0),
+                sig(1 + (n / 3) % 3, false),
+                sig(4 + n, false),
+            ];
+            key.sort_unstable();
+            let node = NodeId::from_index(children.len());
+            children.push(key);
+            assert_eq!(table.get(key, &children), None, "key {n} absent before");
+            table.insert(key, node, &children);
+            assert_eq!(table.get(key, &children), Some(node), "key {n} found after");
+        }
+        assert_eq!(table.len(), 200);
+        // Every key still resolves after all rehashes.
+        for i in 4..children.len() {
+            assert_eq!(
+                table.get(children[i], &children),
+                Some(NodeId::from_index(i))
+            );
+        }
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_empties() {
+        let mut children: Vec<[Signal; 3]> = vec![[Signal::FALSE; 3]];
+        let mut table = StrashTable::default();
+        for n in 0..50usize {
+            let key = [sig(n + 1, false), sig(n + 2, false), sig(n + 3, true)];
+            let node = NodeId::from_index(children.len());
+            children.push(key);
+            table.insert(key, node, &children);
+        }
+        let cap = table.slots.len();
+        table.clear();
+        assert_eq!(table.len(), 0);
+        assert_eq!(table.slots.len(), cap, "clear keeps the allocation");
+        for i in 1..children.len() {
+            assert_eq!(table.get(children[i], &children), None);
+        }
+    }
+
+    #[test]
+    fn colliding_keys_coexist() {
+        // Craft many keys landing in a tiny table to force probe chains.
+        let mut children: Vec<[Signal; 3]> = vec![[Signal::FALSE; 3]];
+        let mut table = StrashTable::default();
+        for n in 0..MIN_CAPACITY {
+            let key = [sig(1, false), sig(2, false), sig(10 + n, false)];
+            let node = NodeId::from_index(children.len());
+            children.push(key);
+            table.insert(key, node, &children);
+        }
+        for i in 1..children.len() {
+            assert_eq!(
+                table.get(children[i], &children),
+                Some(NodeId::from_index(i))
+            );
+        }
+    }
+}

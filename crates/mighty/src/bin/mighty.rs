@@ -3,6 +3,7 @@
 //! ```text
 //! mighty opt [INPUT] [--target size|depth|activity|all] [--effort N]
 //!            [--rounds N] [-o FILE]
+//! mighty bench [BENCH]... [--quick] [--effort N] [--rounds N] [-o FILE]
 //! mighty stats [INPUT]...
 //! mighty gen BENCH [-o FILE]
 //! mighty equiv A B [--rounds N]
@@ -22,6 +23,13 @@ USAGE:
     mighty opt [INPUT] [--target size|depth|activity|all] [--effort N]
                [--rounds N] [-o FILE]   optimize, verify, report (default
                                         INPUT: my_adder, target: all)
+    mighty bench [BENCH]... [--quick] [--effort N] [--rounds N] [-o FILE]
+                                        timed size/depth/activity sweep over
+                                        the MCNC suite; writes the
+                                        mig-bench/v1 JSON perf trajectory
+                                        (default FILE: BENCH_opt.json);
+                                        exits nonzero on any equivalence
+                                        failure or size regression
     mighty stats [INPUT]...             print circuit statistics
     mighty gen BENCH [-o FILE]          emit a generated benchmark as Verilog
     mighty equiv A B [--rounds N]       check two circuits for equivalence
@@ -33,18 +41,20 @@ INPUT is a benchmark name (see `mighty list`) or a Verilog file path.";
 struct Args {
     positional: Vec<String>,
     target: OptTarget,
-    effort: usize,
-    rounds: usize,
+    effort: Option<usize>,
+    rounds: Option<usize>,
     output: Option<String>,
+    quick: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         positional: Vec::new(),
         target: OptTarget::All,
-        effort: 2,
-        rounds: 32,
+        effort: None,
+        rounds: None,
         output: None,
+        quick: false,
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -56,13 +66,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         match a.as_str() {
             "--target" | "-t" => args.target = OptTarget::parse(&value(a)?)?,
             "--effort" | "-e" => {
-                args.effort = value(a)?.parse().map_err(|e| format!("--effort: {e}"))?;
+                args.effort = Some(value(a)?.parse().map_err(|e| format!("--effort: {e}"))?);
             }
+            "--quick" | "-q" => args.quick = true,
             "--rounds" | "-r" => {
-                args.rounds = value(a)?
-                    .parse::<usize>()
-                    .map_err(|e| format!("--rounds: {e}"))?
-                    .max(1);
+                args.rounds = Some(
+                    value(a)?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--rounds: {e}"))?
+                        .max(1),
+                );
             }
             "--output" | "-o" => args.output = Some(value(a)?),
             flag if flag.starts_with('-') && flag != "-" => {
@@ -81,12 +94,48 @@ fn cmd_opt(args: &Args) -> Result<bool, String> {
         .map(String::as_str)
         .unwrap_or("my_adder");
     let net = load_input(spec)?;
-    let outcome = run_opt(&net, args.target, args.effort, args.rounds);
+    let outcome = run_opt(
+        &net,
+        args.target,
+        args.effort.unwrap_or(2),
+        args.rounds.unwrap_or(32),
+    );
     print!("{}", render_report(&outcome));
     if let Some(path) = &args.output {
         emit_verilog(&outcome.optimized, path)?;
     }
     Ok(outcome.mig_equiv && outcome.net_equiv)
+}
+
+fn cmd_bench(args: &Args) -> Result<bool, String> {
+    let mut config = if args.quick {
+        mig_bench::BenchConfig::quick()
+    } else {
+        mig_bench::BenchConfig::full()
+    };
+    for name in &args.positional {
+        if !mig_benchgen::MCNC_NAMES.contains(&name.as_str()) {
+            return Err(format!("unknown benchmark `{name}` (see `mighty list`)"));
+        }
+    }
+    config.names = args.positional.clone();
+    if let Some(effort) = args.effort {
+        config.effort = effort;
+    }
+    if let Some(rounds) = args.rounds {
+        config.rounds = rounds;
+    }
+    let report = mig_bench::run_suite(&config);
+    print!("{}", mig_bench::render_table(&report));
+    let path = args.output.as_deref().unwrap_or("BENCH_opt.json");
+    let json = mig_bench::to_json(&report);
+    if path == "-" {
+        print!("{json}");
+    } else {
+        std::fs::write(path, json).map_err(|e| format!("writing `{path}`: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(report.all_ok())
 }
 
 fn cmd_stats(args: &Args) -> Result<(), String> {
@@ -122,7 +171,7 @@ fn cmd_equiv(args: &Args) -> Result<bool, String> {
         println!("NOT EQUIVALENT (interface mismatch)");
         return Ok(false);
     }
-    let ok = mig_sim::equivalent(&na, &nb, args.rounds);
+    let ok = mig_sim::equivalent(&na, &nb, args.rounds.unwrap_or(32));
     println!("{}", if ok { "EQUIVALENT" } else { "NOT EQUIVALENT" });
     Ok(ok)
 }
@@ -136,6 +185,7 @@ fn run() -> Result<bool, String> {
     let args = parse_args(rest)?;
     match cmd.as_str() {
         "opt" => cmd_opt(&args),
+        "bench" => cmd_bench(&args),
         "stats" => cmd_stats(&args).map(|()| true),
         "gen" => cmd_gen(&args).map(|()| true),
         "equiv" => cmd_equiv(&args),

@@ -11,8 +11,9 @@
 //!
 //! The binary is `mighty`; the library half exposes the same pipeline as
 //! plain functions ([`load_input`], [`run_opt`], [`render_report`]) so
-//! integration tests and future benchmark harnesses drive the exact code
-//! path the CLI does.
+//! integration tests drive the exact code path the CLI does. The timed
+//! suite sweep behind `mighty bench` lives in [`mig_bench`], which writes
+//! the `mig-bench/v1` perf-trajectory JSON (`BENCH_opt.json`).
 //!
 //! ```
 //! use mig_mighty::{load_input, run_opt, OptTarget};

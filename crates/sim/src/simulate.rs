@@ -26,6 +26,12 @@ pub fn simulate_all(net: &Network, input_words: &[u64]) -> (Vec<u64>, Vec<u64>) 
     assert_eq!(input_words.len(), net.num_inputs());
     let mut values = vec![0u64; net.num_gates()];
     let mut next_input = 0usize;
+    // Fanin words are staged through a fixed-size stack buffer so the
+    // 64-way evaluation loop performs no per-gate heap allocation; the
+    // rare wider-than-8 variadic gate falls back to a reusable spill
+    // vector (allocated at most once per call).
+    let mut inline = [0u64; 8];
+    let mut spill: Vec<u64> = Vec::new();
     for (id, gate) in net.iter() {
         values[id.index()] = match gate.kind() {
             GateKind::Input => {
@@ -34,8 +40,18 @@ pub fn simulate_all(net: &Network, input_words: &[u64]) -> (Vec<u64>, Vec<u64>) 
                 w
             }
             kind => {
-                let vals: Vec<u64> = gate.fanins().iter().map(|f| values[f.index()]).collect();
-                kind.eval_words(&vals)
+                let fanins = gate.fanins();
+                let vals: &[u64] = if fanins.len() <= inline.len() {
+                    for (slot, f) in inline.iter_mut().zip(fanins) {
+                        *slot = values[f.index()];
+                    }
+                    &inline[..fanins.len()]
+                } else {
+                    spill.clear();
+                    spill.extend(fanins.iter().map(|f| values[f.index()]));
+                    &spill
+                };
+                kind.eval_words(vals)
             }
         };
     }
@@ -79,6 +95,24 @@ mod tests {
             let assign = [p & 1 == 1, p & 2 == 2, p & 4 == 4];
             assert_eq!((out[0] >> p) & 1 == 1, net.eval(&assign)[0], "pattern {p}");
         }
+    }
+
+    #[test]
+    fn wide_variadic_gates_use_spill_path() {
+        // 12 fanins exceed the 8-slot inline buffer, exercising the spill
+        // vector; the result must match a manual word-wise fold.
+        let mut net = Network::new("wide");
+        let ins: Vec<_> = (0..12).map(|i| net.add_input(format!("x{i}"))).collect();
+        let g_and = net.add_gate(mig_netlist::GateKind::And, ins.clone());
+        let g_xor = net.add_gate(mig_netlist::GateKind::Xor, ins.clone());
+        net.set_output("and", g_and);
+        net.set_output("xor", g_xor);
+        let words: Vec<u64> = (0..12)
+            .map(|i| 0x9E37_79B9_7F4A_7C15u64.rotate_left(i))
+            .collect();
+        let out = simulate(&net, &words);
+        assert_eq!(out[0], words.iter().fold(u64::MAX, |acc, &w| acc & w));
+        assert_eq!(out[1], words.iter().fold(0u64, |acc, &w| acc ^ w));
     }
 
     #[test]
