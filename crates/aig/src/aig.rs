@@ -70,7 +70,7 @@ impl fmt::Display for Lit {
 }
 
 /// An AND-Inverter Graph: the homogeneous AND-node network with
-/// complemented edges used by ABC (paper reference [5]/[8]), implemented
+/// complemented edges used by ABC (paper reference \[5\]/\[8\]), implemented
 /// with structural hashing and constant/identity simplification at
 /// construction.
 ///

@@ -75,7 +75,7 @@ struct BddNode {
 }
 
 /// A reduced ordered binary decision diagram manager (paper reference
-/// [6]), with complement edges and the canonical-form invariant that
+/// \[6\]), with complement edges and the canonical-form invariant that
 /// every stored node's high edge is regular.
 ///
 /// # Example

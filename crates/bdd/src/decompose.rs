@@ -1,6 +1,6 @@
 //! BDS-style decomposition of BDDs into multi-level logic networks
 //! (the paper's "BDD Decomposition" baseline, after Yang & Ciesielski's
-//! BDS tool — reference [7]).
+//! BDS tool — reference \[7\]).
 //!
 //! Every output BDD is decomposed recursively: terminal-cofactor cases
 //! become AND/OR gates, complemented-cofactor pairs become XNOR, and the

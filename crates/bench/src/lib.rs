@@ -1,15 +1,17 @@
 //! # Benchmark harness for the MIG suite
 //!
-//! Runs the paper's three optimizers over the generated MCNC suite,
-//! timing every pass, and serializes the result as `BENCH_opt.json` in a
-//! stable schema so successive PRs accumulate a performance trajectory
-//! (compare the committed file against a fresh run to spot regressions).
+//! Runs the four optimizer passes (size, Boolean rewriting, depth,
+//! activity) over the generated MCNC suite, timing every pass, and
+//! serializes the result as `BENCH_opt.json` in a stable schema so
+//! successive PRs accumulate a performance trajectory (compare the
+//! committed file against a fresh run to spot regressions).
 //!
-//! The schema (`mig-bench/v1`, documented in `DESIGN.md` §7):
+//! The schema (`mig-bench/v2`, documented in `DESIGN.md` §7; v2 added
+//! the cut-based Boolean `rewrite` pass between `size` and `depth`):
 //!
 //! ```json
 //! {
-//!   "schema": "mig-bench/v1",
+//!   "schema": "mig-bench/v2",
 //!   "suite": "mcnc14",
 //!   "mode": "full",
 //!   "effort": 4,
@@ -19,7 +21,9 @@
 //!       "import": {"size": 151, "depth": 16, "activity": 29.03},
 //!       "passes": [
 //!         {"pass": "size", "size": 83, "depth": 14,
-//!          "activity": 18.1, "millis": 12.3}
+//!          "activity": 18.1, "millis": 12.3},
+//!         {"pass": "rewrite", "size": 79, "depth": 14,
+//!          "activity": 17.8, "millis": 9.0}
 //!       ],
 //!       "equiv": true, "size_ok": true, "total_millis": 40.1
 //!     }
@@ -39,19 +43,19 @@
 //! let report = run_suite(&cfg);
 //! assert!(report.all_ok());
 //! assert_eq!(report.benchmarks.len(), 1);
-//! assert!(mig_bench::to_json(&report).contains("\"schema\": \"mig-bench/v1\""));
+//! assert!(mig_bench::to_json(&report).contains("\"schema\": \"mig-bench/v2\""));
 //! ```
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use mig_core::{
-    optimize_activity, optimize_depth, optimize_size, ActivityOptConfig, DepthOptConfig, Mig,
-    SizeOptConfig,
+    optimize_activity, optimize_depth, optimize_rewrite, optimize_size, ActivityOptConfig,
+    DepthOptConfig, Mig, RewriteConfig, SizeOptConfig,
 };
 
 /// Which optimizers the harness runs, in order.
-pub const PASSES: [&str; 3] = ["size", "depth", "activity"];
+pub const PASSES: [&str; 4] = ["size", "rewrite", "depth", "activity"];
 
 /// Benchmarks skipped in `--quick` mode (the largest generators — they
 /// dominate wall time without adding CI signal).
@@ -74,7 +78,7 @@ pub struct BenchConfig {
 
 impl BenchConfig {
     /// Full-suite defaults: every benchmark with Algorithm 1's default
-    /// effort (4) applied uniformly to all three optimizers, so a single
+    /// effort (4) applied uniformly to all four passes, so a single
     /// number describes the run (the configuration the perf trajectory
     /// tracks; note `mighty opt` instead uses each optimizer's own
     /// default).
@@ -138,8 +142,9 @@ pub struct BenchRecord {
     pub passes: Vec<PassResult>,
     /// MIG-level equivalence of the final result against the import.
     pub equiv: bool,
-    /// True when the size pass honored Algorithm 1's contract: its result
-    /// is no larger than the import. (Later passes may trade size for
+    /// True when the size-oriented passes honored their contracts: the
+    /// size pass is no larger than the import and the rewrite pass is no
+    /// larger than the size pass. (Later passes may trade size for
     /// depth/activity by design, so they are not gated on size.)
     pub size_ok: bool,
     /// Wall-clock time over all passes (excludes verify).
@@ -170,8 +175,9 @@ fn millis_since(start: Instant) -> f64 {
     start.elapsed().as_secs_f64() * 1e3
 }
 
-/// Runs the configured benchmarks through size → depth → activity
-/// optimization, timing each pass and verifying the final result.
+/// Runs the configured benchmarks through size → rewrite → depth →
+/// activity optimization, timing each pass and verifying the final
+/// result.
 ///
 /// # Panics
 ///
@@ -215,6 +221,21 @@ pub fn run_suite(config: &BenchConfig) -> BenchReport {
         });
 
         let t = Instant::now();
+        cur = optimize_rewrite(
+            &cur,
+            &RewriteConfig {
+                effort,
+                ..RewriteConfig::default()
+            },
+        );
+        let millis = millis_since(t);
+        passes.push(PassResult {
+            pass: "rewrite",
+            after: Metrics::of(&cur),
+            millis,
+        });
+
+        let t = Instant::now();
         cur = optimize_depth(
             &cur,
             &DepthOptConfig {
@@ -247,7 +268,8 @@ pub fn run_suite(config: &BenchConfig) -> BenchReport {
         });
 
         let total_millis = passes.iter().map(|p| p.millis).sum();
-        let size_pass = passes.first().expect("three passes").after;
+        let size_pass = passes[0].after;
+        let rewrite_pass = passes[1].after;
         benchmarks.push(BenchRecord {
             name: name.clone(),
             inputs: mig.num_inputs(),
@@ -255,7 +277,7 @@ pub fn run_suite(config: &BenchConfig) -> BenchReport {
             import,
             passes,
             equiv: cur.equiv(&mig, rounds),
-            size_ok: size_pass.size <= import.size,
+            size_ok: size_pass.size <= import.size && rewrite_pass.size <= size_pass.size,
             total_millis,
         });
     }
@@ -266,7 +288,7 @@ pub fn run_suite(config: &BenchConfig) -> BenchReport {
     }
 }
 
-/// Serializes a report in the stable `mig-bench/v1` schema.
+/// Serializes a report in the stable `mig-bench/v2` schema.
 ///
 /// Hand-rolled (the workspace has zero third-party dependencies); all
 /// strings in the schema are benchmark names and pass labels, which never
@@ -274,7 +296,7 @@ pub fn run_suite(config: &BenchConfig) -> BenchReport {
 pub fn to_json(report: &BenchReport) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"mig-bench/v1\",");
+    let _ = writeln!(s, "  \"schema\": \"mig-bench/v2\",");
     let _ = writeln!(s, "  \"suite\": \"mcnc14\",");
     let _ = writeln!(s, "  \"mode\": \"{}\",", report.mode);
     let _ = writeln!(s, "  \"effort\": {},", report.effort);
@@ -337,26 +359,14 @@ pub fn render_table(report: &BenchReport) -> String {
     );
     let _ = writeln!(
         s,
-        "{:<10} {:>7} {:>6} | {:^23} | {:^23} | {:^23} |",
-        "", "import", "", "size pass", "depth pass", "activity pass"
+        "{:<10} {:>7} {:>6} | {:^23} | {:^23} | {:^23} | {:^23} |",
+        "", "import", "", "size pass", "rewrite pass", "depth pass", "activity pass"
     );
-    let _ = writeln!(
-        s,
-        "{:<10} {:>7} {:>6} | {:>7} {:>6} {:>8} | {:>7} {:>6} {:>8} | {:>7} {:>6} {:>8} | {:>6}",
-        "bench",
-        "size",
-        "depth",
-        "size",
-        "depth",
-        "ms",
-        "size",
-        "depth",
-        "ms",
-        "size",
-        "depth",
-        "ms",
-        "equiv"
-    );
+    let _ = write!(s, "{:<10} {:>7} {:>6} |", "bench", "size", "depth");
+    for _ in PASSES {
+        let _ = write!(s, " {:>7} {:>6} {:>8} |", "size", "depth", "ms");
+    }
+    let _ = writeln!(s, " {:>6}", "equiv");
     for b in &report.benchmarks {
         let _ = write!(
             s,
@@ -407,11 +417,13 @@ mod tests {
         assert_eq!(report.benchmarks.len(), 2);
         assert!(report.all_ok(), "equivalence and size must hold");
         for b in &report.benchmarks {
-            assert_eq!(b.passes.len(), 3);
+            assert_eq!(b.passes.len(), 4);
             let names: Vec<&str> = b.passes.iter().map(|p| p.pass).collect();
             assert_eq!(names, PASSES);
-            let size_pass = b.passes.first().unwrap().after.size;
+            let size_pass = b.passes[0].after.size;
             assert!(size_pass <= b.import.size, "Algorithm 1 must not grow");
+            let rewrite_pass = b.passes[1].after.size;
+            assert!(rewrite_pass <= size_pass, "rewriting must not grow");
         }
     }
 
@@ -420,13 +432,14 @@ mod tests {
         let report = run_suite(&tiny_config());
         let json = to_json(&report);
         for field in [
-            "\"schema\": \"mig-bench/v1\"",
+            "\"schema\": \"mig-bench/v2\"",
             "\"suite\": \"mcnc14\"",
             "\"mode\": \"quick\"",
             "\"benchmarks\": [",
             "\"import\":",
             "\"passes\": [",
             "\"pass\": \"size\"",
+            "\"pass\": \"rewrite\"",
             "\"pass\": \"depth\"",
             "\"pass\": \"activity\"",
             "\"equiv\": true",

@@ -172,7 +172,7 @@ impl Mig {
     /// `from` by the signal `to`. Untouched sub-cones are shared, not
     /// copied. Returns the (possibly identical) new root.
     ///
-    /// Runs on the epoch-stamped [`SubstScratch`](crate::SubstScratch):
+    /// Runs on the epoch-stamped `SubstScratch`:
     /// the cone order buffer and the `NodeId → Signal` rebuild map are
     /// reused across calls, so the `Ψ.R`/`Ψ.S` inner loops never allocate.
     pub fn substitute(&mut self, root: Signal, from: NodeId, to: Signal) -> Signal {

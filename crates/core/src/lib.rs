@@ -39,6 +39,8 @@
 //! assert!(opt.depth() < mig.depth());
 //! ```
 
+#![warn(missing_docs)]
+
 mod algebra;
 mod convert;
 mod mig;
@@ -50,7 +52,7 @@ pub(crate) mod strash;
 
 pub use crate::mig::Mig;
 pub use opt::{
-    optimize_activity, optimize_depth, optimize_size, ActivityOptConfig, DepthOptConfig,
-    SizeOptConfig,
+    optimize_activity, optimize_depth, optimize_rewrite, optimize_size, ActivityOptConfig,
+    DepthOptConfig, RewriteConfig, SizeOptConfig,
 };
 pub use signal::{NodeId, Signal};

@@ -10,10 +10,12 @@
 
 pub mod activity;
 pub mod depth;
+pub mod rewrite;
 pub mod size;
 
 pub use activity::{optimize_activity, ActivityOptConfig};
 pub use depth::{optimize_depth, DepthOptConfig};
+pub use rewrite::{optimize_rewrite, RewriteConfig};
 pub use size::{optimize_size, SizeOptConfig};
 
 use crate::{Mig, NodeId, Signal};
@@ -24,7 +26,7 @@ use crate::{Mig, NodeId, Signal};
 /// fresh [`Mig`] (children, levels, strash) plus a signal map and a fanout
 /// vector *per pass, per cycle*. This engine keeps a pool of retired
 /// arenas and the side buffers alive across passes: a pass takes a spare
-/// arena, [`Mig::reset_for_rebuild`]s it (O(1), keeps allocations), and
+/// arena, `reset_for_rebuild`s it (O(1), keeps allocations), and
 /// when its input MIG is no longer needed the caller
 /// [`recycle`](OptBuffers::recycle)s it back into the pool. In steady
 /// state an `effort`-cycle optimization run performs no arena allocations
@@ -63,19 +65,7 @@ impl OptBuffers {
     where
         F: FnMut(&mut Mig, [Signal; 3], NodeId) -> Signal,
     {
-        let mut new = match self.spares.pop() {
-            Some(mut m) => {
-                m.reset_for_rebuild(old);
-                m
-            }
-            None => {
-                let mut m = Mig::new(old.name().to_string());
-                for i in 0..old.num_inputs() {
-                    m.add_input(old.input_name(i).to_string());
-                }
-                m
-            }
-        };
+        let mut new = self.fresh_arena(old);
         self.map.clear();
         self.map.resize(old.num_nodes(), Signal::FALSE);
         for (i, m) in self.map.iter_mut().enumerate().take(old.num_inputs() + 1) {
@@ -98,6 +88,25 @@ impl OptBuffers {
             new.add_output(name.clone(), mapped);
         }
         new
+    }
+
+    /// Takes a destination arena for a rebuild-style pass: a recycled
+    /// spare reset to `old`'s inputs when one is pooled, a fresh arena
+    /// otherwise.
+    pub(crate) fn fresh_arena(&mut self, old: &Mig) -> Mig {
+        match self.spares.pop() {
+            Some(mut m) => {
+                m.reset_for_rebuild(old);
+                m
+            }
+            None => {
+                let mut m = Mig::new(old.name().to_string());
+                for i in 0..old.num_inputs() {
+                    m.add_input(old.input_name(i).to_string());
+                }
+                m
+            }
+        }
     }
 
     /// Dead-node sweep through the engine: a rebuild that recreates every

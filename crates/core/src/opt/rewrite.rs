@@ -1,0 +1,733 @@
+//! Cut-based Boolean rewriting against the NPN-canonical majority
+//! database (`mig_tt::mig_db`).
+//!
+//! The algebraic passes (Algorithms 1–2) only reshape what is
+//! structurally visible; this pass works on local *functions* instead.
+//! For every reachable gate it enumerates k-feasible priority cuts
+//! (k ≤ 4, a bounded number per node), computes each cut's truth table,
+//! NPN-canonizes it, and looks the class up in the precomputed
+//! optimal-structure database. A match is replayed through the hashing
+//! constructor on the cut leaves and accepted only when MFFC accounting
+//! proves a strict size gain (or, optionally, an equal-size depth gain).
+//!
+//! The pass is a single topological rebuild: decisions are made node by
+//! node against the *destination* graph, so `lookup_maj` probes the
+//! strash table to find structure that already exists (those nodes cost
+//! nothing), and replaced logic — the node's maximum fanout-free cone
+//! with respect to the cut — simply becomes unreachable and is swept by
+//! the closing cleanup. All per-node state (cut sets, truth-table
+//! scratch, the MFFC reference counts) lives in reusable buffers, so the
+//! enumeration inner loop performs no allocation in steady state.
+//!
+//! The per-node gain is an estimate, not a proof: `saved` comes from the
+//! *source* graph's fanout counts, while sharing materializes in the
+//! destination graph (e.g. duplicate cones that strash-merge during the
+//! rebuild can make two rewrites claim the same dying nodes). The
+//! pass-level guard in [`optimize_rewrite`] — keep a sweep only if the
+//! cleaned result strictly improves `(size, depth)` — is what makes the
+//! optimization monotone end to end.
+
+use std::collections::HashMap;
+
+use super::size::eliminate_pass;
+use super::{size_depth, OptBuffers};
+use crate::{Mig, NodeId, Signal};
+use mig_tt::{npn4_canonize, MigDatabase, MigProgram, Npn4Transform};
+
+/// Tuning knobs for [`optimize_rewrite`].
+#[derive(Debug, Clone)]
+pub struct RewriteConfig {
+    /// Maximum cut width (clamped to 2..=4; truth tables are 16-bit).
+    pub cut_size: usize,
+    /// Priority-cut bound: how many cuts are kept per node (plus the
+    /// unit cut). Clamped to 1..=64.
+    pub max_cuts: usize,
+    /// Number of rewrite → eliminate rounds.
+    pub effort: usize,
+    /// Accept zero-gain replacements that strictly reduce the local
+    /// logic level (size-then-depth acceptance).
+    pub depth_tiebreak: bool,
+}
+
+impl Default for RewriteConfig {
+    fn default() -> Self {
+        RewriteConfig {
+            cut_size: 4,
+            max_cuts: 8,
+            effort: 2,
+            depth_tiebreak: true,
+        }
+    }
+}
+
+/// A k-feasible cut: sorted leaf nodes plus the root's function over
+/// them (leaf `i` is truth-table variable `i`; the low `2^len` bits of
+/// `tt` are valid). Fixed-size — cut sets live in one flat buffer.
+#[derive(Debug, Clone, Copy, Default)]
+struct Cut {
+    leaves: [u32; 4],
+    len: u8,
+    tt: u16,
+}
+
+impl Cut {
+    fn unit(node: usize) -> Self {
+        Cut {
+            leaves: [node as u32, 0, 0, 0],
+            len: 1,
+            tt: 0b10,
+        }
+    }
+
+    fn leaves(&self) -> &[u32] {
+        &self.leaves[..self.len as usize]
+    }
+
+    /// True if this cut's leaves are a subset of `other`'s (making
+    /// `other` redundant).
+    fn dominates(&self, other: &Cut) -> bool {
+        self.leaves().iter().all(|l| other.leaves().contains(l))
+    }
+}
+
+fn tt_mask(len: usize) -> u16 {
+    if len >= 4 {
+        0xFFFF
+    } else {
+        ((1u32 << (1 << len)) - 1) as u16
+    }
+}
+
+/// Expands `tt` over the `from` leaves onto the superset `to` leaves.
+fn expand_tt(tt: u16, from: &[u32], to: &[u32]) -> u16 {
+    let mut pos = [0usize; 4];
+    for (i, l) in from.iter().enumerate() {
+        pos[i] = to.iter().position(|t| t == l).expect("from ⊆ to");
+    }
+    let mut out = 0u16;
+    for i in 0..(1u32 << to.len()) {
+        let mut j = 0usize;
+        for (bit, &p) in pos[..from.len()].iter().enumerate() {
+            if (i >> p) & 1 == 1 {
+                j |= 1 << bit;
+            }
+        }
+        if (tt >> j) & 1 == 1 {
+            out |= 1 << i;
+        }
+    }
+    out
+}
+
+/// Repeats a `len`-variable table up to the full 4-variable width (the
+/// added variables are don't-cares).
+fn extend4(tt: u16, len: usize) -> u16 {
+    let mut t = tt & tt_mask(len);
+    for k in len..4 {
+        t |= t << (1u32 << k);
+    }
+    t
+}
+
+/// Outcome of simulating one database instruction against the
+/// destination graph without building anything.
+#[derive(Debug, Clone, Copy)]
+enum DryVal {
+    /// The node already exists (strash hit or trivial fold): free.
+    Known(Signal),
+    /// A node would have to be allocated; carries its level estimate.
+    New(u32),
+}
+
+impl DryVal {
+    fn complement_if(self, c: bool) -> Self {
+        match self {
+            DryVal::Known(s) => DryVal::Known(s.complement_if(c)),
+            DryVal::New(l) => DryVal::New(l),
+        }
+    }
+
+    fn level(self, mig: &Mig) -> u32 {
+        match self {
+            DryVal::Known(s) => mig.level_of_signal(s),
+            DryVal::New(l) => l,
+        }
+    }
+}
+
+/// Reusable buffers for the rewriting pass (cut sets, truth-table and
+/// replay scratch, MFFC reference counts, and the NPN canonization
+/// cache). One instance serves any number of passes.
+#[derive(Debug, Default)]
+pub(crate) struct RewriteBuffers {
+    cuts: Vec<Cut>,
+    ncuts: Vec<u8>,
+    cand: Vec<Cut>,
+    fanout: Vec<u32>,
+    refs: Vec<u32>,
+    map: Vec<Signal>,
+    dry: Vec<DryVal>,
+    replay: Vec<Signal>,
+    canon_cache: HashMap<u16, (u16, Npn4Transform)>,
+}
+
+impl RewriteBuffers {
+    fn canonize(&mut self, tt: u16) -> (u16, Npn4Transform) {
+        *self
+            .canon_cache
+            .entry(tt)
+            .or_insert_with(|| npn4_canonize(tt))
+    }
+}
+
+/// A chosen replacement for one node: which program to replay and how
+/// its variables map onto cut leaves.
+struct Plan {
+    cut: Cut,
+    transform: Npn4Transform,
+    gain: isize,
+    level: u32,
+}
+
+/// Boolean rewriting: repeatedly rewrites cuts against the database and
+/// recovers size with `Ω.D` elimination, keeping the best
+/// `(size, depth)` seen. The result is functionally equivalent to the
+/// input and never larger.
+///
+/// # Example
+///
+/// ```
+/// use mig_core::{Mig, optimize_rewrite, RewriteConfig};
+///
+/// // XOR3 built from two cascaded 3-node XOR2s: 6 nodes. The database
+/// // holds the paper's optimal 3-node XOR3 structure (Fig. 2(b)).
+/// let mut mig = Mig::new("xor3");
+/// let a = mig.add_input("a");
+/// let b = mig.add_input("b");
+/// let c = mig.add_input("c");
+/// let t = mig.xor(a, b);
+/// let f = mig.xor(t, c);
+/// mig.add_output("f", f);
+/// assert_eq!(mig.size(), 6);
+/// let opt = optimize_rewrite(&mig, &RewriteConfig::default());
+/// assert!(opt.equiv(&mig, 4));
+/// assert_eq!(opt.size(), 3);
+/// ```
+pub fn optimize_rewrite(mig: &Mig, config: &RewriteConfig) -> Mig {
+    optimize_rewrite_with(
+        mig,
+        config,
+        &mut OptBuffers::new(),
+        &mut RewriteBuffers::default(),
+    )
+}
+
+/// [`optimize_rewrite`] with caller-provided buffers, so composite flows
+/// share one arena pool and one cut/canonization cache.
+pub(crate) fn optimize_rewrite_with(
+    mig: &Mig,
+    config: &RewriteConfig,
+    bufs: &mut OptBuffers,
+    rb: &mut RewriteBuffers,
+) -> Mig {
+    let mut best = mig.cleanup();
+    for _ in 0..config.effort.max(1) {
+        let r = rewrite_pass(&best, config, bufs, rb);
+        let e = eliminate_pass(&r, bufs);
+        bufs.recycle(r);
+        let cur = bufs.cleanup(&e);
+        bufs.recycle(e);
+        if size_depth(&cur) < size_depth(&best) {
+            bufs.recycle(std::mem::replace(&mut best, cur));
+        } else {
+            bufs.recycle(cur);
+            break;
+        }
+    }
+    best
+}
+
+/// One rewriting sweep: enumerate cuts on `old`, rebuild into a fresh
+/// arena, replacing profitable cuts with database structures.
+pub(crate) fn rewrite_pass(
+    old: &Mig,
+    config: &RewriteConfig,
+    bufs: &mut OptBuffers,
+    rb: &mut RewriteBuffers,
+) -> Mig {
+    let k = config.cut_size.clamp(2, 4);
+    // Upper bound keeps the per-node count in the `u8` cut-count buffer
+    // and the flat cut storage proportional to a sane working set.
+    let max_cuts = config.max_cuts.clamp(1, 64);
+    let db = MigDatabase::global();
+
+    enumerate_cuts(old, k, max_cuts, rb);
+    old.fanout_counts_into(&mut rb.fanout);
+    rb.refs.clone_from(&rb.fanout);
+
+    let mut new = bufs.fresh_arena(old);
+    rb.map.clear();
+    rb.map.resize(old.num_nodes(), Signal::FALSE);
+    for (i, m) in rb.map.iter_mut().enumerate().take(old.num_inputs() + 1) {
+        *m = Signal::new(NodeId::from_index(i), false);
+    }
+
+    let stride = max_cuts + 1;
+    let mark = old.reach_ref();
+    for node in old.gate_ids() {
+        let idx = node.index();
+        if !mark[idx] {
+            continue;
+        }
+        let kids = old
+            .children(node)
+            .map(|s| rb.map[s.node().index()].complement_if(s.is_complemented()));
+        // An existing node (or a trivial fold) is free — no replacement
+        // structure can beat it, so take it and move on.
+        if let Some(hit) = new.lookup_maj(kids[0], kids[1], kids[2]) {
+            rb.map[idx] = hit;
+            continue;
+        }
+        let default_level = 1 + kids
+            .iter()
+            .map(|s| new.level_of_signal(*s))
+            .max()
+            .expect("three children");
+
+        let mut plan: Option<Plan> = None;
+        let n_cuts = rb.ncuts[idx] as usize;
+        // The node's own unit cut is stored last; it is not a rewrite
+        // candidate (its "replacement" would be the node itself).
+        for ci in 0..n_cuts.saturating_sub(1) {
+            let cut = rb.cuts[idx * stride + ci];
+            let full_tt = extend4(cut.tt, cut.len as usize);
+            let (canon, transform) = rb.canonize(full_tt);
+            let Some(prog) = db.program(canon) else {
+                continue;
+            };
+            let ins = leaf_signals(&cut, &transform, &rb.map);
+            let (added, level) = dry_run(&new, prog, &ins, &mut rb.dry);
+            let saved = mffc_size(old, node, cut.leaves(), &mut rb.refs) as isize;
+            let gain = saved - added as isize;
+            let better = match &plan {
+                Some(p) => (gain, std::cmp::Reverse(level)) > (p.gain, std::cmp::Reverse(p.level)),
+                None => gain > 0 || (config.depth_tiebreak && gain == 0 && level < default_level),
+            };
+            if better {
+                plan = Some(Plan {
+                    cut,
+                    transform,
+                    gain,
+                    level,
+                });
+            }
+        }
+
+        rb.map[idx] = match plan {
+            Some(p) => {
+                let canon = rb.canonize(extend4(p.cut.tt, p.cut.len as usize)).0;
+                let prog = db.program(canon).expect("plan came from the database");
+                let ins = leaf_signals(&p.cut, &p.transform, &rb.map);
+                replay(
+                    &mut new,
+                    prog,
+                    &ins,
+                    p.transform.output_flip,
+                    &mut rb.replay,
+                )
+            }
+            None => new.maj(kids[0], kids[1], kids[2]),
+        };
+    }
+    drop(mark);
+    for (name, s) in old.outputs() {
+        let mapped = rb.map[s.node().index()].complement_if(s.is_complemented());
+        new.add_output(name.clone(), mapped);
+    }
+    new
+}
+
+/// The destination-graph signal feeding canonical variable `j` of a
+/// database program: original cut variable `perm[j]`, complemented per
+/// `input_flips`. Canonical variables beyond the cut width are
+/// don't-cares of the canonical function and read constant 0.
+fn leaf_signals(cut: &Cut, t: &Npn4Transform, map: &[Signal]) -> [Signal; 4] {
+    let mut ins = [Signal::FALSE; 4];
+    for (j, ins_j) in ins.iter_mut().enumerate() {
+        let orig = t.perm[j] as usize;
+        if orig < cut.len as usize {
+            let flip = (t.input_flips >> orig) & 1 == 1;
+            *ins_j = map[cut.leaves[orig] as usize].complement_if(flip);
+        }
+    }
+    ins
+}
+
+/// Simulates replaying `prog` against `new` without building anything:
+/// counts the nodes that would be allocated (strash hits and trivial
+/// folds are free) and estimates the result's logic level. The output
+/// complement is irrelevant here — inverters are free edge attributes.
+fn dry_run(
+    new: &Mig,
+    prog: &MigProgram,
+    ins: &[Signal; 4],
+    vals: &mut Vec<DryVal>,
+) -> (usize, u32) {
+    vals.clear();
+    let mut added = 0usize;
+    for step in &prog.steps {
+        let [a, b, c] = step.map(|l| resolve_dry(l, ins, vals));
+        let v = if let (DryVal::Known(sa), DryVal::Known(sb), DryVal::Known(sc)) = (a, b, c) {
+            match new.lookup_maj(sa, sb, sc) {
+                Some(s) => DryVal::Known(s),
+                None => {
+                    added += 1;
+                    DryVal::New(1 + level3(new, a, b, c))
+                }
+            }
+        } else {
+            added += 1;
+            DryVal::New(1 + level3(new, a, b, c))
+        };
+        vals.push(v);
+    }
+    let out = resolve_dry(prog.out, ins, vals);
+    (added, out.level(new))
+}
+
+fn level3(mig: &Mig, a: DryVal, b: DryVal, c: DryVal) -> u32 {
+    a.level(mig).max(b.level(mig)).max(c.level(mig))
+}
+
+fn resolve_dry(l: mig_tt::MigLit, ins: &[Signal; 4], vals: &[DryVal]) -> DryVal {
+    let base = if l.is_constant() {
+        DryVal::Known(Signal::FALSE)
+    } else if let Some(v) = l.var_index() {
+        DryVal::Known(ins[v])
+    } else {
+        vals[l.step_index().expect("step literal")]
+    };
+    base.complement_if(l.is_complemented())
+}
+
+/// Replays `prog` for real through the hashing constructor.
+fn replay(
+    new: &mut Mig,
+    prog: &MigProgram,
+    ins: &[Signal; 4],
+    output_flip: bool,
+    vals: &mut Vec<Signal>,
+) -> Signal {
+    vals.clear();
+    for step in &prog.steps {
+        let [a, b, c] = step.map(|l| resolve_sig(l, ins, vals));
+        let s = new.maj(a, b, c);
+        vals.push(s);
+    }
+    resolve_sig(prog.out, ins, vals).complement_if(output_flip)
+}
+
+fn resolve_sig(l: mig_tt::MigLit, ins: &[Signal; 4], vals: &[Signal]) -> Signal {
+    let base = if l.is_constant() {
+        Signal::FALSE
+    } else if let Some(v) = l.var_index() {
+        ins[v]
+    } else {
+        vals[l.step_index().expect("step literal")]
+    };
+    base.complement_if(l.is_complemented())
+}
+
+/// Size of the node's maximum fanout-free cone with respect to the cut:
+/// the gates (including the node itself) that become unreferenced when
+/// the node is replaced by logic over the cut leaves. Runs the classic
+/// dereference/re-reference walk on a scratch copy of the fanout counts,
+/// restoring them before returning.
+fn mffc_size(mig: &Mig, node: NodeId, leaves: &[u32], refs: &mut [u32]) -> usize {
+    let size = mffc_deref(mig, node, leaves, refs);
+    mffc_reref(mig, node, leaves, refs);
+    size
+}
+
+fn mffc_deref(mig: &Mig, node: NodeId, leaves: &[u32], refs: &mut [u32]) -> usize {
+    let mut size = 1;
+    for s in mig.children(node) {
+        let m = s.node();
+        if !mig.is_gate(m) || leaves.contains(&(m.index() as u32)) {
+            continue;
+        }
+        refs[m.index()] -= 1;
+        if refs[m.index()] == 0 {
+            size += mffc_deref(mig, m, leaves, refs);
+        }
+    }
+    size
+}
+
+fn mffc_reref(mig: &Mig, node: NodeId, leaves: &[u32], refs: &mut [u32]) {
+    for s in mig.children(node) {
+        let m = s.node();
+        if !mig.is_gate(m) || leaves.contains(&(m.index() as u32)) {
+            continue;
+        }
+        if refs[m.index()] == 0 {
+            mffc_reref(mig, m, leaves, refs);
+        }
+        refs[m.index()] += 1;
+    }
+}
+
+/// Enumerates up to `max_cuts` priority cuts per reachable node (plus
+/// the unit cut, stored last), with subset-dominance filtering. Wider
+/// cuts are preferred: they expose more replaceable logic to the
+/// database match.
+fn enumerate_cuts(mig: &Mig, k: usize, max_cuts: usize, rb: &mut RewriteBuffers) {
+    let stride = max_cuts + 1;
+    let n = mig.num_nodes();
+    rb.cuts.clear();
+    rb.cuts.resize(n * stride, Cut::default());
+    rb.ncuts.clear();
+    rb.ncuts.resize(n, 0);
+    // Constant node: the empty cut (function 0).
+    rb.cuts[0] = Cut {
+        leaves: [0; 4],
+        len: 0,
+        tt: 0,
+    };
+    rb.ncuts[0] = 1;
+    for i in 1..=mig.num_inputs() {
+        rb.cuts[i * stride] = Cut::unit(i);
+        rb.ncuts[i] = 1;
+    }
+    let mark = mig.reach_ref();
+    for node in mig.gate_ids() {
+        let idx = node.index();
+        if !mark[idx] {
+            continue;
+        }
+        let [a, b, c] = mig.children(node);
+        let mut cand = std::mem::take(&mut rb.cand);
+        cand.clear();
+        for ca in 0..rb.ncuts[a.node().index()] as usize {
+            for cb in 0..rb.ncuts[b.node().index()] as usize {
+                for cc in 0..rb.ncuts[c.node().index()] as usize {
+                    let cut_a = &rb.cuts[a.node().index() * stride + ca];
+                    let cut_b = &rb.cuts[b.node().index() * stride + cb];
+                    let cut_c = &rb.cuts[c.node().index() * stride + cc];
+                    let Some(mut cut) = merge3(cut_a, cut_b, cut_c, k) else {
+                        continue;
+                    };
+                    let ta = expand_tt(cut_a.tt, cut_a.leaves(), cut.leaves())
+                        ^ if a.is_complemented() { 0xFFFF } else { 0 };
+                    let tb = expand_tt(cut_b.tt, cut_b.leaves(), cut.leaves())
+                        ^ if b.is_complemented() { 0xFFFF } else { 0 };
+                    let tc = expand_tt(cut_c.tt, cut_c.leaves(), cut.leaves())
+                        ^ if c.is_complemented() { 0xFFFF } else { 0 };
+                    cut.tt = ((ta & tb) | (ta & tc) | (tb & tc)) & tt_mask(cut.len as usize);
+                    if cand
+                        .iter()
+                        .any(|e| e.leaves() == cut.leaves() || e.dominates(&cut))
+                    {
+                        continue;
+                    }
+                    cand.retain(|e| !cut.dominates(e));
+                    cand.push(cut);
+                }
+            }
+        }
+        // Wider cuts first; stable so earlier (smaller-index) leaves win
+        // ties deterministically.
+        cand.sort_by_key(|c| std::cmp::Reverse(c.len));
+        cand.truncate(max_cuts);
+        cand.push(Cut::unit(idx));
+        let n_cand = cand.len();
+        rb.cuts[idx * stride..idx * stride + n_cand].copy_from_slice(&cand);
+        rb.ncuts[idx] = n_cand as u8;
+        rb.cand = cand;
+    }
+}
+
+/// Merges three sorted leaf sets into one, or `None` if the union
+/// exceeds `k` leaves. The merged truth table is filled in by the
+/// caller.
+fn merge3(a: &Cut, b: &Cut, c: &Cut, k: usize) -> Option<Cut> {
+    let mut out = Cut::default();
+    for src in [a, b, c] {
+        for &l in src.leaves() {
+            let len = out.len as usize;
+            match out.leaves[..len].binary_search(&l) {
+                Ok(_) => {}
+                Err(pos) => {
+                    if len == k {
+                        return None;
+                    }
+                    out.leaves.copy_within(pos..len, pos + 1);
+                    out.leaves[pos] = l;
+                    out.len += 1;
+                }
+            }
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_inputs() -> (Mig, Signal, Signal, Signal) {
+        let mut mig = Mig::new("t");
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let c = mig.add_input("c");
+        (mig, a, b, c)
+    }
+
+    #[test]
+    fn xor3_rewrites_to_database_optimum() {
+        let (mut mig, a, b, c) = three_inputs();
+        let t = mig.xor(a, b);
+        let f = mig.xor(t, c);
+        mig.add_output("f", f);
+        assert_eq!(mig.size(), 6);
+        let opt = optimize_rewrite(&mig, &RewriteConfig::default());
+        assert!(opt.equiv(&mig, 4));
+        assert_eq!(opt.size(), 3, "database holds the 3-node XOR3");
+    }
+
+    #[test]
+    fn redundant_logic_collapses_to_a_wire() {
+        // f = (a ∧ b) ∨ (a ∧ b') ≡ a: the cut function over {a, b} is the
+        // projection of a, so the whole cone is replaced by a wire.
+        let (mut mig, a, b, _) = three_inputs();
+        let p = mig.and(a, b);
+        let q = mig.and(a, !b);
+        let f = mig.or(p, q);
+        mig.add_output("f", f);
+        assert_eq!(mig.size(), 3);
+        let opt = optimize_rewrite(&mig, &RewriteConfig::default());
+        assert!(opt.equiv(&mig, 4));
+        assert_eq!(opt.size(), 0);
+        assert_eq!(opt.outputs()[0].1, opt.input(0));
+    }
+
+    #[test]
+    fn constant_cone_folds_to_constant() {
+        // f = (a ∧ b) ∧ (a' ∨ b') ≡ 0 needs the Boolean view to vanish.
+        let (mut mig, a, b, _) = three_inputs();
+        let p = mig.and(a, b);
+        let q = mig.or(!a, !b);
+        let f = mig.and(p, q);
+        mig.add_output("f", f);
+        let opt = optimize_rewrite(&mig, &RewriteConfig::default());
+        assert!(opt.equiv(&mig, 4));
+        assert_eq!(opt.size(), 0);
+        assert!(opt.outputs()[0].1.is_constant());
+    }
+
+    #[test]
+    fn rewrite_is_monotone_and_equivalent() {
+        let mut mig = Mig::new("misc");
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let c = mig.add_input("c");
+        let d = mig.add_input("d");
+        let m1 = mig.maj(a, b, c);
+        let m2 = mig.mux(d, m1, a);
+        let m3 = mig.xor(m2, b);
+        let m4 = mig.or(m3, m1);
+        mig.add_output("y", m4);
+        mig.add_output("z", m2);
+        let before = mig.size();
+        let opt = optimize_rewrite(&mig, &RewriteConfig::default());
+        assert!(opt.equiv(&mig, 4));
+        assert!(opt.size() <= before, "{} > {}", opt.size(), before);
+    }
+
+    #[test]
+    fn shared_fanout_is_respected() {
+        // The MFFC accounting must not claim nodes that other outputs
+        // still reference: rewriting here must keep both outputs correct.
+        let (mut mig, a, b, c) = three_inputs();
+        let t = mig.xor(a, b);
+        let f = mig.xor(t, c);
+        mig.add_output("f", f);
+        mig.add_output("t", t); // t has external fanout
+        let opt = optimize_rewrite(&mig, &RewriteConfig::default());
+        assert!(opt.equiv(&mig, 4));
+        assert!(opt.size() <= mig.size());
+    }
+
+    #[test]
+    fn cut_enumeration_truth_tables_are_exact() {
+        // Check every enumerated cut function against exhaustive
+        // simulation through probe outputs.
+        let mut mig = Mig::new("t4");
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let c = mig.add_input("c");
+        let d = mig.add_input("d");
+        let x = mig.xor(a, b);
+        let g = mig.mux(c, x, d);
+        mig.add_output("y", g);
+        let mut rb = RewriteBuffers::default();
+        enumerate_cuts(&mig, 4, 8, &mut rb);
+        let stride = 9;
+        let mark = mig.reach_ref();
+        for node in mig.gate_ids() {
+            if !mark[node.index()] {
+                continue;
+            }
+            for ci in 0..rb.ncuts[node.index()] as usize {
+                let cut = rb.cuts[node.index() * stride + ci];
+                // Probe the node and its leaves.
+                let mut probe = mig.clone();
+                probe.add_output("probe", Signal::new(node, false));
+                for (i, &leaf) in cut.leaves().iter().enumerate() {
+                    probe.add_output(
+                        format!("leaf{i}"),
+                        Signal::new(NodeId::from_index(leaf as usize), false),
+                    );
+                }
+                let tts = probe.truth_tables();
+                let base = tts.len() - cut.leaves().len();
+                for row in 0..16usize {
+                    let mut idx = 0usize;
+                    for i in 0..cut.leaves().len() {
+                        if tts[base + i].get_bit(row) {
+                            idx |= 1 << i;
+                        }
+                    }
+                    assert_eq!(
+                        (cut.tt >> idx) & 1 == 1,
+                        tts[base - 1].get_bit(row),
+                        "node {node}, cut {cut:?}, row {row}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge3_respects_bound() {
+        let a = Cut::unit(1);
+        let b = Cut::unit(2);
+        let c = Cut {
+            leaves: [3, 4, 5, 0],
+            len: 3,
+            tt: 0,
+        };
+        assert!(merge3(&a, &b, &c, 4).is_none(), "5 leaves > 4");
+        let m = merge3(&a, &b, &b, 4).expect("2 leaves");
+        assert_eq!(m.leaves(), &[1, 2]);
+        let m = merge3(&c, &c, &c, 4).expect("subset");
+        assert_eq!(m.leaves(), &[3, 4, 5]);
+    }
+
+    #[test]
+    fn extend4_repeats_pattern() {
+        assert_eq!(extend4(0b10, 1), 0xAAAA);
+        assert_eq!(extend4(0b1000, 2), 0x8888);
+        assert_eq!(extend4(1, 0), 0xFFFF);
+    }
+}

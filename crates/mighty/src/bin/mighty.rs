@@ -1,8 +1,8 @@
 //! `mighty` — command-line driver for the MIG suite.
 //!
 //! ```text
-//! mighty opt [INPUT] [--target size|depth|activity|all] [--effort N]
-//!            [--rounds N] [-o FILE]
+//! mighty opt [INPUT] [--target size|depth|activity|all] [--rewrite]
+//!            [--effort N] [--rounds N] [-o FILE]
 //! mighty bench [BENCH]... [--quick] [--effort N] [--rounds N] [-o FILE]
 //! mighty stats [INPUT]...
 //! mighty gen BENCH [-o FILE]
@@ -20,13 +20,16 @@ use mig_mighty::{emit_verilog, load_input, render_report, run_opt, OptTarget};
 const USAGE: &str = "mighty — Majority-Inverter Graph optimization driver
 
 USAGE:
-    mighty opt [INPUT] [--target size|depth|activity|all] [--effort N]
-               [--rounds N] [-o FILE]   optimize, verify, report (default
-                                        INPUT: my_adder, target: all)
+    mighty opt [INPUT] [--target size|depth|activity|all] [--rewrite]
+               [--effort N] [--rounds N] [-o FILE]
+                                        optimize, verify, report (default
+                                        INPUT: my_adder, target: all);
+                                        --rewrite adds the cut-based Boolean
+                                        rewriting pass after the size stage
     mighty bench [BENCH]... [--quick] [--effort N] [--rounds N] [-o FILE]
-                                        timed size/depth/activity sweep over
-                                        the MCNC suite; writes the
-                                        mig-bench/v1 JSON perf trajectory
+                                        timed size/rewrite/depth/activity
+                                        sweep over the MCNC suite; writes the
+                                        mig-bench/v2 JSON perf trajectory
                                         (default FILE: BENCH_opt.json);
                                         exits nonzero on any equivalence
                                         failure or size regression
@@ -45,6 +48,7 @@ struct Args {
     rounds: Option<usize>,
     output: Option<String>,
     quick: bool,
+    rewrite: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -55,6 +59,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         rounds: None,
         output: None,
         quick: false,
+        rewrite: false,
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -69,6 +74,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.effort = Some(value(a)?.parse().map_err(|e| format!("--effort: {e}"))?);
             }
             "--quick" | "-q" => args.quick = true,
+            "--rewrite" | "-w" => args.rewrite = true,
             "--rounds" | "-r" => {
                 args.rounds = Some(
                     value(a)?
@@ -99,6 +105,7 @@ fn cmd_opt(args: &Args) -> Result<bool, String> {
         args.target,
         args.effort.unwrap_or(2),
         args.rounds.unwrap_or(32),
+        args.rewrite,
     );
     print!("{}", render_report(&outcome));
     if let Some(path) = &args.output {

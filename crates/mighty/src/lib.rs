@@ -13,13 +13,13 @@
 //! plain functions ([`load_input`], [`run_opt`], [`render_report`]) so
 //! integration tests drive the exact code path the CLI does. The timed
 //! suite sweep behind `mighty bench` lives in [`mig_bench`], which writes
-//! the `mig-bench/v1` perf-trajectory JSON (`BENCH_opt.json`).
+//! the `mig-bench/v2` perf-trajectory JSON (`BENCH_opt.json`).
 //!
 //! ```
 //! use mig_mighty::{load_input, run_opt, OptTarget};
 //!
 //! let net = load_input("my_adder").unwrap();
-//! let outcome = run_opt(&net, OptTarget::Depth, 2, 16);
+//! let outcome = run_opt(&net, OptTarget::Depth, 2, 16, false);
 //! assert!(outcome.mig_equiv && outcome.net_equiv);
 //! assert!(outcome.after.depth <= outcome.before.depth);
 //! ```
@@ -28,8 +28,8 @@ use std::fmt;
 use std::time::Instant;
 
 use mig_core::{
-    optimize_activity, optimize_depth, optimize_size, ActivityOptConfig, DepthOptConfig, Mig,
-    SizeOptConfig,
+    optimize_activity, optimize_depth, optimize_rewrite, optimize_size, ActivityOptConfig,
+    DepthOptConfig, Mig, RewriteConfig, SizeOptConfig,
 };
 use mig_netlist::{parse_verilog, write_verilog, Network};
 
@@ -141,7 +141,16 @@ pub fn load_input(spec: &str) -> Result<Network, String> {
 /// number of 64-pattern blocks used by the random half of the equivalence
 /// checks (small input counts are always checked exhaustively). Both are
 /// clamped to at least 1 so a zero never silently skips verification.
-pub fn run_opt(net: &Network, target: OptTarget, effort: usize, rounds: usize) -> OptOutcome {
+/// With `rewrite` set, the cut-based Boolean rewriting pass
+/// ([`mig_core::optimize_rewrite`]) runs after the size stage (or first,
+/// for a depth/activity-only flow) — the `mighty opt --rewrite` switch.
+pub fn run_opt(
+    net: &Network,
+    target: OptTarget,
+    effort: usize,
+    rounds: usize,
+    rewrite: bool,
+) -> OptOutcome {
     let rounds = rounds.max(1);
     let mig = Mig::from_network(net);
     let before = Snapshot::of(&mig);
@@ -162,6 +171,16 @@ pub fn run_opt(net: &Network, target: OptTarget, effort: usize, rounds: usize) -
             },
         );
         stages.push(("size (Alg. 1)", Snapshot::of(&cur)));
+    }
+    if rewrite {
+        cur = optimize_rewrite(
+            &cur,
+            &RewriteConfig {
+                effort: effort.max(1),
+                ..RewriteConfig::default()
+            },
+        );
+        stages.push(("rewrite (Boolean)", Snapshot::of(&cur)));
     }
     if matches!(target, OptTarget::Depth | OptTarget::All) {
         cur = optimize_depth(
@@ -273,7 +292,7 @@ mod tests {
     #[test]
     fn opt_all_improves_and_stays_equivalent() {
         let net = load_input("my_adder").unwrap();
-        let o = run_opt(&net, OptTarget::All, 2, 16);
+        let o = run_opt(&net, OptTarget::All, 2, 16, false);
         assert!(o.mig_equiv, "MIG-level equivalence must hold");
         assert!(o.net_equiv, "network-level equivalence must hold");
         assert!(o.after.size <= o.before.size);
@@ -285,9 +304,20 @@ mod tests {
     }
 
     #[test]
+    fn rewrite_flow_adds_a_stage_and_stays_equivalent() {
+        let net = load_input("my_adder").unwrap();
+        let plain = run_opt(&net, OptTarget::Size, 1, 16, false);
+        let o = run_opt(&net, OptTarget::Size, 1, 16, true);
+        assert!(o.mig_equiv && o.net_equiv);
+        let labels: Vec<&str> = o.stages.iter().map(|(l, _)| *l).collect();
+        assert!(labels.contains(&"rewrite (Boolean)"), "{labels:?}");
+        assert!(o.after.size <= plain.after.size, "rewrite must not grow");
+    }
+
+    #[test]
     fn report_mentions_every_metric_and_verdict() {
         let net = load_input("my_adder").unwrap();
-        let o = run_opt(&net, OptTarget::Size, 1, 8);
+        let o = run_opt(&net, OptTarget::Size, 1, 8, false);
         let r = render_report(&o);
         assert!(r.contains("size"), "{r}");
         assert!(r.contains("depth"), "{r}");

@@ -8,7 +8,10 @@
 //!   computation.
 //! * [`npn`] — exact NPN canonization for small functions (≤ 6 variables),
 //!   used by cut rewriting and Boolean matching.
-//! * [`isop`] — Minato–Morreale irredundant sum-of-products extraction.
+//! * [`mig_db`] — the NPN-class → optimal-majority-structure database
+//!   behind cut-based MIG rewriting, with a `u16`-specialized 4-variable
+//!   canonizer for the enumeration hot path.
+//! * [`mod@isop`] — Minato–Morreale irredundant sum-of-products extraction.
 //! * [`factor`] — algebraic factoring of an SOP into a literal-count-cheap
 //!   factored form, used by AIG refactoring.
 //!
@@ -26,10 +29,15 @@
 
 pub mod factor;
 pub mod isop;
+pub mod mig_db;
 pub mod npn;
 mod truth_table;
 
 pub use factor::{factor_sop, FactoredForm};
 pub use isop::{isop, Cube, Sop};
+pub use mig_db::{
+    npn4_apply, npn4_canonize, npn4_class_representatives, MigDatabase, MigLit, MigProgram,
+    Npn4Transform, NUM_NPN4_CLASSES,
+};
 pub use npn::{npn_canonize, NpnTransform};
 pub use truth_table::TruthTable;

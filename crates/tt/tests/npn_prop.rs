@@ -1,0 +1,119 @@
+//! Property test: NPN canonization is a true canonical form.
+//!
+//! Two functions are NPN-equivalent iff they share an orbit under input
+//! negation, input permutation, and output negation. A canonizer is a
+//! canonical form exactly when every member of an orbit maps to the same
+//! representative — so for random 4-input truth tables we apply **all**
+//! 2·4!·2⁴ = 768 transforms and require identical canonization, through
+//! both the generic [`mig_tt::npn_canonize`] and the `u16`-specialized
+//! [`mig_tt::npn4_canonize`] used by cut rewriting.
+
+use mig_tt::{npn4_apply, npn4_canonize, npn_canonize, Npn4Transform, TruthTable};
+
+/// Deterministic xorshift so the sampled functions are stable across
+/// runs and platforms.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next_u16(&mut self) -> u16 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0 & 0xFFFF) as u16
+    }
+}
+
+/// Every transform in the 4-variable NPN group, all 768 of them.
+fn all_transforms() -> Vec<Npn4Transform> {
+    let mut perms = Vec::new();
+    for a in 0..4u8 {
+        for b in 0..4u8 {
+            for c in 0..4u8 {
+                for d in 0..4u8 {
+                    if a != b && a != c && a != d && b != c && b != d && c != d {
+                        perms.push([a, b, c, d]);
+                    }
+                }
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(768);
+    for perm in perms {
+        for input_flips in 0..16u8 {
+            for output_flip in [false, true] {
+                out.push(Npn4Transform {
+                    perm,
+                    input_flips,
+                    output_flip,
+                });
+            }
+        }
+    }
+    assert_eq!(out.len(), 768);
+    out
+}
+
+#[test]
+fn fast_canonizer_is_constant_on_orbits() {
+    // The cheap u16 path can afford many samples: every transform of
+    // every sampled function must canonize to the same representative,
+    // and that representative must itself be a fixed point.
+    let transforms = all_transforms();
+    let mut rng = XorShift(0x243F_6A88_85A3_08D3);
+    for _ in 0..25 {
+        let f = rng.next_u16();
+        let (canon, _) = npn4_canonize(f);
+        assert_eq!(npn4_canonize(canon).0, canon, "canon is a fixed point");
+        for t in &transforms {
+            let g = npn4_apply(f, t);
+            assert_eq!(
+                npn4_canonize(g).0,
+                canon,
+                "f {f:#06x}, transform {t:?} broke canonicity"
+            );
+        }
+    }
+}
+
+#[test]
+fn generic_canonizer_is_constant_on_orbits() {
+    // The generic TruthTable canonizer over the full orbit of a few
+    // random functions (it is ~100× slower per call, so fewer samples),
+    // plus agreement with the fast path on every orbit member.
+    let transforms = all_transforms();
+    let mut rng = XorShift(0x9E37_79B9_7F4A_7C15);
+    for _ in 0..1 {
+        let f = rng.next_u16();
+        let (canon, _) = npn_canonize(&TruthTable::from_u64(4, f as u64));
+        for t in &transforms {
+            let g = npn4_apply(f, t);
+            let (got, tr) = npn_canonize(&TruthTable::from_u64(4, g as u64));
+            assert_eq!(got, canon, "f {f:#06x}, transform {t:?}");
+            // The recorded transform actually produces the canonical form.
+            assert_eq!(tr.apply(&TruthTable::from_u64(4, g as u64)), got);
+            // And the fast path agrees on this orbit member.
+            assert_eq!(npn4_canonize(g).0 as u64, got.as_u64());
+        }
+    }
+}
+
+#[test]
+fn structured_functions_canonize_consistently() {
+    // XOR4, MAJ-of-3, AND4, MUX — functions the rewriting pass actually
+    // meets — across their full orbits.
+    let var = |v: usize| [0xAAAAu16, 0xCCCC, 0xF0F0, 0xFF00][v];
+    let maj = |a: u16, b: u16, c: u16| (a & b) | (a & c) | (b & c);
+    let cases = [
+        var(0) ^ var(1) ^ var(2) ^ var(3),
+        maj(var(0), var(1), var(2)),
+        var(0) & var(1) & var(2) & var(3),
+        (var(3) & var(0)) | (!var(3) & var(1)),
+    ];
+    let transforms = all_transforms();
+    for f in cases {
+        let (canon, _) = npn4_canonize(f);
+        for t in &transforms {
+            assert_eq!(npn4_canonize(npn4_apply(f, t)).0, canon, "f {f:#06x}");
+        }
+    }
+}
