@@ -6,15 +6,20 @@
 //! successive PRs accumulate a performance trajectory (compare the
 //! committed file against a fresh run to spot regressions).
 //!
-//! The schema (`mig-bench/v2`, documented in `DESIGN.md` §7; v2 added
-//! the cut-based Boolean `rewrite` pass between `size` and `depth`):
+//! The schema (`mig-bench/v3`, documented in `DESIGN.md` §7; v2 added
+//! the cut-based Boolean `rewrite` pass between `size` and `depth`; v3
+//! added the top-level `threads` field recording the rewrite engine's
+//! resolved evaluate-phase worker count — wall times are per pass as
+//! before, and every size/depth/activity/equiv field is identical for
+//! any thread count):
 //!
 //! ```json
 //! {
-//!   "schema": "mig-bench/v2",
+//!   "schema": "mig-bench/v3",
 //!   "suite": "mcnc14",
 //!   "mode": "full",
 //!   "effort": 4,
+//!   "threads": 1,
 //!   "benchmarks": [
 //!     {
 //!       "name": "alu4", "inputs": 14, "outputs": 8,
@@ -43,7 +48,7 @@
 //! let report = run_suite(&cfg);
 //! assert!(report.all_ok());
 //! assert_eq!(report.benchmarks.len(), 1);
-//! assert!(mig_bench::to_json(&report).contains("\"schema\": \"mig-bench/v2\""));
+//! assert!(mig_bench::to_json(&report).contains("\"schema\": \"mig-bench/v3\""));
 //! ```
 
 use std::fmt::Write as _;
@@ -74,6 +79,10 @@ pub struct BenchConfig {
     pub effort: usize,
     /// 64-pattern blocks for the random half of equivalence checking.
     pub rounds: usize,
+    /// Rewrite-engine evaluate-phase worker threads (0 = available
+    /// parallelism). Affects wall time only: every reported
+    /// size/depth/activity/equiv value is identical for any setting.
+    pub jobs: usize,
 }
 
 impl BenchConfig {
@@ -88,6 +97,7 @@ impl BenchConfig {
             quick: false,
             effort: SizeOptConfig::default().effort,
             rounds: 8,
+            jobs: 0,
         }
     }
 
@@ -98,6 +108,7 @@ impl BenchConfig {
             quick: true,
             effort: 1,
             rounds: 4,
+            jobs: 0,
         }
     }
 }
@@ -156,6 +167,9 @@ pub struct BenchRecord {
 pub struct BenchReport {
     pub mode: &'static str,
     pub effort: usize,
+    /// Resolved rewrite-engine worker count the run used (the `jobs`
+    /// knob with 0 replaced by the machine's available parallelism).
+    pub threads: usize,
     pub benchmarks: Vec<BenchRecord>,
 }
 
@@ -194,6 +208,12 @@ pub fn run_suite(config: &BenchConfig) -> BenchReport {
     };
     let effort = config.effort.max(1);
     let rounds = config.rounds.max(1);
+    let rewrite_config = RewriteConfig {
+        effort,
+        jobs: config.jobs,
+        ..RewriteConfig::default()
+    };
+    let threads = rewrite_config.resolved_jobs();
     let mut benchmarks = Vec::new();
     for name in &names {
         let net = mig_benchgen::generate(name)
@@ -221,13 +241,7 @@ pub fn run_suite(config: &BenchConfig) -> BenchReport {
         });
 
         let t = Instant::now();
-        cur = optimize_rewrite(
-            &cur,
-            &RewriteConfig {
-                effort,
-                ..RewriteConfig::default()
-            },
-        );
+        cur = optimize_rewrite(&cur, &rewrite_config);
         let millis = millis_since(t);
         passes.push(PassResult {
             pass: "rewrite",
@@ -284,11 +298,12 @@ pub fn run_suite(config: &BenchConfig) -> BenchReport {
     BenchReport {
         mode: if config.quick { "quick" } else { "full" },
         effort,
+        threads,
         benchmarks,
     }
 }
 
-/// Serializes a report in the stable `mig-bench/v2` schema.
+/// Serializes a report in the stable `mig-bench/v3` schema.
 ///
 /// Hand-rolled (the workspace has zero third-party dependencies); all
 /// strings in the schema are benchmark names and pass labels, which never
@@ -296,10 +311,11 @@ pub fn run_suite(config: &BenchConfig) -> BenchReport {
 pub fn to_json(report: &BenchReport) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"mig-bench/v2\",");
+    let _ = writeln!(s, "  \"schema\": \"mig-bench/v3\",");
     let _ = writeln!(s, "  \"suite\": \"mcnc14\",");
     let _ = writeln!(s, "  \"mode\": \"{}\",", report.mode);
     let _ = writeln!(s, "  \"effort\": {},", report.effort);
+    let _ = writeln!(s, "  \"threads\": {},", report.threads);
     s.push_str("  \"benchmarks\": [\n");
     for (i, b) in report.benchmarks.iter().enumerate() {
         s.push_str("    {\n");
@@ -354,8 +370,8 @@ pub fn render_table(report: &BenchReport) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "mighty bench · mode={} · effort={}",
-        report.mode, report.effort
+        "mighty bench · mode={} · effort={} · threads={}",
+        report.mode, report.effort, report.threads
     );
     let _ = writeln!(
         s,
@@ -432,9 +448,10 @@ mod tests {
         let report = run_suite(&tiny_config());
         let json = to_json(&report);
         for field in [
-            "\"schema\": \"mig-bench/v2\"",
+            "\"schema\": \"mig-bench/v3\"",
             "\"suite\": \"mcnc14\"",
             "\"mode\": \"quick\"",
+            "\"threads\": ",
             "\"benchmarks\": [",
             "\"import\":",
             "\"passes\": [",
@@ -468,6 +485,26 @@ mod tests {
         assert!(BenchConfig::quick().names.is_empty());
         for skip in QUICK_SKIP {
             assert!(!names.contains(&skip.to_string()));
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_results() {
+        let mut c1 = tiny_config();
+        c1.jobs = 1;
+        let mut c4 = tiny_config();
+        c4.jobs = 4;
+        let r1 = run_suite(&c1);
+        let r4 = run_suite(&c4);
+        assert_eq!(r1.threads, 1);
+        assert_eq!(r4.threads, 4);
+        for (a, b) in r1.benchmarks.iter().zip(&r4.benchmarks) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.equiv, b.equiv);
+            for (pa, pb) in a.passes.iter().zip(&b.passes) {
+                assert_eq!(pa.after.size, pb.after.size, "{} {}", a.name, pa.pass);
+                assert_eq!(pa.after.depth, pb.after.depth, "{} {}", a.name, pa.pass);
+            }
         }
     }
 

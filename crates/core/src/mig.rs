@@ -4,6 +4,14 @@ use crate::scratch::{SubstScratch, TravScratch};
 use crate::strash::StrashTable;
 use crate::{NodeId, Signal};
 use std::cell::{Ref, RefCell, RefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone source for [`Mig::rewrite_stamp`] values: every structural
+/// mutation of any arena draws a fresh, globally unique stamp, so a
+/// `(stamp, num_nodes)` pair identifies one exact graph state. Caches
+/// keyed on a stamp (the rewrite engine's cut cache) can therefore prove
+/// they still describe the graph they were built for.
+static STAMP_SOURCE: AtomicU64 = AtomicU64::new(1);
 
 /// A Majority-Inverter Graph: a DAG whose internal nodes all compute the
 /// three-input majority function and whose edges carry an optional
@@ -55,6 +63,81 @@ pub struct Mig {
     /// Cached reachability marks and reachable-gate count, invalidated on
     /// any mutation.
     reach: RefCell<ReachCache>,
+    /// Globally unique stamp of the last structural mutation (drawn from
+    /// [`STAMP_SOURCE`] inside the same invalidation hook that drops the
+    /// reachability cache).
+    stamp: u64,
+}
+
+/// A read-only, thread-shareable snapshot of a [`Mig`]'s structure.
+///
+/// `Mig` itself is `!Sync` (it carries `RefCell` scratchpads for its
+/// traversal queries), but everything the rewriting evaluators need —
+/// fanins, levels, structural-hash probes — lives in plain storage.
+/// `MigView` borrows exactly that storage, so `std::thread::scope`
+/// workers can share one immutable graph snapshot while the main thread
+/// keeps the `Mig` alive.
+#[derive(Clone, Copy)]
+pub(crate) struct MigView<'a> {
+    children: &'a [[Signal; 3]],
+    level: &'a [u32],
+    num_inputs: usize,
+    strash: &'a StrashTable,
+}
+
+impl MigView<'_> {
+    /// True if `node` is a majority gate.
+    pub fn is_gate(&self, node: NodeId) -> bool {
+        node.index() > self.num_inputs
+    }
+
+    /// The three stored fanins of a gate node.
+    pub fn children(&self, node: NodeId) -> [Signal; 3] {
+        debug_assert!(node.index() > self.num_inputs, "{node} is not a gate");
+        self.children[node.index()]
+    }
+
+    /// Logic level of a node.
+    pub fn level_of(&self, node: NodeId) -> u32 {
+        self.level[node.index()]
+    }
+
+    /// Logic level of the node a signal points at.
+    pub fn level_of_signal(&self, signal: Signal) -> u32 {
+        self.level[signal.node().index()]
+    }
+
+    /// Snapshot equivalent of [`Mig::lookup_maj`]: resolves `M(a, b, c)`
+    /// to an existing signal (trivial fold or strash hit) without
+    /// mutating anything.
+    pub fn lookup_maj(&self, a: Signal, b: Signal, c: Signal) -> Option<Signal> {
+        if a == b || a == c {
+            return Some(a);
+        }
+        if b == c {
+            return Some(b);
+        }
+        if a == !b {
+            return Some(c);
+        }
+        if a == !c {
+            return Some(b);
+        }
+        if b == !c {
+            return Some(a);
+        }
+        let n_compl =
+            a.is_complemented() as u8 + b.is_complemented() as u8 + c.is_complemented() as u8;
+        let (mut key, flip) = if n_compl >= 2 {
+            ([!a, !b, !c], true)
+        } else {
+            ([a, b, c], false)
+        };
+        key.sort_unstable();
+        self.strash
+            .get(key, self.children)
+            .map(|node| Signal::new(node, flip))
+    }
 }
 
 #[derive(Debug, Clone, Default)]
@@ -78,7 +161,27 @@ impl Mig {
             trav: RefCell::new(TravScratch::default()),
             subst: RefCell::new(SubstScratch::default()),
             reach: RefCell::new(ReachCache::default()),
+            stamp: STAMP_SOURCE.fetch_add(1, Ordering::Relaxed),
         }
+    }
+
+    /// A thread-shareable snapshot of the graph's plain storage (fanins,
+    /// levels, strash). Valid until the next mutation.
+    pub(crate) fn view(&self) -> MigView<'_> {
+        MigView {
+            children: &self.children,
+            level: &self.level,
+            num_inputs: self.num_inputs,
+            strash: &self.strash,
+        }
+    }
+
+    /// The globally unique stamp of this graph's last structural
+    /// mutation. Two reads returning the same stamp (on the same arena
+    /// length) prove the structure has not changed in between; caches
+    /// keyed on it (the rewrite engine's cut cache) use that proof.
+    pub(crate) fn rewrite_stamp(&self) -> u64 {
+        self.stamp
     }
 
     /// The design name.
@@ -94,6 +197,7 @@ impl Mig {
     #[inline]
     fn invalidate_cache(&mut self) {
         self.reach.get_mut().valid = false;
+        self.stamp = STAMP_SOURCE.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Adds a primary input and returns its signal.
@@ -251,32 +355,7 @@ impl Mig {
     /// Optimization passes use this to detect sharing opportunities before
     /// committing to a rewrite.
     pub fn lookup_maj(&self, a: Signal, b: Signal, c: Signal) -> Option<Signal> {
-        if a == b || a == c {
-            return Some(a);
-        }
-        if b == c {
-            return Some(b);
-        }
-        if a == !b {
-            return Some(c);
-        }
-        if a == !c {
-            return Some(b);
-        }
-        if b == !c {
-            return Some(a);
-        }
-        let n_compl =
-            a.is_complemented() as u8 + b.is_complemented() as u8 + c.is_complemented() as u8;
-        let (mut key, flip) = if n_compl >= 2 {
-            ([!a, !b, !c], true)
-        } else {
-            ([a, b, c], false)
-        };
-        key.sort_unstable();
-        self.strash
-            .get(key, &self.children)
-            .map(|node| Signal::new(node, flip))
+        self.view().lookup_maj(a, b, c)
     }
 
     fn maj_canonical(&mut self, a: Signal, b: Signal, c: Signal) -> Signal {

@@ -1,5 +1,6 @@
 //! Cut-based Boolean rewriting against the NPN-canonical majority
-//! database (`mig_tt::mig_db`).
+//! database (`mig_tt::mig_db`), organized as **parallel-evaluate /
+//! serial-commit** sweeps with **incremental cut invalidation**.
 //!
 //! The algebraic passes (Algorithms 1–2) only reshape what is
 //! structurally visible; this pass works on local *functions* instead.
@@ -10,29 +11,73 @@
 //! constructor on the cut leaves and accepted only when MFFC accounting
 //! proves a strict size gain (or, optionally, an equal-size depth gain).
 //!
-//! The pass is a single topological rebuild: decisions are made node by
-//! node against the *destination* graph, so `lookup_maj` probes the
-//! strash table to find structure that already exists (those nodes cost
-//! nothing), and replaced logic — the node's maximum fanout-free cone
-//! with respect to the cut — simply becomes unreachable and is swept by
-//! the closing cleanup. All per-node state (cut sets, truth-table
-//! scratch, the MFFC reference counts) lives in reusable buffers, so the
-//! enumeration inner loop performs no allocation in steady state.
+//! Each sweep is split into two phases (`DESIGN.md` §9):
+//!
+//! 1. **Evaluate (parallel, read-only).** The expensive *preparation* —
+//!    priority-cut enumeration, truth-table computation, NPN
+//!    canonization and database matching — runs against an immutable
+//!    snapshot of the source graph (`MigView`): level wavefronts of
+//!    nodes are chunked across `std::thread::scope` workers, each
+//!    owning its scratch state (a `ScratchPool` entry). The phase
+//!    emits, per node, an ordered list of candidate cuts whose function
+//!    has a database structure.
+//! 2. **Commit (serial, deterministic).** A single topological rebuild
+//!    through the one strash table scores each node's candidates
+//!    against the *destination* graph — MFFC accounting for the nodes
+//!    saved, a dry run through the evolving strash for the nodes added
+//!    (so sharing created by earlier commits of the same sweep,
+//!    including nested cascades, is priced in) — and replays the best
+//!    profitable structure. Candidates arrive in ascending node order
+//!    whatever the worker count and the commit is single-threaded, so
+//!    results are **bit-identical for every `jobs` setting**.
+//!
+//! Sweeps are *incremental*: per-node cut sets and candidate slots live
+//! in a `RewriteCache` keyed to the graph's mutation stamp and
+//! survive the rewrite ⇄ eliminate ⇄ cleanup rebuilds — after every
+//! rebuild the cache is *translated* through the old→new signal map,
+//! and only nodes whose structure actually changed (or whose
+//! translation would be degenerate) are marked dirty. On the next sweep
+//! the dirty region grows only through *damped* propagation: a node is
+//! re-enumerated when a fanin's cut set **actually changed**, so a
+//! re-enumeration that reproduces the previous cuts stops the wave
+//! instead of dirtying the whole transitive fanout. In steady state a
+//! sweep re-enumerates a small fraction of the graph, which is where
+//! the pass's round-to-round speedup comes from.
 //!
 //! The per-node gain is an estimate, not a proof: `saved` comes from the
 //! *source* graph's fanout counts, while sharing materializes in the
-//! destination graph (e.g. duplicate cones that strash-merge during the
-//! rebuild can make two rewrites claim the same dying nodes). The
-//! pass-level guard in [`optimize_rewrite`] — keep a sweep only if the
-//! cleaned result strictly improves `(size, depth)` — is what makes the
-//! optimization monotone end to end.
+//! destination graph. The pass-level guard in [`optimize_rewrite`] —
+//! keep a sweep only if the cleaned result strictly improves
+//! `(size, depth)` — is what makes the optimization monotone end to end.
 
+use std::cmp::Reverse;
 use std::collections::HashMap;
+use std::ops::Range;
 
 use super::size::eliminate_pass;
 use super::{size_depth, OptBuffers};
+use crate::mig::MigView;
+use crate::scratch::ScratchPool;
 use crate::{Mig, NodeId, Signal};
 use mig_tt::{npn4_canonize, MigDatabase, MigProgram, Npn4Transform};
+
+/// Hard cap on evaluate-phase worker threads.
+const MAX_JOBS: usize = 16;
+
+/// Minimum number of nodes in a wavefront before fanning work out to
+/// threads pays for the spawn overhead.
+const PAR_THRESHOLD: usize = 128;
+
+/// Incremental sweeps budgeted per `effort` unit: cheap (mostly-cached)
+/// sweeps replace the full sweeps of the old engine, so each unit buys
+/// several of them. The pass still stops at the first non-improving
+/// round.
+const ROUNDS_PER_EFFORT: usize = 4;
+
+/// Candidate-slot storage width per node. With the default `max_cuts`
+/// of 8 this holds every non-unit cut, so the commit-side scoring sees
+/// the full candidate space (quality is never traded for cache hits).
+const MAX_NODE_CANDS: usize = 8;
 
 /// Tuning knobs for [`optimize_rewrite`].
 #[derive(Debug, Clone)]
@@ -40,13 +85,20 @@ pub struct RewriteConfig {
     /// Maximum cut width (clamped to 2..=4; truth tables are 16-bit).
     pub cut_size: usize,
     /// Priority-cut bound: how many cuts are kept per node (plus the
-    /// unit cut). Clamped to 1..=64.
+    /// unit cut). Clamped to 1..=8 — the candidate-slot width — so the
+    /// commit phase always scores every stored cut.
     pub max_cuts: usize,
-    /// Number of rewrite → eliminate rounds.
+    /// Rewrite → eliminate round budget (each unit buys
+    /// several incremental sweeps; the pass stops early at a fixpoint).
     pub effort: usize,
     /// Accept zero-gain replacements that strictly reduce the local
     /// logic level (size-then-depth acceptance).
     pub depth_tiebreak: bool,
+    /// Evaluate-phase worker threads (`0` = available parallelism,
+    /// capped at 16). The thread count never changes the result:
+    /// evaluation is read-only and commits are serialized
+    /// deterministically.
+    pub jobs: usize,
 }
 
 impl Default for RewriteConfig {
@@ -56,18 +108,60 @@ impl Default for RewriteConfig {
             max_cuts: 8,
             effort: 2,
             depth_tiebreak: true,
+            jobs: 0,
         }
     }
 }
 
+impl RewriteConfig {
+    /// The concrete worker count this configuration resolves to: `jobs`
+    /// itself, or the machine's available parallelism when it is 0, in
+    /// both cases capped at 16. Exposed so harnesses (`mighty bench`)
+    /// can record the thread count a run actually used.
+    pub fn resolved_jobs(&self) -> usize {
+        let n = if self.jobs == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.jobs
+        };
+        n.clamp(1, MAX_JOBS)
+    }
+}
+
+/// Resolves a `jobs` knob to a concrete worker count.
+fn resolve_jobs(jobs: usize) -> usize {
+    RewriteConfig {
+        jobs,
+        ..RewriteConfig::default()
+    }
+    .resolved_jobs()
+}
+
+/// Deterministic contiguous chunk `i` of `jobs` over `len` items.
+fn chunk_range(len: usize, jobs: usize, i: usize) -> Range<usize> {
+    let per = len / jobs;
+    let rem = len % jobs;
+    let start = i * per + i.min(rem);
+    start..start + per + usize::from(i < rem)
+}
+
 /// A k-feasible cut: sorted leaf nodes plus the root's function over
 /// them (leaf `i` is truth-table variable `i`; the low `2^len` bits of
-/// `tt` are valid). Fixed-size — cut sets live in one flat buffer.
-#[derive(Debug, Clone, Copy, Default)]
+/// `tt` are valid). `sign` is a 32-bit Bloom signature of the leaf set
+/// (one bit per `leaf mod 32`), letting the hot duplicate/dominance
+/// filters reject most pairs on a single word op. Fixed-size — cut sets
+/// live in one flat buffer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct Cut {
     leaves: [u32; 4],
     len: u8,
     tt: u16,
+    sign: u32,
+}
+
+/// The Bloom signature of one leaf.
+fn leaf_sign(leaf: u32) -> u32 {
+    1 << (leaf & 31)
 }
 
 impl Cut {
@@ -76,6 +170,7 @@ impl Cut {
             leaves: [node as u32, 0, 0, 0],
             len: 1,
             tt: 0b10,
+            sign: leaf_sign(node as u32),
         }
     }
 
@@ -86,7 +181,14 @@ impl Cut {
     /// True if this cut's leaves are a subset of `other`'s (making
     /// `other` redundant).
     fn dominates(&self, other: &Cut) -> bool {
-        self.leaves().iter().all(|l| other.leaves().contains(l))
+        self.len <= other.len
+            && self.sign & !other.sign == 0
+            && self.leaves().iter().all(|l| other.leaves().contains(l))
+    }
+
+    /// True if both cuts have exactly the same leaf set.
+    fn same_leaves(&self, other: &Cut) -> bool {
+        self.len == other.len && self.sign == other.sign && self.leaves == other.leaves
     }
 }
 
@@ -129,8 +231,8 @@ fn extend4(tt: u16, len: usize) -> u16 {
     t
 }
 
-/// Outcome of simulating one database instruction against the
-/// destination graph without building anything.
+/// Outcome of simulating one database instruction against the snapshot
+/// without building anything.
 #[derive(Debug, Clone, Copy)]
 enum DryVal {
     /// The node already exists (strash hit or trivial fold): free.
@@ -147,52 +249,299 @@ impl DryVal {
         }
     }
 
-    fn level(self, mig: &Mig) -> u32 {
+    fn level(self, view: &MigView) -> u32 {
         match self {
-            DryVal::Known(s) => mig.level_of_signal(s),
+            DryVal::Known(s) => view.level_of_signal(s),
             DryVal::New(l) => l,
         }
     }
 }
 
-/// Reusable buffers for the rewriting pass (cut sets, truth-table and
-/// replay scratch, MFFC reference counts, and the NPN canonization
-/// cache). One instance serves any number of passes.
+/// Per-worker scratch: everything an evaluate-phase thread mutates.
+/// Pooled in [`RewriteCache`] so steady-state sweeps do not allocate.
 #[derive(Debug, Default)]
-pub(crate) struct RewriteBuffers {
-    cuts: Vec<Cut>,
-    ncuts: Vec<u8>,
-    cand: Vec<Cut>,
-    fanout: Vec<u32>,
-    refs: Vec<u32>,
-    map: Vec<Signal>,
-    dry: Vec<DryVal>,
-    replay: Vec<Signal>,
+struct WorkerScratch {
+    /// Truth table → canonization memo (graph-independent, lives
+    /// forever).
     canon_cache: HashMap<u16, (u16, Npn4Transform)>,
+    /// Cut-candidate buffer for enumeration.
+    cand: Vec<Cut>,
+    /// Enumeration results: flat cuts plus `(node, count, changed)`
+    /// records (`changed` drives the dirty damping).
+    out_cuts: Vec<Cut>,
+    out_meta: Vec<(u32, u8, bool)>,
+    /// Evaluation results: `(node, count, slot list)` in ascending node
+    /// order.
+    out_slots: Vec<(u32, u8, [u8; MAX_NODE_CANDS])>,
 }
 
-impl RewriteBuffers {
+impl WorkerScratch {
     fn canonize(&mut self, tt: u16) -> (u16, Npn4Transform) {
-        *self
-            .canon_cache
-            .entry(tt)
-            .or_insert_with(|| npn4_canonize(tt))
+        memo_canonize(&mut self.canon_cache, tt)
     }
 }
 
-/// A chosen replacement for one node: which program to replay and how
-/// its variables map onto cut leaves.
-struct Plan {
-    cut: Cut,
-    transform: Npn4Transform,
-    gain: isize,
-    level: u32,
+/// Memoized NPN canonization (pure, so caching per caller is sound).
+fn memo_canonize(memo: &mut HashMap<u16, (u16, Npn4Transform)>, tt: u16) -> (u16, Npn4Transform) {
+    *memo.entry(tt).or_insert_with(|| npn4_canonize(tt))
+}
+
+/// Persistent state of the rewriting engine: per-node priority-cut sets
+/// with dirty bits, the worker scratch pool, and the per-sweep side
+/// buffers. One instance serves any number of passes; between the
+/// rewrite ⇄ eliminate ⇄ cleanup rebuilds of one pass the cut sets are
+/// carried across via [`RewriteCache::translate`] instead of being
+/// recomputed, keyed to the graph's mutation stamp so a stale cache can
+/// never be misread.
+#[derive(Debug, Default)]
+pub(crate) struct RewriteCache {
+    stride: usize,
+    cuts: Vec<Cut>,
+    ncuts: Vec<u8>,
+    dirty: Vec<bool>,
+    /// Prefiltered candidate slots per node: cut indices in rank order
+    /// (`MAX_NODE_CANDS` slots per node), re-scored only when the node's
+    /// cut set or local fanout context changes — the commit phase
+    /// re-validates every slot against the live destination anyway.
+    ncands: Vec<u8>,
+    slots: Vec<u8>,
+    /// Fanout counts the slots were last scored under (`u32::MAX` =
+    /// never scored), used to spot nodes whose gain context moved.
+    prev_fanout: Vec<u32>,
+    /// `(mutation stamp, node count)` of the graph the cut arrays
+    /// describe; `None` when the cache holds nothing.
+    key: Option<(u64, usize)>,
+    /// Translation double buffers.
+    t_cuts: Vec<Cut>,
+    t_ncuts: Vec<u8>,
+    t_dirty: Vec<bool>,
+    t_ncands: Vec<u8>,
+    t_slots: Vec<u8>,
+    t_prev_fanout: Vec<u32>,
+    /// Per-thread evaluator scratch, recycled across sweeps and passes.
+    workers: ScratchPool<WorkerScratch>,
+    /// Per-sweep shared read-only buffers.
+    fanout: Vec<u32>,
+    reach: Vec<bool>,
+    /// Reachable gates sorted into level wavefronts.
+    worklist: Vec<u32>,
+    /// Per-sweep result of the damping: whose cut set actually changed.
+    changed: Vec<bool>,
+    /// Scratch list of the nodes one wavefront must re-enumerate.
+    batch: Vec<u32>,
+    /// Nodes whose candidate slots must be re-scored this sweep.
+    eval_list: Vec<u32>,
+    /// Commit-side canonization memo (the workers each have their own).
+    canon_memo: HashMap<u16, (u16, Npn4Transform)>,
+    /// Commit state: a fanout-count copy for the MFFC walks, a dry-run
+    /// stack, the old→new signal map and the replay stack.
+    refs: Vec<u32>,
+    dry: Vec<DryVal>,
+    map: Vec<Signal>,
+    replay: Vec<Signal>,
+}
+
+impl RewriteCache {
+    /// Points the cache at `mig`: a no-op when the cache already
+    /// describes exactly this graph state (the incremental path),
+    /// otherwise a full reset with every gate marked dirty.
+    fn bind(&mut self, mig: &Mig, stride: usize) {
+        if self.stride == stride && self.key == Some((mig.rewrite_stamp(), mig.num_nodes())) {
+            return;
+        }
+        self.stride = stride;
+        let n = mig.num_nodes();
+        self.cuts.clear();
+        self.cuts.resize(n * stride, Cut::default());
+        self.ncuts.clear();
+        self.ncuts.resize(n, 0);
+        self.dirty.clear();
+        self.dirty.resize(n, true);
+        self.ncands.clear();
+        self.ncands.resize(n, 0);
+        self.slots.clear();
+        self.slots.resize(n * MAX_NODE_CANDS, 0);
+        self.prev_fanout.clear();
+        self.prev_fanout.resize(n, u32::MAX);
+        base_cuts(
+            &mut self.cuts,
+            &mut self.ncuts,
+            &mut self.dirty,
+            stride,
+            mig.num_inputs(),
+        );
+        self.key = Some((mig.rewrite_stamp(), n));
+    }
+
+    /// Carries the cut sets across a rebuild `old → new` described by
+    /// `map` (each old node's signal in the new graph). A node keeps its
+    /// cuts — leaves renamed, truth tables rewired for leaf/root
+    /// complements — only when it was preserved verbatim (its mapped
+    /// fanins resolve to exactly the node the map points at) and every
+    /// translated cut stays well-formed; everything else stays dirty, so
+    /// the next sweep re-enumerates precisely the TFO of the changes.
+    fn translate(&mut self, old: &Mig, new: &Mig, map: &[Signal]) {
+        if self.key != Some((old.rewrite_stamp(), old.num_nodes())) {
+            // The cache does not describe `old`: nothing to carry over.
+            self.key = None;
+            return;
+        }
+        let stride = self.stride;
+        let n_new = new.num_nodes();
+        self.t_cuts.clear();
+        self.t_cuts.resize(n_new * stride, Cut::default());
+        self.t_ncuts.clear();
+        self.t_ncuts.resize(n_new, 0);
+        self.t_dirty.clear();
+        self.t_dirty.resize(n_new, true);
+        self.t_ncands.clear();
+        self.t_ncands.resize(n_new, 0);
+        self.t_slots.clear();
+        self.t_slots.resize(n_new * MAX_NODE_CANDS, 0);
+        self.t_prev_fanout.clear();
+        self.t_prev_fanout.resize(n_new, u32::MAX);
+        base_cuts(
+            &mut self.t_cuts,
+            &mut self.t_ncuts,
+            &mut self.t_dirty,
+            stride,
+            new.num_inputs(),
+        );
+        for node in old.gate_ids() {
+            let idx = node.index();
+            if self.dirty[idx] || self.ncuts[idx] == 0 {
+                continue;
+            }
+            let s = map[idx];
+            let t = s.node().index();
+            if !new.is_gate(s.node()) || self.t_ncuts[t] != 0 {
+                continue;
+            }
+            // Only a verbatim-preserved node keeps its cuts: the mapped
+            // fanins must resolve to exactly the signal the map records.
+            let kids = old
+                .children(node)
+                .map(|c| map[c.node().index()].complement_if(c.is_complemented()));
+            if new.lookup_maj(kids[0], kids[1], kids[2]) != Some(s) {
+                continue;
+            }
+            let nc = self.ncuts[idx] as usize;
+            let src = idx * stride;
+            let dst = t * stride;
+            let mut ok = true;
+            for ci in 0..nc - 1 {
+                match translate_cut(&self.cuts[src + ci], map, s.is_complemented(), t) {
+                    Some(tc) => self.t_cuts[dst + ci] = tc,
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            self.t_cuts[dst + nc - 1] = Cut::unit(t);
+            self.t_ncuts[t] = nc as u8;
+            self.t_dirty[t] = false;
+            // The candidate slots reference cut indices, which the loop
+            // above preserved — carry them (and the fanout context they
+            // were scored under) across unchanged.
+            self.t_ncands[t] = self.ncands[idx];
+            self.t_slots[t * MAX_NODE_CANDS..(t + 1) * MAX_NODE_CANDS]
+                .copy_from_slice(&self.slots[idx * MAX_NODE_CANDS..(idx + 1) * MAX_NODE_CANDS]);
+            self.t_prev_fanout[t] = self.prev_fanout[idx];
+        }
+        std::mem::swap(&mut self.cuts, &mut self.t_cuts);
+        std::mem::swap(&mut self.ncuts, &mut self.t_ncuts);
+        std::mem::swap(&mut self.dirty, &mut self.t_dirty);
+        std::mem::swap(&mut self.ncands, &mut self.t_ncands);
+        std::mem::swap(&mut self.slots, &mut self.t_slots);
+        std::mem::swap(&mut self.prev_fanout, &mut self.t_prev_fanout);
+        self.key = Some((new.rewrite_stamp(), n_new));
+    }
+}
+
+/// Installs the constant node's empty cut and one unit cut per input.
+fn base_cuts(cuts: &mut [Cut], ncuts: &mut [u8], dirty: &mut [bool], stride: usize, inputs: usize) {
+    cuts[0] = Cut {
+        leaves: [0; 4],
+        len: 0,
+        tt: 0,
+        sign: 0,
+    };
+    ncuts[0] = 1;
+    dirty[0] = false;
+    for i in 1..=inputs {
+        cuts[i * stride] = Cut::unit(i);
+        ncuts[i] = 1;
+        dirty[i] = false;
+    }
+}
+
+/// Carries one cut across a rebuild: renames the leaves through `map`,
+/// re-sorts them, and rewires the truth table for the renaming, the leaf
+/// complements and the root complement. Returns `None` when the
+/// translated cut would be degenerate — a leaf folded to a constant or
+/// onto another leaf, or a leaf no longer strictly below `target` (which
+/// would break the commit invariant that replay only reads already-built
+/// signals) — in which case the caller leaves the node dirty.
+fn translate_cut(cut: &Cut, map: &[Signal], out_flip: bool, target: usize) -> Option<Cut> {
+    let len = cut.len as usize;
+    let mut pairs = [(0u32, 0usize, false); 4];
+    let mut plain = true;
+    for (v, &l) in cut.leaves().iter().enumerate() {
+        let s = map[l as usize];
+        let t = s.node().index();
+        if t == 0 || t >= target {
+            return None;
+        }
+        plain &= !s.is_complemented();
+        pairs[v] = (t as u32, v, s.is_complemented());
+    }
+    let pairs = &mut pairs[..len];
+    let sorted = pairs.windows(2).all(|w| w[0].0 < w[1].0);
+    if !sorted {
+        pairs.sort_unstable();
+        if pairs.windows(2).any(|w| w[0].0 == w[1].0) {
+            return None;
+        }
+    }
+    let mut out = Cut {
+        leaves: [0; 4],
+        len: cut.len,
+        tt: cut.tt,
+        sign: 0,
+    };
+    for (nv, p) in pairs.iter().enumerate() {
+        out.leaves[nv] = p.0;
+        out.sign |= leaf_sign(p.0);
+    }
+    if !(plain && sorted) {
+        // Slow path: re-tabulate through the variable renaming/flips.
+        out.tt = 0;
+        for i in 0..(1u32 << len) {
+            let mut j = 0usize;
+            for (nv, &(_, ov, flip)) in pairs.iter().enumerate() {
+                if (((i >> nv) & 1) == 1) != flip {
+                    j |= 1 << ov;
+                }
+            }
+            if (cut.tt >> j) & 1 == 1 {
+                out.tt |= 1 << i;
+            }
+        }
+    }
+    if out_flip {
+        out.tt ^= tt_mask(len);
+    }
+    Some(out)
 }
 
 /// Boolean rewriting: repeatedly rewrites cuts against the database and
 /// recovers size with `Ω.D` elimination, keeping the best
 /// `(size, depth)` seen. The result is functionally equivalent to the
-/// input and never larger.
+/// input, never larger, and bit-identical for every `jobs` setting.
 ///
 /// # Example
 ///
@@ -218,7 +567,7 @@ pub fn optimize_rewrite(mig: &Mig, config: &RewriteConfig) -> Mig {
         mig,
         config,
         &mut OptBuffers::new(),
-        &mut RewriteBuffers::default(),
+        &mut RewriteCache::default(),
     )
 }
 
@@ -228,15 +577,42 @@ pub(crate) fn optimize_rewrite_with(
     mig: &Mig,
     config: &RewriteConfig,
     bufs: &mut OptBuffers,
-    rb: &mut RewriteBuffers,
+    rc: &mut RewriteCache,
 ) -> Mig {
     let mut best = mig.cleanup();
-    for _ in 0..config.effort.max(1) {
-        let r = rewrite_pass(&best, config, bufs, rb);
-        let e = eliminate_pass(&r, bufs);
-        bufs.recycle(r);
+    let rounds = config.effort.max(1) * ROUNDS_PER_EFFORT;
+    for round in 0..rounds {
+        let swept = rewrite_sweep(&best, config, bufs, rc);
+        if swept.is_none() && round > 0 {
+            break;
+        }
+        let e = match swept {
+            Some(r) => {
+                let e = eliminate_pass(&r, bufs);
+                rc.translate(&r, &e, &bufs.map);
+                bufs.recycle(r);
+                e
+            }
+            // Nothing to rewrite on the very first round: still give
+            // elimination one chance before concluding.
+            None => {
+                let e = eliminate_pass(&best, bufs);
+                rc.translate(&best, &e, &bufs.map);
+                e
+            }
+        };
         let cur = bufs.cleanup(&e);
+        rc.translate(&e, &cur, &bufs.map);
         bufs.recycle(e);
+        if std::env::var_os("MIG_REWRITE_TRACE").is_some() {
+            eprintln!(
+                "round {round}: cur=({}, {}) best=({}, {})",
+                cur.size(),
+                cur.depth(),
+                best.size(),
+                best.depth()
+            );
+        }
         if size_depth(&cur) < size_depth(&best) {
             bufs.recycle(std::mem::replace(&mut best, cur));
         } else {
@@ -247,45 +623,412 @@ pub(crate) fn optimize_rewrite_with(
     best
 }
 
-/// One rewriting sweep: enumerate cuts on `old`, rebuild into a fresh
-/// arena, replacing profitable cuts with database structures.
-pub(crate) fn rewrite_pass(
+/// Shared read-only context of the evaluate phase, handed to every
+/// worker.
+struct EvalCtx<'a> {
+    cuts: &'a [Cut],
+    ncuts: &'a [u8],
+    reach: &'a [bool],
+    stride: usize,
+    db: &'static MigDatabase,
+}
+
+/// One evaluate → select → commit sweep. Returns the rebuilt graph, or
+/// `None` when no candidate was selected (the graph is at a rewriting
+/// fixpoint; the cache still describes `old`).
+fn rewrite_sweep(
     old: &Mig,
     config: &RewriteConfig,
     bufs: &mut OptBuffers,
-    rb: &mut RewriteBuffers,
-) -> Mig {
+    rc: &mut RewriteCache,
+) -> Option<Mig> {
     let k = config.cut_size.clamp(2, 4);
-    // Upper bound keeps the per-node count in the `u8` cut-count buffer
-    // and the flat cut storage proportional to a sane working set.
-    let max_cuts = config.max_cuts.clamp(1, 64);
+    // The upper bound matches the candidate-slot width, so every stored
+    // cut has a slot and the commit phase scores the full cut set.
+    let max_cuts = config.max_cuts.clamp(1, MAX_NODE_CANDS);
+    let jobs = resolve_jobs(config.jobs);
     let db = MigDatabase::global();
+    rc.bind(old, max_cuts + 1);
 
-    enumerate_cuts(old, k, max_cuts, rb);
-    old.fanout_counts_into(&mut rb.fanout);
-    rb.refs.clone_from(&rb.fanout);
+    {
+        let mark = old.reach_ref();
+        rc.reach.clear();
+        rc.reach.extend_from_slice(&mark);
+    }
+    old.fanout_counts_into(&mut rc.fanout);
 
-    let mut new = bufs.fresh_arena(old);
-    rb.map.clear();
-    rb.map.resize(old.num_nodes(), Signal::FALSE);
-    for (i, m) in rb.map.iter_mut().enumerate().take(old.num_inputs() + 1) {
-        *m = Signal::new(NodeId::from_index(i), false);
+    // Level wavefronts over every reachable gate: nodes of one level
+    // never feed each other, so a wavefront can be enumerated
+    // concurrently. Stable sort keeps ties in arena order.
+    let view = old.view();
+    rc.worklist.clear();
+    for node in old.gate_ids() {
+        if rc.reach[node.index()] {
+            rc.worklist.push(node.index() as u32);
+        }
+    }
+    rc.worklist
+        .sort_by_key(|&i| view.level_of(NodeId::from_index(i as usize)));
+
+    let trace = std::env::var_os("MIG_REWRITE_TRACE").is_some();
+    let t0 = std::time::Instant::now();
+    let mut workers = rc.workers.take_n(jobs);
+    let n_enum = enumerate_changed(old, rc, k, max_cuts, jobs, &mut workers);
+    let t1 = std::time::Instant::now();
+    let n_eval = evaluate(old, rc, db, jobs, &mut workers);
+    let t2 = std::time::Instant::now();
+    rc.workers.put_all(workers);
+    let have_cands = rc.worklist.iter().any(|&i| rc.ncands[i as usize] != 0);
+    if !have_cands {
+        if trace {
+            eprintln!(
+                "  sweep: enum={n_enum}/{} in {:.2}ms eval={n_eval} in {:.2}ms cands=0",
+                rc.worklist.len(),
+                (t1 - t0).as_secs_f64() * 1e3,
+                (t2 - t1).as_secs_f64() * 1e3
+            );
+        }
+        return None;
     }
 
-    let stride = max_cuts + 1;
-    let mark = old.reach_ref();
+    let (new, committed) = commit(old, rc, bufs, db, config.depth_tiebreak);
+    if trace {
+        eprintln!(
+            "  sweep: enum={n_enum}/{} in {:.2}ms eval={n_eval} in {:.2}ms commit={} in {:.2}ms",
+            rc.worklist.len(),
+            (t1 - t0).as_secs_f64() * 1e3,
+            (t2 - t1).as_secs_f64() * 1e3,
+            committed,
+            t2.elapsed().as_secs_f64() * 1e3
+        );
+    }
+    if committed == 0 {
+        // Every candidate was rejected by the destination-side
+        // re-validation: the rebuild is a verbatim copy, drop it.
+        bufs.recycle(new);
+        return None;
+    }
+    let map = std::mem::take(&mut rc.map);
+    rc.translate(old, &new, &map);
+    rc.map = map;
+    Some(new)
+}
+
+/// Phase 1: re-enumerates the cuts of every gate that needs it, one
+/// level wavefront at a time (parallel within a wavefront when it is
+/// large enough). A gate needs re-enumeration when it is dirty (its
+/// structure changed) or when a fanin's cut set *actually changed* this
+/// sweep — re-enumerations that reproduce the previous cut set do not
+/// propagate (change damping), which is what keeps the dirty region a
+/// thin cone instead of the whole TFO. Returns the number of gates
+/// re-enumerated.
+fn enumerate_changed(
+    old: &Mig,
+    rc: &mut RewriteCache,
+    k: usize,
+    max_cuts: usize,
+    jobs: usize,
+    workers: &mut [WorkerScratch],
+) -> usize {
+    let view = old.view();
+    let stride = rc.stride;
+    let worklist = std::mem::take(&mut rc.worklist);
+    let mut batch = std::mem::take(&mut rc.batch);
+    rc.changed.clear();
+    rc.changed.resize(old.num_nodes(), false);
+    let mut n_enum = 0usize;
+    let mut pos = 0;
+    while pos < worklist.len() {
+        let lvl = view.level_of(NodeId::from_index(worklist[pos] as usize));
+        let mut end = pos + 1;
+        while end < worklist.len()
+            && view.level_of(NodeId::from_index(worklist[end] as usize)) == lvl
+        {
+            end += 1;
+        }
+        // The wavefront's work set: dirty nodes plus nodes fed by a
+        // changed cut set (children settled in earlier wavefronts).
+        batch.clear();
+        for &idx in &worklist[pos..end] {
+            let i = idx as usize;
+            let need = rc.dirty[i]
+                || view
+                    .children(NodeId::from_index(i))
+                    .iter()
+                    .any(|s| rc.changed[s.node().index()]);
+            if need {
+                batch.push(idx);
+            }
+        }
+        n_enum += batch.len();
+        if jobs == 1 || batch.len() < PAR_THRESHOLD {
+            let w = &mut workers[0];
+            for &idx in &batch {
+                let idx = idx as usize;
+                {
+                    let ctx = EnumCtx {
+                        view,
+                        cuts: &rc.cuts,
+                        ncuts: &rc.ncuts,
+                        stride,
+                    };
+                    enumerate_node(&ctx, idx, k, max_cuts, &mut w.cand);
+                }
+                let n = w.cand.len();
+                let old_cuts = &rc.cuts[idx * stride..idx * stride + n];
+                if rc.ncuts[idx] as usize != n || old_cuts != &w.cand[..] {
+                    rc.changed[idx] = true;
+                    rc.cuts[idx * stride..idx * stride + n].copy_from_slice(&w.cand);
+                    rc.ncuts[idx] = n as u8;
+                }
+            }
+        } else {
+            let ctx = EnumCtx {
+                view,
+                cuts: &rc.cuts,
+                ncuts: &rc.ncuts,
+                stride,
+            };
+            let ctx = &ctx;
+            let batch_ref = &batch[..];
+            std::thread::scope(|s| {
+                for (ci, w) in workers.iter_mut().enumerate() {
+                    let nodes = &batch_ref[chunk_range(batch_ref.len(), jobs, ci)];
+                    s.spawn(move || {
+                        w.out_meta.clear();
+                        w.out_cuts.clear();
+                        for &idx in nodes {
+                            let i = idx as usize;
+                            enumerate_node(ctx, i, k, max_cuts, &mut w.cand);
+                            let n = w.cand.len();
+                            let same = ctx.ncuts[i] as usize == n
+                                && ctx.cuts[i * ctx.stride..i * ctx.stride + n] == w.cand[..];
+                            w.out_meta.push((idx, n as u8, !same));
+                            if !same {
+                                w.out_cuts.extend_from_slice(&w.cand);
+                            }
+                        }
+                    });
+                }
+            });
+            for w in workers.iter_mut() {
+                let mut off = 0usize;
+                for &(idx, n, changed) in &w.out_meta {
+                    if !changed {
+                        continue;
+                    }
+                    let (idx, n) = (idx as usize, n as usize);
+                    rc.cuts[idx * stride..idx * stride + n]
+                        .copy_from_slice(&w.out_cuts[off..off + n]);
+                    rc.ncuts[idx] = n as u8;
+                    rc.changed[idx] = true;
+                    off += n;
+                }
+            }
+        }
+        for &idx in &batch {
+            rc.dirty[idx as usize] = false;
+        }
+        pos = end;
+    }
+    rc.worklist = worklist;
+    rc.batch = batch;
+    n_enum
+}
+
+/// Read-only inputs of cut enumeration (shared across worker threads).
+struct EnumCtx<'a> {
+    view: MigView<'a>,
+    cuts: &'a [Cut],
+    ncuts: &'a [u8],
+    stride: usize,
+}
+
+/// Enumerates the priority cuts of one node into `cand` (wider cuts
+/// first, subset-dominated cuts removed, unit cut last). Reads only the
+/// cut sets of strictly earlier wavefronts, so workers can run it
+/// concurrently against one shared cut arena.
+fn enumerate_node(ctx: &EnumCtx, idx: usize, k: usize, max_cuts: usize, cand: &mut Vec<Cut>) {
+    let stride = ctx.stride;
+    let [a, b, c] = ctx.view.children(NodeId::from_index(idx));
+    let (ia, ib, ic) = (a.node().index(), b.node().index(), c.node().index());
+    cand.clear();
+    for ca in 0..ctx.ncuts[ia] as usize {
+        let cut_a = ctx.cuts[ia * stride + ca];
+        for cb in 0..ctx.ncuts[ib] as usize {
+            let cut_b = ctx.cuts[ib * stride + cb];
+            for cc in 0..ctx.ncuts[ic] as usize {
+                let cut_c = ctx.cuts[ic * stride + cc];
+                let Some(mut cut) = merge3(&cut_a, &cut_b, &cut_c, k) else {
+                    continue;
+                };
+                // Filter on the leaf set alone before paying for the
+                // truth table: most merges duplicate or are dominated
+                // by an existing candidate.
+                if cand
+                    .iter()
+                    .any(|e| e.same_leaves(&cut) || e.dominates(&cut))
+                {
+                    continue;
+                }
+                cand.retain(|e| !cut.dominates(e));
+                let ta = expand_tt(cut_a.tt, cut_a.leaves(), cut.leaves())
+                    ^ if a.is_complemented() { 0xFFFF } else { 0 };
+                let tb = expand_tt(cut_b.tt, cut_b.leaves(), cut.leaves())
+                    ^ if b.is_complemented() { 0xFFFF } else { 0 };
+                let tc = expand_tt(cut_c.tt, cut_c.leaves(), cut.leaves())
+                    ^ if c.is_complemented() { 0xFFFF } else { 0 };
+                cut.tt = ((ta & tb) | (ta & tc) | (tb & tc)) & tt_mask(cut.len as usize);
+                cand.push(cut);
+            }
+        }
+    }
+    // Wider cuts first; stable so earlier (smaller-index) leaves win
+    // ties deterministically.
+    cand.sort_by_key(|c| Reverse(c.len));
+    cand.truncate(max_cuts);
+    cand.push(Cut::unit(idx));
+}
+
+/// Phase 1b: refreshes candidate slots. Only nodes whose cut set
+/// changed this sweep, or whose local fanout context moved since they
+/// were last filtered, are revisited — every other node keeps its
+/// (translated) slots. Returns the number of nodes refreshed.
+fn evaluate(
+    old: &Mig,
+    rc: &mut RewriteCache,
+    db: &'static MigDatabase,
+    jobs: usize,
+    workers: &mut [WorkerScratch],
+) -> usize {
+    let first = old.num_inputs() + 1;
+    rc.eval_list.clear();
+    {
+        let view = old.view();
+        for &idx in &rc.worklist {
+            let i = idx as usize;
+            let need = rc.changed[i]
+                || rc.prev_fanout[i] == u32::MAX
+                || view.children(NodeId::from_index(i)).iter().any(|s| {
+                    let c = s.node().index();
+                    c >= first && rc.fanout[c] != rc.prev_fanout[c]
+                });
+            if need {
+                rc.eval_list.push(idx);
+            }
+        }
+    }
+    // Snapshot the fanout context the refreshed scores are valid under.
+    rc.prev_fanout.clear();
+    rc.prev_fanout.extend_from_slice(&rc.fanout);
+    let n_eval = rc.eval_list.len();
+    let ctx = EvalCtx {
+        cuts: &rc.cuts,
+        ncuts: &rc.ncuts,
+        reach: &rc.reach,
+        stride: rc.stride,
+        db,
+    };
+    for w in workers.iter_mut() {
+        w.out_slots.clear();
+    }
+    if jobs == 1 || n_eval < PAR_THRESHOLD {
+        eval_nodes(&ctx, &rc.eval_list, &mut workers[0]);
+    } else {
+        let ctx = &ctx;
+        let list = &rc.eval_list[..];
+        std::thread::scope(|s| {
+            for (ci, w) in workers.iter_mut().enumerate() {
+                let nodes = &list[chunk_range(list.len(), jobs, ci)];
+                s.spawn(move || eval_nodes(ctx, nodes, w));
+            }
+        });
+    }
+    for w in workers.iter_mut() {
+        for &(idx, n, slots) in &w.out_slots {
+            let i = idx as usize;
+            rc.ncands[i] = n;
+            rc.slots[i * MAX_NODE_CANDS..(i + 1) * MAX_NODE_CANDS].copy_from_slice(&slots);
+        }
+    }
+    n_eval
+}
+
+/// Filters one node list (the body of an evaluate worker): a cut
+/// becomes a candidate slot when its function has a database structure
+/// and all its leaves are committed (reachable) signals. Slots stay in
+/// storage order (wider cuts first), so the commit-side scan scores the
+/// full candidate space exactly like the old greedy engine — the
+/// parallel phase's job is the expensive *preparation* (enumeration and
+/// NPN canonization), not the decisions.
+fn eval_nodes(ctx: &EvalCtx, nodes: &[u32], w: &mut WorkerScratch) {
+    for &idx in nodes {
+        let idx = idx as usize;
+        let n_cuts = ctx.ncuts[idx] as usize;
+        let mut slots = [0u8; MAX_NODE_CANDS];
+        let mut n = 0usize;
+        // The node's own unit cut is stored last; it is not a rewrite
+        // candidate (its "replacement" would be the node itself).
+        for ci in 0..n_cuts.saturating_sub(1) {
+            if n == MAX_NODE_CANDS {
+                break;
+            }
+            let cut = ctx.cuts[idx * ctx.stride + ci];
+            // A leaf that is no longer reachable has no committed
+            // signal to replay against (stale translated cut): skip.
+            if cut.leaves().iter().any(|&l| !ctx.reach[l as usize]) {
+                continue;
+            }
+            let full_tt = extend4(cut.tt, cut.len as usize);
+            let (canon, _) = w.canonize(full_tt);
+            if ctx.db.program(canon).is_none() {
+                continue;
+            }
+            slots[n] = ci as u8;
+            n += 1;
+        }
+        w.out_slots.push((idx as u32, n as u8, slots));
+    }
+}
+
+/// Phase 3: serial commit. One topological rebuild through the strash
+/// table: each surviving candidate is re-validated against the
+/// *destination* graph — the dry run probes the evolving strash, so
+/// sharing created by earlier commits of the same sweep (including the
+/// nested cascades that dominate XOR-heavy circuits) is priced in,
+/// exactly like the old greedy engine. An existing node or trivial fold
+/// is free — it beats any replacement, so its candidates are dropped.
+/// Deterministic: candidates arrive in ascending node order whatever
+/// the worker count, and this loop is single-threaded.
+fn commit(
+    old: &Mig,
+    rc: &mut RewriteCache,
+    bufs: &mut OptBuffers,
+    db: &MigDatabase,
+    tiebreak: bool,
+) -> (Mig, usize) {
+    let view = old.view();
+    let mut new = bufs.fresh_arena(old);
+    rc.map.clear();
+    rc.map.resize(old.num_nodes(), Signal::FALSE);
+    for (i, m) in rc.map.iter_mut().enumerate().take(old.num_inputs() + 1) {
+        *m = Signal::new(NodeId::from_index(i), false);
+    }
+    rc.refs.clear();
+    rc.refs.extend_from_slice(&rc.fanout);
+    let mut committed = 0usize;
     for node in old.gate_ids() {
         let idx = node.index();
-        if !mark[idx] {
+        if !rc.reach[idx] {
             continue;
         }
         let kids = old
             .children(node)
-            .map(|s| rb.map[s.node().index()].complement_if(s.is_complemented()));
+            .map(|s| rc.map[s.node().index()].complement_if(s.is_complemented()));
         // An existing node (or a trivial fold) is free — no replacement
         // structure can beat it, so take it and move on.
         if let Some(hit) = new.lookup_maj(kids[0], kids[1], kids[2]) {
-            rb.map[idx] = hit;
+            rc.map[idx] = hit;
             continue;
         }
         let default_level = 1 + kids
@@ -293,110 +1036,118 @@ pub(crate) fn rewrite_pass(
             .map(|s| new.level_of_signal(*s))
             .max()
             .expect("three children");
-
-        let mut plan: Option<Plan> = None;
-        let n_cuts = rb.ncuts[idx] as usize;
-        // The node's own unit cut is stored last; it is not a rewrite
-        // candidate (its "replacement" would be the node itself).
-        for ci in 0..n_cuts.saturating_sub(1) {
-            let cut = rb.cuts[idx * stride + ci];
+        let mut plan: Option<(Cut, Npn4Transform, isize, u32)> = None;
+        for si in 0..rc.ncands[idx] as usize {
+            let ci = rc.slots[idx * MAX_NODE_CANDS + si] as usize;
+            if ci + 1 > rc.ncuts[idx] as usize {
+                continue; // stale slot outside the current cut set
+            }
+            let cut = rc.cuts[idx * rc.stride + ci];
+            if cut.leaves().iter().any(|&l| !rc.reach[l as usize]) {
+                continue;
+            }
+            let best_gain = plan.as_ref().map_or(0, |&(_, _, g, _)| g);
+            let saved = mffc_size(&view, node, cut.leaves(), &mut rc.refs) as isize;
+            if saved < best_gain {
+                continue;
+            }
             let full_tt = extend4(cut.tt, cut.len as usize);
-            let (canon, transform) = rb.canonize(full_tt);
+            let (canon, transform) = memo_canonize(&mut rc.canon_memo, full_tt);
             let Some(prog) = db.program(canon) else {
                 continue;
             };
-            let ins = leaf_signals(&cut, &transform, &rb.map);
-            let (added, level) = dry_run(&new, prog, &ins, &mut rb.dry);
-            let saved = mffc_size(old, node, cut.leaves(), &mut rb.refs) as isize;
+            let ins = leaf_signals(&cut, &transform, |l| rc.map[l]);
+            let budget = (saved - best_gain) as usize;
+            let nv = new.view();
+            let Some((added, level)) = dry_run(&nv, prog, &ins, budget, &mut rc.dry) else {
+                continue;
+            };
             let gain = saved - added as isize;
             let better = match &plan {
-                Some(p) => (gain, std::cmp::Reverse(level)) > (p.gain, std::cmp::Reverse(p.level)),
-                None => gain > 0 || (config.depth_tiebreak && gain == 0 && level < default_level),
+                Some((_, _, g, l)) => (gain, Reverse(level)) > (*g, Reverse(*l)),
+                None => gain > 0 || (tiebreak && gain == 0 && level < default_level),
             };
             if better {
-                plan = Some(Plan {
-                    cut,
-                    transform,
-                    gain,
-                    level,
-                });
+                plan = Some((cut, transform, gain, level));
             }
         }
-
-        rb.map[idx] = match plan {
-            Some(p) => {
-                let canon = rb.canonize(extend4(p.cut.tt, p.cut.len as usize)).0;
+        rc.map[idx] = match plan {
+            Some((cut, transform, _, _)) => {
+                let full_tt = extend4(cut.tt, cut.len as usize);
+                let canon = memo_canonize(&mut rc.canon_memo, full_tt).0;
                 let prog = db.program(canon).expect("plan came from the database");
-                let ins = leaf_signals(&p.cut, &p.transform, &rb.map);
-                replay(
-                    &mut new,
-                    prog,
-                    &ins,
-                    p.transform.output_flip,
-                    &mut rb.replay,
-                )
+                let ins = leaf_signals(&cut, &transform, |l| rc.map[l]);
+                committed += 1;
+                replay(&mut new, prog, &ins, transform.output_flip, &mut rc.replay)
             }
             None => new.maj(kids[0], kids[1], kids[2]),
         };
     }
-    drop(mark);
     for (name, s) in old.outputs() {
-        let mapped = rb.map[s.node().index()].complement_if(s.is_complemented());
+        let mapped = rc.map[s.node().index()].complement_if(s.is_complemented());
         new.add_output(name.clone(), mapped);
     }
-    new
+    (new, committed)
 }
 
-/// The destination-graph signal feeding canonical variable `j` of a
-/// database program: original cut variable `perm[j]`, complemented per
-/// `input_flips`. Canonical variables beyond the cut width are
-/// don't-cares of the canonical function and read constant 0.
-fn leaf_signals(cut: &Cut, t: &Npn4Transform, map: &[Signal]) -> [Signal; 4] {
+/// The signal feeding canonical variable `j` of a database program:
+/// original cut variable `perm[j]`, complemented per `input_flips`, read
+/// through `resolve` (identity during evaluation, the old→new map during
+/// commit). Canonical variables beyond the cut width are don't-cares of
+/// the canonical function and read constant 0.
+fn leaf_signals(cut: &Cut, t: &Npn4Transform, resolve: impl Fn(usize) -> Signal) -> [Signal; 4] {
     let mut ins = [Signal::FALSE; 4];
     for (j, ins_j) in ins.iter_mut().enumerate() {
         let orig = t.perm[j] as usize;
         if orig < cut.len as usize {
             let flip = (t.input_flips >> orig) & 1 == 1;
-            *ins_j = map[cut.leaves[orig] as usize].complement_if(flip);
+            *ins_j = resolve(cut.leaves[orig] as usize).complement_if(flip);
         }
     }
     ins
 }
 
-/// Simulates replaying `prog` against `new` without building anything:
-/// counts the nodes that would be allocated (strash hits and trivial
-/// folds are free) and estimates the result's logic level. The output
-/// complement is irrelevant here — inverters are free edge attributes.
+/// Simulates replaying `prog` against the snapshot without building
+/// anything: counts the nodes that would be allocated (strash hits and
+/// trivial folds are free) and estimates the result's logic level.
+/// Returns `None` as soon as the count exceeds `budget` — by
+/// construction such a replacement cannot improve on the current plan.
+/// The output complement is irrelevant here — inverters are free edge
+/// attributes.
 fn dry_run(
-    new: &Mig,
+    view: &MigView,
     prog: &MigProgram,
     ins: &[Signal; 4],
+    budget: usize,
     vals: &mut Vec<DryVal>,
-) -> (usize, u32) {
+) -> Option<(usize, u32)> {
     vals.clear();
     let mut added = 0usize;
     for step in &prog.steps {
         let [a, b, c] = step.map(|l| resolve_dry(l, ins, vals));
         let v = if let (DryVal::Known(sa), DryVal::Known(sb), DryVal::Known(sc)) = (a, b, c) {
-            match new.lookup_maj(sa, sb, sc) {
+            match view.lookup_maj(sa, sb, sc) {
                 Some(s) => DryVal::Known(s),
                 None => {
                     added += 1;
-                    DryVal::New(1 + level3(new, a, b, c))
+                    DryVal::New(1 + level3(view, a, b, c))
                 }
             }
         } else {
             added += 1;
-            DryVal::New(1 + level3(new, a, b, c))
+            DryVal::New(1 + level3(view, a, b, c))
         };
+        if added > budget {
+            return None;
+        }
         vals.push(v);
     }
     let out = resolve_dry(prog.out, ins, vals);
-    (added, out.level(new))
+    Some((added, out.level(view)))
 }
 
-fn level3(mig: &Mig, a: DryVal, b: DryVal, c: DryVal) -> u32 {
-    a.level(mig).max(b.level(mig)).max(c.level(mig))
+fn level3(view: &MigView, a: DryVal, b: DryVal, c: DryVal) -> u32 {
+    a.level(view).max(b.level(view)).max(c.level(view))
 }
 
 fn resolve_dry(l: mig_tt::MigLit, ins: &[Signal; 4], vals: &[DryVal]) -> DryVal {
@@ -443,107 +1194,37 @@ fn resolve_sig(l: mig_tt::MigLit, ins: &[Signal; 4], vals: &[Signal]) -> Signal 
 /// the node is replaced by logic over the cut leaves. Runs the classic
 /// dereference/re-reference walk on a scratch copy of the fanout counts,
 /// restoring them before returning.
-fn mffc_size(mig: &Mig, node: NodeId, leaves: &[u32], refs: &mut [u32]) -> usize {
-    let size = mffc_deref(mig, node, leaves, refs);
-    mffc_reref(mig, node, leaves, refs);
+fn mffc_size(view: &MigView, node: NodeId, leaves: &[u32], refs: &mut [u32]) -> usize {
+    let size = mffc_deref(view, node, leaves, refs);
+    mffc_reref(view, node, leaves, refs);
     size
 }
 
-fn mffc_deref(mig: &Mig, node: NodeId, leaves: &[u32], refs: &mut [u32]) -> usize {
+fn mffc_deref(view: &MigView, node: NodeId, leaves: &[u32], refs: &mut [u32]) -> usize {
     let mut size = 1;
-    for s in mig.children(node) {
+    for s in view.children(node) {
         let m = s.node();
-        if !mig.is_gate(m) || leaves.contains(&(m.index() as u32)) {
+        if !view.is_gate(m) || leaves.contains(&(m.index() as u32)) {
             continue;
         }
         refs[m.index()] -= 1;
         if refs[m.index()] == 0 {
-            size += mffc_deref(mig, m, leaves, refs);
+            size += mffc_deref(view, m, leaves, refs);
         }
     }
     size
 }
 
-fn mffc_reref(mig: &Mig, node: NodeId, leaves: &[u32], refs: &mut [u32]) {
-    for s in mig.children(node) {
+fn mffc_reref(view: &MigView, node: NodeId, leaves: &[u32], refs: &mut [u32]) {
+    for s in view.children(node) {
         let m = s.node();
-        if !mig.is_gate(m) || leaves.contains(&(m.index() as u32)) {
+        if !view.is_gate(m) || leaves.contains(&(m.index() as u32)) {
             continue;
         }
         if refs[m.index()] == 0 {
-            mffc_reref(mig, m, leaves, refs);
+            mffc_reref(view, m, leaves, refs);
         }
         refs[m.index()] += 1;
-    }
-}
-
-/// Enumerates up to `max_cuts` priority cuts per reachable node (plus
-/// the unit cut, stored last), with subset-dominance filtering. Wider
-/// cuts are preferred: they expose more replaceable logic to the
-/// database match.
-fn enumerate_cuts(mig: &Mig, k: usize, max_cuts: usize, rb: &mut RewriteBuffers) {
-    let stride = max_cuts + 1;
-    let n = mig.num_nodes();
-    rb.cuts.clear();
-    rb.cuts.resize(n * stride, Cut::default());
-    rb.ncuts.clear();
-    rb.ncuts.resize(n, 0);
-    // Constant node: the empty cut (function 0).
-    rb.cuts[0] = Cut {
-        leaves: [0; 4],
-        len: 0,
-        tt: 0,
-    };
-    rb.ncuts[0] = 1;
-    for i in 1..=mig.num_inputs() {
-        rb.cuts[i * stride] = Cut::unit(i);
-        rb.ncuts[i] = 1;
-    }
-    let mark = mig.reach_ref();
-    for node in mig.gate_ids() {
-        let idx = node.index();
-        if !mark[idx] {
-            continue;
-        }
-        let [a, b, c] = mig.children(node);
-        let mut cand = std::mem::take(&mut rb.cand);
-        cand.clear();
-        for ca in 0..rb.ncuts[a.node().index()] as usize {
-            for cb in 0..rb.ncuts[b.node().index()] as usize {
-                for cc in 0..rb.ncuts[c.node().index()] as usize {
-                    let cut_a = &rb.cuts[a.node().index() * stride + ca];
-                    let cut_b = &rb.cuts[b.node().index() * stride + cb];
-                    let cut_c = &rb.cuts[c.node().index() * stride + cc];
-                    let Some(mut cut) = merge3(cut_a, cut_b, cut_c, k) else {
-                        continue;
-                    };
-                    let ta = expand_tt(cut_a.tt, cut_a.leaves(), cut.leaves())
-                        ^ if a.is_complemented() { 0xFFFF } else { 0 };
-                    let tb = expand_tt(cut_b.tt, cut_b.leaves(), cut.leaves())
-                        ^ if b.is_complemented() { 0xFFFF } else { 0 };
-                    let tc = expand_tt(cut_c.tt, cut_c.leaves(), cut.leaves())
-                        ^ if c.is_complemented() { 0xFFFF } else { 0 };
-                    cut.tt = ((ta & tb) | (ta & tc) | (tb & tc)) & tt_mask(cut.len as usize);
-                    if cand
-                        .iter()
-                        .any(|e| e.leaves() == cut.leaves() || e.dominates(&cut))
-                    {
-                        continue;
-                    }
-                    cand.retain(|e| !cut.dominates(e));
-                    cand.push(cut);
-                }
-            }
-        }
-        // Wider cuts first; stable so earlier (smaller-index) leaves win
-        // ties deterministically.
-        cand.sort_by_key(|c| std::cmp::Reverse(c.len));
-        cand.truncate(max_cuts);
-        cand.push(Cut::unit(idx));
-        let n_cand = cand.len();
-        rb.cuts[idx * stride..idx * stride + n_cand].copy_from_slice(&cand);
-        rb.ncuts[idx] = n_cand as u8;
-        rb.cand = cand;
     }
 }
 
@@ -568,6 +1249,7 @@ fn merge3(a: &Cut, b: &Cut, c: &Cut, k: usize) -> Option<Cut> {
             }
         }
     }
+    out.sign = out.leaves().iter().fold(0, |s, &l| s | leaf_sign(l));
     Some(out)
 }
 
@@ -581,6 +1263,26 @@ mod tests {
         let b = mig.add_input("b");
         let c = mig.add_input("c");
         (mig, a, b, c)
+    }
+
+    /// Runs one full enumeration over `mig` into a fresh cache
+    /// (single-threaded), for tests that inspect cut sets directly.
+    fn enumerate_for_test(mig: &Mig, k: usize, max_cuts: usize, rc: &mut RewriteCache) {
+        rc.bind(mig, max_cuts + 1);
+        rc.reach.clear();
+        rc.reach.extend_from_slice(&mig.reach_ref());
+        let view = mig.view();
+        rc.worklist.clear();
+        for node in mig.gate_ids() {
+            if rc.reach[node.index()] {
+                rc.worklist.push(node.index() as u32);
+            }
+        }
+        rc.worklist
+            .sort_by_key(|&i| view.level_of(NodeId::from_index(i as usize)));
+        let mut workers = rc.workers.take_n(1);
+        enumerate_changed(mig, rc, k, max_cuts, 1, &mut workers);
+        rc.workers.put_all(workers);
     }
 
     #[test]
@@ -659,6 +1361,130 @@ mod tests {
     }
 
     #[test]
+    fn results_are_identical_for_any_job_count() {
+        // The determinism contract: evaluation is read-only and commits
+        // are serialized, so jobs must never change the structure.
+        let mut mig = Mig::new("det");
+        let ins: Vec<Signal> = (0..6).map(|i| mig.add_input(format!("x{i}"))).collect();
+        let mut acc = ins[0];
+        // A deterministic tangle of mixed gates.
+        for (i, &x) in ins.iter().enumerate().skip(1) {
+            acc = match i % 3 {
+                0 => mig.xor(acc, x),
+                1 => mig.maj(acc, x, ins[(i + 2) % 6]),
+                _ => mig.mux(x, acc, ins[(i + 4) % 6]),
+            };
+        }
+        mig.add_output("y", acc);
+        let run = |jobs: usize| {
+            optimize_rewrite(
+                &mig,
+                &RewriteConfig {
+                    jobs,
+                    ..RewriteConfig::default()
+                },
+            )
+        };
+        let base = run(1);
+        for jobs in [2, 4, 8] {
+            let other = run(jobs);
+            assert_eq!(base.num_nodes(), other.num_nodes(), "jobs={jobs}");
+            for node in base.gate_ids() {
+                assert_eq!(
+                    base.children(node),
+                    other.children(node),
+                    "jobs={jobs}, {node}"
+                );
+            }
+            assert_eq!(base.outputs(), other.outputs(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn cached_sweeps_match_cold_sweeps() {
+        // Running the pass twice through one cache (the second run binds
+        // to a graph the cache does not describe, then rebuilds it) must
+        // behave exactly like fresh runs.
+        let (mut mig, a, b, c) = three_inputs();
+        let t = mig.xor(a, b);
+        let f = mig.xor(t, c);
+        mig.add_output("f", f);
+        let mut bufs = OptBuffers::new();
+        let mut rc = RewriteCache::default();
+        let config = RewriteConfig::default();
+        let first = optimize_rewrite_with(&mig, &config, &mut bufs, &mut rc);
+        let second = optimize_rewrite_with(&mig, &config, &mut bufs, &mut rc);
+        let fresh = optimize_rewrite(&mig, &config);
+        for out in [&first, &second] {
+            assert_eq!(out.size(), fresh.size());
+            assert_eq!(out.depth(), fresh.depth());
+            assert!(out.equiv(&mig, 4));
+        }
+    }
+
+    #[test]
+    fn translation_preserves_cut_functions() {
+        // Enumerate on a graph, rebuild it verbatim through the engine,
+        // translate the cache across, and check every carried cut's
+        // truth table against exhaustive simulation on the new graph.
+        let mut mig = Mig::new("t4");
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let c = mig.add_input("c");
+        let d = mig.add_input("d");
+        let x = mig.xor(a, b);
+        let g = mig.mux(c, x, d);
+        mig.add_output("y", g);
+        let mut rc = RewriteCache::default();
+        enumerate_for_test(&mig, 4, 8, &mut rc);
+        let mut bufs = OptBuffers::new();
+        let copy = bufs.cleanup(&mig);
+        rc.translate(&mig, &copy, &bufs.map);
+        assert_eq!(rc.key, Some((copy.rewrite_stamp(), copy.num_nodes())));
+        let mut carried = 0;
+        for node in copy.gate_ids() {
+            if rc.dirty[node.index()] {
+                continue;
+            }
+            carried += 1;
+            check_cuts_against_simulation(&copy, &rc, node);
+        }
+        assert!(carried > 0, "a verbatim rebuild must carry cuts over");
+    }
+
+    /// Asserts every stored cut of `node` matches exhaustive simulation.
+    fn check_cuts_against_simulation(mig: &Mig, rc: &RewriteCache, node: NodeId) {
+        let stride = rc.stride;
+        for ci in 0..rc.ncuts[node.index()] as usize {
+            let cut = rc.cuts[node.index() * stride + ci];
+            // Probe the node and its leaves.
+            let mut probe = mig.clone();
+            probe.add_output("probe", Signal::new(node, false));
+            for (i, &leaf) in cut.leaves().iter().enumerate() {
+                probe.add_output(
+                    format!("leaf{i}"),
+                    Signal::new(NodeId::from_index(leaf as usize), false),
+                );
+            }
+            let tts = probe.truth_tables();
+            let base = tts.len() - cut.leaves().len();
+            for row in 0..16usize {
+                let mut idx = 0usize;
+                for i in 0..cut.leaves().len() {
+                    if tts[base + i].get_bit(row) {
+                        idx |= 1 << i;
+                    }
+                }
+                assert_eq!(
+                    (cut.tt >> idx) & 1 == 1,
+                    tts[base - 1].get_bit(row),
+                    "node {node}, cut {cut:?}, row {row}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn cut_enumeration_truth_tables_are_exact() {
         // Check every enumerated cut function against exhaustive
         // simulation through probe outputs.
@@ -670,41 +1496,14 @@ mod tests {
         let x = mig.xor(a, b);
         let g = mig.mux(c, x, d);
         mig.add_output("y", g);
-        let mut rb = RewriteBuffers::default();
-        enumerate_cuts(&mig, 4, 8, &mut rb);
-        let stride = 9;
+        let mut rc = RewriteCache::default();
+        enumerate_for_test(&mig, 4, 8, &mut rc);
         let mark = mig.reach_ref();
         for node in mig.gate_ids() {
             if !mark[node.index()] {
                 continue;
             }
-            for ci in 0..rb.ncuts[node.index()] as usize {
-                let cut = rb.cuts[node.index() * stride + ci];
-                // Probe the node and its leaves.
-                let mut probe = mig.clone();
-                probe.add_output("probe", Signal::new(node, false));
-                for (i, &leaf) in cut.leaves().iter().enumerate() {
-                    probe.add_output(
-                        format!("leaf{i}"),
-                        Signal::new(NodeId::from_index(leaf as usize), false),
-                    );
-                }
-                let tts = probe.truth_tables();
-                let base = tts.len() - cut.leaves().len();
-                for row in 0..16usize {
-                    let mut idx = 0usize;
-                    for i in 0..cut.leaves().len() {
-                        if tts[base + i].get_bit(row) {
-                            idx |= 1 << i;
-                        }
-                    }
-                    assert_eq!(
-                        (cut.tt >> idx) & 1 == 1,
-                        tts[base - 1].get_bit(row),
-                        "node {node}, cut {cut:?}, row {row}"
-                    );
-                }
-            }
+            check_cuts_against_simulation(&mig, &rc, node);
         }
     }
 
@@ -716,6 +1515,7 @@ mod tests {
             leaves: [3, 4, 5, 0],
             len: 3,
             tt: 0,
+            sign: leaf_sign(3) | leaf_sign(4) | leaf_sign(5),
         };
         assert!(merge3(&a, &b, &c, 4).is_none(), "5 leaves > 4");
         let m = merge3(&a, &b, &b, 4).expect("2 leaves");
@@ -729,5 +1529,43 @@ mod tests {
         assert_eq!(extend4(0b10, 1), 0xAAAA);
         assert_eq!(extend4(0b1000, 2), 0x8888);
         assert_eq!(extend4(1, 0), 0xFFFF);
+    }
+
+    #[test]
+    fn translate_cut_handles_renames_flips_and_degeneracy() {
+        // Cut {2, 3} with tt = AND(v0, v1).
+        let cut = Cut {
+            leaves: [2, 3, 0, 0],
+            len: 2,
+            tt: 0b1000,
+            sign: leaf_sign(2) | leaf_sign(3),
+        };
+        let id = |n: usize, c: bool| Signal::new(NodeId::from_index(n), c);
+        // Plain rename preserving order: tt untouched.
+        let map = vec![id(0, false), id(0, false), id(4, false), id(7, false)];
+        let t = translate_cut(&cut, &map, false, 9).expect("plain rename");
+        assert_eq!((t.leaves(), t.tt), (&[4u32, 7][..], 0b1000));
+        // Order-swapping rename: variables permute.
+        let map = vec![id(0, false), id(0, false), id(7, false), id(4, false)];
+        let t = translate_cut(&cut, &map, false, 9).expect("swapped rename");
+        assert_eq!(t.leaves(), &[4, 7]);
+        assert_eq!(t.tt, 0b1000, "AND is symmetric under the swap");
+        // A complemented leaf flips that variable.
+        let map = vec![id(0, false), id(0, false), id(4, true), id(7, false)];
+        let t = translate_cut(&cut, &map, false, 9).expect("flipped leaf");
+        assert_eq!(t.tt, 0b0100, "AND(v0', v1)");
+        // A complemented root flips the output.
+        let map = vec![id(0, false), id(0, false), id(4, false), id(7, false)];
+        let t = translate_cut(&cut, &map, true, 9).expect("flipped root");
+        assert_eq!(t.tt, 0b0111);
+        // Degenerate: two leaves collapse onto one node.
+        let map = vec![id(0, false), id(0, false), id(4, false), id(4, false)];
+        assert!(translate_cut(&cut, &map, false, 9).is_none());
+        // Degenerate: a leaf folded to a constant.
+        let map = vec![id(0, false), id(0, false), id(0, false), id(7, false)];
+        assert!(translate_cut(&cut, &map, false, 9).is_none());
+        // Degenerate: a leaf not strictly below the target.
+        let map = vec![id(0, false), id(0, false), id(4, false), id(9, false)];
+        assert!(translate_cut(&cut, &map, false, 9).is_none());
     }
 }

@@ -16,6 +16,44 @@
 
 use crate::{NodeId, Signal};
 
+/// A small pool of reusable scratch states, one per worker thread.
+///
+/// The parallel rewriting engine hands each `std::thread::scope` worker
+/// its own scratch value (canonization cache, reference-count copy, cut
+/// buffers). The pool keeps those values alive between sweeps and
+/// between optimization calls, so spinning up `N` workers allocates only
+/// on the very first sweep — the same recycling discipline `OptBuffers`
+/// applies to arenas.
+#[derive(Debug, Default)]
+pub struct ScratchPool<T> {
+    items: Vec<T>,
+}
+
+/// Upper bound on pooled scratch states (matches the worker cap of the
+/// rewriting engine; anything beyond it would never be reused).
+const POOL_CAP: usize = 16;
+
+impl<T: Default> ScratchPool<T> {
+    /// Takes `n` scratch values, reusing pooled ones first and
+    /// defaulting the rest.
+    pub fn take_n(&mut self, n: usize) -> Vec<T> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            out.push(self.items.pop().unwrap_or_default());
+        }
+        out
+    }
+
+    /// Returns scratch values to the pool for the next sweep.
+    pub fn put_all(&mut self, items: Vec<T>) {
+        for item in items {
+            if self.items.len() < POOL_CAP {
+                self.items.push(item);
+            }
+        }
+    }
+}
+
 /// Reusable epoch-marking scratchpad for graph traversals.
 ///
 /// One instance supports one traversal at a time: [`TravScratch::begin`]

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! mighty opt [INPUT] [--target size|depth|activity|all] [--rewrite]
-//!            [--effort N] [--rounds N] [-o FILE]
-//! mighty bench [BENCH]... [--quick] [--effort N] [--rounds N] [-o FILE]
+//!            [--effort N] [--rounds N] [--jobs N] [-o FILE]
+//! mighty bench [BENCH]... [--quick] [--effort N] [--rounds N] [--jobs N]
+//!              [-o FILE]
 //! mighty stats [INPUT]...
 //! mighty gen BENCH [-o FILE]
 //! mighty equiv A B [--rounds N]
@@ -21,15 +22,19 @@ const USAGE: &str = "mighty — Majority-Inverter Graph optimization driver
 
 USAGE:
     mighty opt [INPUT] [--target size|depth|activity|all] [--rewrite]
-               [--effort N] [--rounds N] [-o FILE]
+               [--effort N] [--rounds N] [--jobs N] [-o FILE]
                                         optimize, verify, report (default
                                         INPUT: my_adder, target: all);
                                         --rewrite adds the cut-based Boolean
-                                        rewriting pass after the size stage
-    mighty bench [BENCH]... [--quick] [--effort N] [--rounds N] [-o FILE]
+                                        rewriting pass after the size stage;
+                                        --jobs sets its evaluate-phase worker
+                                        threads (default: all cores; results
+                                        are identical for any value)
+    mighty bench [BENCH]... [--quick] [--effort N] [--rounds N] [--jobs N]
+                 [-o FILE]
                                         timed size/rewrite/depth/activity
                                         sweep over the MCNC suite; writes the
-                                        mig-bench/v2 JSON perf trajectory
+                                        mig-bench/v3 JSON perf trajectory
                                         (default FILE: BENCH_opt.json);
                                         exits nonzero on any equivalence
                                         failure or size regression
@@ -46,6 +51,7 @@ struct Args {
     target: OptTarget,
     effort: Option<usize>,
     rounds: Option<usize>,
+    jobs: Option<usize>,
     output: Option<String>,
     quick: bool,
     rewrite: bool,
@@ -57,6 +63,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         target: OptTarget::All,
         effort: None,
         rounds: None,
+        jobs: None,
         output: None,
         quick: false,
         rewrite: false,
@@ -75,6 +82,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--quick" | "-q" => args.quick = true,
             "--rewrite" | "-w" => args.rewrite = true,
+            "--jobs" | "-j" => {
+                args.jobs = Some(value(a)?.parse().map_err(|e| format!("--jobs: {e}"))?);
+            }
             "--rounds" | "-r" => {
                 args.rounds = Some(
                     value(a)?
@@ -106,6 +116,7 @@ fn cmd_opt(args: &Args) -> Result<bool, String> {
         args.effort.unwrap_or(2),
         args.rounds.unwrap_or(32),
         args.rewrite,
+        args.jobs.unwrap_or(0),
     );
     print!("{}", render_report(&outcome));
     if let Some(path) = &args.output {
@@ -131,6 +142,9 @@ fn cmd_bench(args: &Args) -> Result<bool, String> {
     }
     if let Some(rounds) = args.rounds {
         config.rounds = rounds;
+    }
+    if let Some(jobs) = args.jobs {
+        config.jobs = jobs;
     }
     let report = mig_bench::run_suite(&config);
     print!("{}", mig_bench::render_table(&report));

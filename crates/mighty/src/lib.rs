@@ -13,13 +13,13 @@
 //! plain functions ([`load_input`], [`run_opt`], [`render_report`]) so
 //! integration tests drive the exact code path the CLI does. The timed
 //! suite sweep behind `mighty bench` lives in [`mig_bench`], which writes
-//! the `mig-bench/v2` perf-trajectory JSON (`BENCH_opt.json`).
+//! the `mig-bench/v3` perf-trajectory JSON (`BENCH_opt.json`).
 //!
 //! ```
 //! use mig_mighty::{load_input, run_opt, OptTarget};
 //!
 //! let net = load_input("my_adder").unwrap();
-//! let outcome = run_opt(&net, OptTarget::Depth, 2, 16, false);
+//! let outcome = run_opt(&net, OptTarget::Depth, 2, 16, false, 1);
 //! assert!(outcome.mig_equiv && outcome.net_equiv);
 //! assert!(outcome.after.depth <= outcome.before.depth);
 //! ```
@@ -144,12 +144,15 @@ pub fn load_input(spec: &str) -> Result<Network, String> {
 /// With `rewrite` set, the cut-based Boolean rewriting pass
 /// ([`mig_core::optimize_rewrite`]) runs after the size stage (or first,
 /// for a depth/activity-only flow) — the `mighty opt --rewrite` switch.
+/// `jobs` is the rewriting engine's evaluate-phase worker count (0 =
+/// available parallelism); it affects wall time only, never the result.
 pub fn run_opt(
     net: &Network,
     target: OptTarget,
     effort: usize,
     rounds: usize,
     rewrite: bool,
+    jobs: usize,
 ) -> OptOutcome {
     let rounds = rounds.max(1);
     let mig = Mig::from_network(net);
@@ -177,6 +180,7 @@ pub fn run_opt(
             &cur,
             &RewriteConfig {
                 effort: effort.max(1),
+                jobs,
                 ..RewriteConfig::default()
             },
         );
@@ -292,7 +296,7 @@ mod tests {
     #[test]
     fn opt_all_improves_and_stays_equivalent() {
         let net = load_input("my_adder").unwrap();
-        let o = run_opt(&net, OptTarget::All, 2, 16, false);
+        let o = run_opt(&net, OptTarget::All, 2, 16, false, 1);
         assert!(o.mig_equiv, "MIG-level equivalence must hold");
         assert!(o.net_equiv, "network-level equivalence must hold");
         assert!(o.after.size <= o.before.size);
@@ -306,8 +310,8 @@ mod tests {
     #[test]
     fn rewrite_flow_adds_a_stage_and_stays_equivalent() {
         let net = load_input("my_adder").unwrap();
-        let plain = run_opt(&net, OptTarget::Size, 1, 16, false);
-        let o = run_opt(&net, OptTarget::Size, 1, 16, true);
+        let plain = run_opt(&net, OptTarget::Size, 1, 16, false, 1);
+        let o = run_opt(&net, OptTarget::Size, 1, 16, true, 1);
         assert!(o.mig_equiv && o.net_equiv);
         let labels: Vec<&str> = o.stages.iter().map(|(l, _)| *l).collect();
         assert!(labels.contains(&"rewrite (Boolean)"), "{labels:?}");
@@ -317,7 +321,7 @@ mod tests {
     #[test]
     fn report_mentions_every_metric_and_verdict() {
         let net = load_input("my_adder").unwrap();
-        let o = run_opt(&net, OptTarget::Size, 1, 8, false);
+        let o = run_opt(&net, OptTarget::Size, 1, 8, false, 1);
         let r = render_report(&o);
         assert!(r.contains("size"), "{r}");
         assert!(r.contains("depth"), "{r}");

@@ -1,8 +1,15 @@
 //! Simulation-based equivalence checking.
 
-use crate::simulate::simulate;
+use crate::simulate::simulate_batch;
 use mig_netlist::{Network, SplitMix64};
 use mig_tt::TruthTable;
+
+/// Words per simulation pass: both the exhaustive and the random checks
+/// evaluate 8 × 64 = 512 patterns per topological traversal, so the
+/// per-gate dispatch cost is amortized across the batch. Runs whose
+/// pattern count is not a multiple of the batch width pass the tail as
+/// a smaller batch.
+const BATCH_WORDS: usize = 8;
 
 /// Exact truth tables of every output (inputs ≤ 16).
 ///
@@ -13,25 +20,35 @@ pub fn output_truth_tables(net: &Network) -> Vec<TruthTable> {
     let n = net.num_inputs();
     assert!(n <= 16, "exhaustive simulation limited to 16 inputs");
     let total = 1usize << n;
+    let total_words = total.div_ceil(64);
     let mut tables = vec![TruthTable::zeros(n); net.num_outputs()];
-    for base in (0..total).step_by(64) {
-        let chunk = 64.min(total - base);
-        let words: Vec<u64> = (0..n)
-            .map(|v| {
-                let mut w = 0u64;
+    let mut buf = Vec::new();
+    for wbase in (0..total_words).step_by(BATCH_WORDS) {
+        let w = BATCH_WORDS.min(total_words - wbase);
+        buf.clear();
+        for v in 0..n {
+            for j in 0..w {
+                let base = (wbase + j) * 64;
+                let chunk = 64.min(total - base);
+                let mut word = 0u64;
                 for b in 0..chunk {
                     if ((base + b) >> v) & 1 == 1 {
-                        w |= 1 << b;
+                        word |= 1 << b;
                     }
                 }
-                w
-            })
-            .collect();
-        let outs = simulate(net, &words);
-        for (o, &w) in outs.iter().enumerate() {
-            for b in 0..chunk {
-                if (w >> b) & 1 == 1 {
-                    tables[o].set_bit(base + b, true);
+                buf.push(word);
+            }
+        }
+        let outs = simulate_batch(net, &buf, w);
+        for o in 0..net.num_outputs() {
+            for j in 0..w {
+                let base = (wbase + j) * 64;
+                let chunk = 64.min(total - base);
+                let word = outs[o * w + j];
+                for b in 0..chunk {
+                    if (word >> b) & 1 == 1 {
+                        tables[o].set_bit(base + b, true);
+                    }
                 }
             }
         }
@@ -59,12 +76,24 @@ pub fn equivalent_exhaustive(a: &Network, b: &Network) -> bool {
 pub fn equivalent_random(a: &Network, b: &Network, rounds: usize) -> bool {
     assert_eq!(a.num_inputs(), b.num_inputs(), "input counts differ");
     assert_eq!(a.num_outputs(), b.num_outputs(), "output counts differ");
+    let n = a.num_inputs();
     let mut rng = SplitMix64::seed_from_u64(0x5EED_CAFE);
-    for _ in 0..rounds {
-        let words: Vec<u64> = (0..a.num_inputs()).map(|_| rng.next_u64()).collect();
-        if simulate(a, &words) != simulate(b, &words) {
+    let mut buf = vec![0u64; n * BATCH_WORDS];
+    let mut done = 0usize;
+    while done < rounds {
+        let w = BATCH_WORDS.min(rounds - done);
+        // Keep the historical stream order (round-major: each round
+        // draws one word per input), so the patterns tested are exactly
+        // those of the old one-round-per-pass implementation.
+        for j in 0..w {
+            for i in 0..n {
+                buf[i * w + j] = rng.next_u64();
+            }
+        }
+        if simulate_batch(a, &buf[..n * w], w) != simulate_batch(b, &buf[..n * w], w) {
             return false;
         }
+        done += w;
     }
     true
 }
@@ -113,6 +142,72 @@ mod tests {
         )
         .expect("parses");
         assert!(!equivalent_exhaustive(&a, &c));
+    }
+
+    /// The pre-batching implementation: one 64-pattern word per input
+    /// per round, one topological pass per round.
+    fn reference_random(a: &Network, b: &Network, rounds: usize) -> bool {
+        let mut rng = SplitMix64::seed_from_u64(0x5EED_CAFE);
+        for _ in 0..rounds {
+            let words: Vec<u64> = (0..a.num_inputs()).map(|_| rng.next_u64()).collect();
+            if crate::simulate(a, &words) != crate::simulate(b, &words) {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn batched_random_check_matches_reference_incl_tails() {
+        // 18 inputs keep `equivalent` on the random path; the pair
+        // below is NOT equivalent (an 18-input AND vs one missing a
+        // fanin), and a same-network pair is.
+        let mut decl = String::new();
+        for i in 0..18 {
+            decl.push_str(&format!("x{i}{}", if i == 17 { "" } else { "," }));
+        }
+        let full = parse_verilog(&format!(
+            "module t({decl},y); input {decl}; output y;\n\
+             assign y = x0 {}; endmodule",
+            (1..18).map(|i| format!("& x{i}")).collect::<String>()
+        ))
+        .expect("parses");
+        let partial = parse_verilog(&format!(
+            "module t({decl},y); input {decl}; output y;\n\
+             assign y = x0 {}; endmodule",
+            (1..17).map(|i| format!("& x{i}")).collect::<String>()
+        ))
+        .expect("parses");
+        // Round counts straddling the 8-word batch width: below it, at
+        // it, and with 3- and 1-word tails.
+        for rounds in [1, 3, 8, 11, 17] {
+            assert_eq!(
+                equivalent_random(&full, &full.sweep(), rounds),
+                reference_random(&full, &full.sweep(), rounds),
+                "equal pair, rounds={rounds}"
+            );
+            assert_eq!(
+                equivalent_random(&full, &partial, rounds),
+                reference_random(&full, &partial, rounds),
+                "unequal pair, rounds={rounds}"
+            );
+        }
+    }
+
+    #[test]
+    fn exhaustive_small_inputs_use_the_tail_batch() {
+        // 3 inputs = 8 patterns: a single sub-64-bit word, the smallest
+        // tail the 512-pattern batching must still handle exactly.
+        let net = parse_verilog(
+            "module t(a,b,c,y); input a,b,c; output y;\n\
+             assign y = (a & b) | c; endmodule",
+        )
+        .expect("parses");
+        let tts = output_truth_tables(&net);
+        for row in 0..8usize {
+            let (a, b, c) = (row & 1 == 1, row & 2 == 2, row & 4 == 4);
+            assert_eq!(tts[0].get_bit(row), (a && b) || c, "row {row}");
+        }
     }
 
     #[test]

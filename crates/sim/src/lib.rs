@@ -21,13 +21,15 @@
 //! assert_eq!(out[0] & 0b11, 0b11);
 //! ```
 
+#![warn(missing_docs)]
+
 mod activity;
 mod equiv;
 mod simulate;
 
 pub use activity::{empirical_activity, signal_probabilities, switching_activity};
 pub use equiv::{equivalent, equivalent_exhaustive, equivalent_random, output_truth_tables};
-pub use simulate::{simulate, simulate_all};
+pub use simulate::{simulate, simulate_all, simulate_batch};
 
 // Re-exported for doc examples and downstream convenience.
 pub use mig_netlist::Network;

@@ -27,6 +27,8 @@
 //! assert_eq!(maj.count_ones(), 4);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod factor;
 pub mod isop;
 pub mod mig_db;
