@@ -1,23 +1,28 @@
 //! # Benchmark harness for the MIG suite
 //!
-//! Runs the four optimizer passes (size, Boolean rewriting, depth,
-//! activity) over the generated MCNC suite, timing every pass, and
+//! Runs an optimization flow (default: the size → rewrite → depth →
+//! activity pipeline) over the generated MCNC suite through the
+//! composable pass manager ([`mig_core::Flow`] / [`mig_core::OptContext`]),
+//! timing every executed pass via the context's wall-time ledger, and
 //! serializes the result as `BENCH_opt.json` in a stable schema so
 //! successive PRs accumulate a performance trajectory (compare the
 //! committed file against a fresh run to spot regressions).
 //!
-//! The schema (`mig-bench/v3`, documented in `DESIGN.md` §7; v2 added
-//! the cut-based Boolean `rewrite` pass between `size` and `depth`; v3
-//! added the top-level `threads` field recording the rewrite engine's
-//! resolved evaluate-phase worker count — wall times are per pass as
-//! before, and every size/depth/activity/equiv field is identical for
-//! any thread count):
+//! The schema (`mig-bench/v4`, documented in `DESIGN.md` §7/§10; v2
+//! added the cut-based Boolean `rewrite` pass between `size` and
+//! `depth`; v3 added the top-level `threads` field recording the rewrite
+//! engine's resolved evaluate-phase worker count; v4 added the top-level
+//! `flow` field with the canonical flow script and derives the `passes`
+//! array from the pass-manager ledger, so arbitrary flows — repeated
+//! passes included — serialize naturally; the default flow's non-timing
+//! fields are identical to v3):
 //!
 //! ```json
 //! {
-//!   "schema": "mig-bench/v3",
+//!   "schema": "mig-bench/v4",
 //!   "suite": "mcnc14",
 //!   "mode": "full",
+//!   "flow": "size; rewrite; depth; activity",
 //!   "effort": 4,
 //!   "threads": 1,
 //!   "benchmarks": [
@@ -48,18 +53,21 @@
 //! let report = run_suite(&cfg);
 //! assert!(report.all_ok());
 //! assert_eq!(report.benchmarks.len(), 1);
-//! assert!(mig_bench::to_json(&report).contains("\"schema\": \"mig-bench/v3\""));
+//! assert!(mig_bench::to_json(&report).contains("\"schema\": \"mig-bench/v4\""));
 //! ```
 
+#![warn(missing_docs)]
+
 use std::fmt::Write as _;
-use std::time::Instant;
 
-use mig_core::{
-    optimize_activity, optimize_depth, optimize_rewrite, optimize_size, ActivityOptConfig,
-    DepthOptConfig, Mig, RewriteConfig, SizeOptConfig,
-};
+use mig_core::{Flow, Mig, OptContext, RewriteConfig};
 
-/// Which optimizers the harness runs, in order.
+/// The canonical default flow: the v3 harness's fixed size → rewrite →
+/// depth → activity pipeline as a flow script.
+pub const DEFAULT_FLOW: &str = "size; rewrite; depth; activity";
+
+/// The pass sequence of [`DEFAULT_FLOW`] (kept for schema tests and
+/// downstream tooling that expects the classic four passes).
 pub const PASSES: [&str; 4] = ["size", "rewrite", "depth", "activity"];
 
 /// Benchmarks skipped in `--quick` mode (the largest generators — they
@@ -75,7 +83,8 @@ pub struct BenchConfig {
     /// Quick mode: lower effort, fewer equivalence rounds, big
     /// benchmarks skipped. Intended for CI.
     pub quick: bool,
-    /// Optimizer effort (the paper's reshape/eliminate cycle budget).
+    /// Optimizer effort (the paper's reshape/eliminate cycle budget),
+    /// applied uniformly to every pass of the flow.
     pub effort: usize,
     /// 64-pattern blocks for the random half of equivalence checking.
     pub rounds: usize,
@@ -83,21 +92,23 @@ pub struct BenchConfig {
     /// parallelism). Affects wall time only: every reported
     /// size/depth/activity/equiv value is identical for any setting.
     pub jobs: usize,
+    /// Flow script to run (`None` = [`DEFAULT_FLOW`]).
+    pub flow: Option<String>,
 }
 
 impl BenchConfig {
     /// Full-suite defaults: every benchmark with Algorithm 1's default
-    /// effort (4) applied uniformly to all four passes, so a single
-    /// number describes the run (the configuration the perf trajectory
-    /// tracks; note `mighty opt` instead uses each optimizer's own
-    /// default).
+    /// effort (4) applied uniformly to all passes, so a single number
+    /// describes the run (the configuration the perf trajectory tracks;
+    /// note `mighty opt` instead defaults to effort 2).
     pub fn full() -> Self {
         BenchConfig {
             names: Vec::new(),
             quick: false,
-            effort: SizeOptConfig::default().effort,
+            effort: mig_core::SizeOptConfig::default().effort,
             rounds: 8,
             jobs: 0,
+            flow: None,
         }
     }
 
@@ -109,54 +120,41 @@ impl BenchConfig {
             effort: 1,
             rounds: 4,
             jobs: 0,
+            flow: None,
         }
     }
 }
 
-/// Size/depth/activity of one MIG at one pipeline point.
-#[derive(Debug, Clone, Copy)]
-pub struct Metrics {
-    pub size: usize,
-    pub depth: u32,
-    pub activity: f64,
-}
+/// Size/depth/activity of one MIG at one pipeline point (the pass
+/// manager's ledger metrics, re-exported under the harness's historic
+/// name).
+pub use mig_core::PassMetrics as Metrics;
 
-impl Metrics {
-    fn of(mig: &Mig) -> Self {
-        Metrics {
-            size: mig.size(),
-            depth: mig.depth(),
-            activity: mig.switching_activity_uniform(),
-        }
-    }
-}
-
-/// One timed optimizer pass.
-#[derive(Debug, Clone)]
-pub struct PassResult {
-    /// Pass name, one of [`PASSES`].
-    pub pass: &'static str,
-    /// Metrics after the pass.
-    pub after: Metrics,
-    /// Wall-clock time of the pass alone.
-    pub millis: f64,
-}
+/// One timed pass execution — exactly the pass manager's ledger entry
+/// (name, wall time, metrics on both sides), re-exported under the
+/// harness's historic name.
+pub use mig_core::PassReport as PassResult;
 
 /// Full record for one benchmark circuit.
 #[derive(Debug, Clone)]
 pub struct BenchRecord {
+    /// Benchmark name (see `mig_benchgen::MCNC_NAMES`).
     pub name: String,
+    /// Primary-input count of the imported circuit.
     pub inputs: usize,
+    /// Primary-output count of the imported circuit.
     pub outputs: usize,
     /// Metrics of the imported (unoptimized) MIG.
     pub import: Metrics,
+    /// One entry per executed pass, in flow order.
     pub passes: Vec<PassResult>,
     /// MIG-level equivalence of the final result against the import.
     pub equiv: bool,
-    /// True when the size-oriented passes honored their contracts: the
-    /// size pass is no larger than the import and the rewrite pass is no
-    /// larger than the size pass. (Later passes may trade size for
-    /// depth/activity by design, so they are not gated on size.)
+    /// True when the size-monotone passes honored their contracts:
+    /// every `size`, `rewrite` and `depth_rewrite` execution produced a
+    /// graph no larger than its input. (The algebraic depth pass and
+    /// the activity pass may trade size for their own metric by design,
+    /// so they are not gated on size.)
     pub size_ok: bool,
     /// Wall-clock time over all passes (excludes verify).
     pub total_millis: f64,
@@ -165,11 +163,16 @@ pub struct BenchRecord {
 /// The whole suite run.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
+    /// `"full"` or `"quick"`.
     pub mode: &'static str,
+    /// The canonical flow script the run executed.
+    pub flow: String,
+    /// The uniform per-pass effort.
     pub effort: usize,
     /// Resolved rewrite-engine worker count the run used (the `jobs`
     /// knob with 0 replaced by the machine's available parallelism).
     pub threads: usize,
+    /// One record per benchmark, in run order.
     pub benchmarks: Vec<BenchRecord>,
 }
 
@@ -185,17 +188,16 @@ impl BenchReport {
     }
 }
 
-fn millis_since(start: Instant) -> f64 {
-    start.elapsed().as_secs_f64() * 1e3
-}
-
-/// Runs the configured benchmarks through size → rewrite → depth →
-/// activity optimization, timing each pass and verifying the final
-/// result.
+/// Runs the configured benchmarks through the flow, timing each pass
+/// via the shared [`OptContext`] ledger and verifying the final result.
+/// One context serves the whole suite, so arenas and rewrite caches are
+/// recycled across circuits (wall time only — results are identical to
+/// fresh per-circuit contexts).
 ///
 /// # Panics
 ///
-/// Panics if `config.names` contains an unknown benchmark name.
+/// Panics if `config.names` contains an unknown benchmark name or
+/// `config.flow` does not parse (the CLI validates both up front).
 pub fn run_suite(config: &BenchConfig) -> BenchReport {
     let names: Vec<String> = if config.names.is_empty() {
         mig_benchgen::MCNC_NAMES
@@ -208,82 +210,27 @@ pub fn run_suite(config: &BenchConfig) -> BenchReport {
     };
     let effort = config.effort.max(1);
     let rounds = config.rounds.max(1);
-    let rewrite_config = RewriteConfig {
-        effort,
+    let script = config.flow.as_deref().unwrap_or(DEFAULT_FLOW);
+    let flow = Flow::parse(script).unwrap_or_else(|e| panic!("bad flow script: {e}"));
+    let threads = RewriteConfig {
         jobs: config.jobs,
         ..RewriteConfig::default()
-    };
-    let threads = rewrite_config.resolved_jobs();
+    }
+    .resolved_jobs();
+    let mut ctx = OptContext::with_jobs(config.jobs);
     let mut benchmarks = Vec::new();
     for name in &names {
         let net = mig_benchgen::generate(name)
             .unwrap_or_else(|| panic!("unknown benchmark `{name}` (see `mighty list`)"));
         let mig = Mig::from_network(&net);
         let import = Metrics::of(&mig);
-        let mut cur = mig.cleanup();
-        let mut passes = Vec::new();
-
-        let t = Instant::now();
-        cur = optimize_size(
-            &cur,
-            &SizeOptConfig {
-                effort,
-                ..SizeOptConfig::default()
-            },
-        );
-        // Stop the clock before measuring metrics: Metrics::of walks the
-        // graph and must not count toward the pass's wall time.
-        let millis = millis_since(t);
-        passes.push(PassResult {
-            pass: "size",
-            after: Metrics::of(&cur),
-            millis,
-        });
-
-        let t = Instant::now();
-        cur = optimize_rewrite(&cur, &rewrite_config);
-        let millis = millis_since(t);
-        passes.push(PassResult {
-            pass: "rewrite",
-            after: Metrics::of(&cur),
-            millis,
-        });
-
-        let t = Instant::now();
-        cur = optimize_depth(
-            &cur,
-            &DepthOptConfig {
-                effort,
-                ..DepthOptConfig::default()
-            },
-        );
-        let millis = millis_since(t);
-        passes.push(PassResult {
-            pass: "depth",
-            after: Metrics::of(&cur),
-            millis,
-        });
-
-        let uniform = vec![0.5; cur.num_inputs()];
-        let t = Instant::now();
-        cur = optimize_activity(
-            &cur,
-            &uniform,
-            &ActivityOptConfig {
-                effort,
-                ..ActivityOptConfig::default()
-            },
-        );
-        let millis = millis_since(t);
-        passes.push(PassResult {
-            pass: "activity",
-            after: Metrics::of(&cur),
-            millis,
-        });
-
+        let cur = flow.run(mig.cleanup(), effort, &mut ctx);
+        let passes = ctx.take_ledger();
+        let size_ok = passes
+            .iter()
+            .filter(|r| matches!(r.pass.as_str(), "size" | "rewrite" | "depth_rewrite"))
+            .all(|r| r.after.size <= r.before.size);
         let total_millis = passes.iter().map(|p| p.millis).sum();
-        let size_pass = passes[0].after;
-        let rewrite_pass = passes[1].after;
         benchmarks.push(BenchRecord {
             name: name.clone(),
             inputs: mig.num_inputs(),
@@ -291,29 +238,31 @@ pub fn run_suite(config: &BenchConfig) -> BenchReport {
             import,
             passes,
             equiv: cur.equiv(&mig, rounds),
-            size_ok: size_pass.size <= import.size && rewrite_pass.size <= size_pass.size,
+            size_ok,
             total_millis,
         });
     }
     BenchReport {
         mode: if config.quick { "quick" } else { "full" },
+        flow: flow.to_string(),
         effort,
         threads,
         benchmarks,
     }
 }
 
-/// Serializes a report in the stable `mig-bench/v3` schema.
+/// Serializes a report in the stable `mig-bench/v4` schema.
 ///
 /// Hand-rolled (the workspace has zero third-party dependencies); all
-/// strings in the schema are benchmark names and pass labels, which never
-/// need escaping.
+/// strings in the schema are benchmark names, pass labels and canonical
+/// flow scripts, which never need escaping.
 pub fn to_json(report: &BenchReport) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"mig-bench/v3\",");
+    let _ = writeln!(s, "  \"schema\": \"mig-bench/v4\",");
     let _ = writeln!(s, "  \"suite\": \"mcnc14\",");
     let _ = writeln!(s, "  \"mode\": \"{}\",", report.mode);
+    let _ = writeln!(s, "  \"flow\": \"{}\",", report.flow);
     let _ = writeln!(s, "  \"effort\": {},", report.effort);
     let _ = writeln!(s, "  \"threads\": {},", report.threads);
     s.push_str("  \"benchmarks\": [\n");
@@ -370,16 +319,26 @@ pub fn render_table(report: &BenchReport) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "mighty bench · mode={} · effort={} · threads={}",
-        report.mode, report.effort, report.threads
+        "mighty bench · mode={} · flow \"{}\" · effort={} · threads={}",
+        report.mode, report.flow, report.effort, report.threads
     );
-    let _ = writeln!(
-        s,
-        "{:<10} {:>7} {:>6} | {:^23} | {:^23} | {:^23} | {:^23} |",
-        "", "import", "", "size pass", "rewrite pass", "depth pass", "activity pass"
-    );
+    // Column headers come from the longest pass list: flows execute the
+    // same steps everywhere, but a converge marker can stop earlier on
+    // some circuits, so shorter rows are aligned below by matching pass
+    // names against these headers.
+    let widest = report
+        .benchmarks
+        .iter()
+        .max_by_key(|b| b.passes.len())
+        .map(|b| b.passes.as_slice())
+        .unwrap_or(&[]);
+    let _ = write!(s, "{:<10} {:>7} {:>6} |", "", "import", "");
+    for p in widest {
+        let _ = write!(s, " {:^23} |", format!("{} pass", p.pass));
+    }
+    let _ = writeln!(s);
     let _ = write!(s, "{:<10} {:>7} {:>6} |", "bench", "size", "depth");
-    for _ in PASSES {
+    for _ in widest {
         let _ = write!(s, " {:>7} {:>6} {:>8} |", "size", "depth", "ms");
     }
     let _ = writeln!(s, " {:>6}", "equiv");
@@ -389,12 +348,25 @@ pub fn render_table(report: &BenchReport) -> String {
             "{:<10} {:>7} {:>6} |",
             b.name, b.import.size, b.import.depth
         );
-        for p in &b.passes {
-            let _ = write!(
-                s,
-                " {:>7} {:>6} {:>8.1} |",
-                p.after.size, p.after.depth, p.millis
-            );
+        // Walk the header slots, consuming this circuit's passes
+        // greedily by name: a circuit whose converge marker stopped
+        // earlier leaves the rest of that step's slots blank instead of
+        // shifting later passes under the wrong header.
+        let mut next = b.passes.iter().peekable();
+        for header in widest {
+            match next.peek() {
+                Some(p) if p.pass == header.pass => {
+                    let p = next.next().expect("peeked");
+                    let _ = write!(
+                        s,
+                        " {:>7} {:>6} {:>8.1} |",
+                        p.after.size, p.after.depth, p.millis
+                    );
+                }
+                _ => {
+                    let _ = write!(s, " {:>7} {:>6} {:>8} |", "", "", "");
+                }
+            }
         }
         let _ = writeln!(
             s,
@@ -423,6 +395,7 @@ mod tests {
     fn tiny_config() -> BenchConfig {
         BenchConfig {
             names: vec!["my_adder".into(), "count".into()],
+            jobs: 1,
             ..BenchConfig::quick()
         }
     }
@@ -431,10 +404,11 @@ mod tests {
     fn suite_runs_and_verifies() {
         let report = run_suite(&tiny_config());
         assert_eq!(report.benchmarks.len(), 2);
+        assert_eq!(report.flow, DEFAULT_FLOW);
         assert!(report.all_ok(), "equivalence and size must hold");
         for b in &report.benchmarks {
             assert_eq!(b.passes.len(), 4);
-            let names: Vec<&str> = b.passes.iter().map(|p| p.pass).collect();
+            let names: Vec<&str> = b.passes.iter().map(|p| p.pass.as_str()).collect();
             assert_eq!(names, PASSES);
             let size_pass = b.passes[0].after.size;
             assert!(size_pass <= b.import.size, "Algorithm 1 must not grow");
@@ -444,13 +418,29 @@ mod tests {
     }
 
     #[test]
+    fn custom_flows_drive_the_pass_list() {
+        let config = BenchConfig {
+            flow: Some("rewrite; size*2".into()),
+            ..tiny_config()
+        };
+        let report = run_suite(&config);
+        assert_eq!(report.flow, "rewrite; size*2");
+        assert!(report.all_ok());
+        for b in &report.benchmarks {
+            let names: Vec<&str> = b.passes.iter().map(|p| p.pass.as_str()).collect();
+            assert_eq!(names, ["rewrite", "size", "size"]);
+        }
+    }
+
+    #[test]
     fn json_has_stable_schema_fields() {
         let report = run_suite(&tiny_config());
         let json = to_json(&report);
         for field in [
-            "\"schema\": \"mig-bench/v3\"",
+            "\"schema\": \"mig-bench/v4\"",
             "\"suite\": \"mcnc14\"",
             "\"mode\": \"quick\"",
+            "\"flow\": \"size; rewrite; depth; activity\"",
             "\"threads\": ",
             "\"benchmarks\": [",
             "\"import\":",

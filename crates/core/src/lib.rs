@@ -19,7 +19,14 @@
 //!
 //! * [`optimize_size`] — Algorithm 1 (node count),
 //! * [`optimize_depth`] — Algorithm 2 (logic levels),
-//! * [`optimize_activity`] — Section IV-C (switching activity).
+//! * [`optimize_activity`] — Section IV-C (switching activity),
+//! * [`optimize_rewrite`] — cut-based Boolean rewriting against the NPN
+//!   database, in size- and depth-oriented acceptance modes.
+//!
+//! The optimizers compose through the [`opt::pipeline`] pass manager: a
+//! [`Pass`] trait, a shared [`OptContext`] (arena pool, rewrite caches,
+//! wall-time ledger), and parsed [`Flow`] scripts like
+//! `"size*2; rewrite; depth_rewrite; activity"`.
 //!
 //! # Example
 //!
@@ -53,6 +60,7 @@ pub(crate) mod strash;
 pub use crate::mig::Mig;
 pub use opt::{
     optimize_activity, optimize_depth, optimize_rewrite, optimize_size, ActivityOptConfig,
-    DepthOptConfig, RewriteConfig, SizeOptConfig,
+    ActivityPass, Cost, DepthOptConfig, DepthPass, Flow, FlowStep, Objective, OptContext, Pass,
+    PassKind, PassMetrics, PassReport, Repeat, RewriteConfig, RewritePass, SizeOptConfig, SizePass,
 };
 pub use signal::{NodeId, Signal};

@@ -64,8 +64,18 @@ impl Default for ActivityOptConfig {
 /// assert!(opt.switching_activity(&probs) < 0.51 * mig.switching_activity(&probs));
 /// ```
 pub fn optimize_activity(mig: &Mig, input_probs: &[f64], config: &ActivityOptConfig) -> Mig {
+    optimize_activity_with(mig, input_probs, config, &mut OptBuffers::new())
+}
+
+/// [`optimize_activity`] with caller-provided rebuild buffers, so
+/// composite flows share one arena pool across every pass they run.
+pub(crate) fn optimize_activity_with(
+    mig: &Mig,
+    input_probs: &[f64],
+    config: &ActivityOptConfig,
+    bufs: &mut OptBuffers,
+) -> Mig {
     assert_eq!(input_probs.len(), mig.num_inputs());
-    let bufs = &mut OptBuffers::new();
     let mut best = mig.cleanup();
     let mut best_cost = cost(&best, input_probs);
     for _ in 0..config.effort {

@@ -13,7 +13,10 @@
 //! cycle finishes with a size-recovery elimination pass.
 
 use super::size::{eliminate_pass, reshape_pass, substitution_kick};
-use super::{depth_size, OptBuffers};
+use super::{Objective, OptBuffers};
+
+/// The lexicographic objective Algorithm 2 minimizes.
+const OBJECTIVE: Objective = Objective::DepthThenSize;
 use crate::{Mig, Signal};
 
 /// Tuning knobs for [`optimize_depth`].
@@ -69,7 +72,16 @@ impl Default for DepthOptConfig {
 /// assert_eq!(opt.depth(), 2);
 /// ```
 pub fn optimize_depth(mig: &Mig, config: &DepthOptConfig) -> Mig {
-    let bufs = &mut OptBuffers::new();
+    optimize_depth_with(mig, config, &mut OptBuffers::new())
+}
+
+/// [`optimize_depth`] with caller-provided rebuild buffers, so composite
+/// flows share one arena pool across every pass they run.
+pub(crate) fn optimize_depth_with(
+    mig: &Mig,
+    config: &DepthOptConfig,
+    bufs: &mut OptBuffers,
+) -> Mig {
     let mut best = mig.cleanup();
     // Runs one pass and recycles its input's buffers.
     let step = |bufs: &mut OptBuffers, cur: Mig, f: &dyn Fn(&Mig, &mut OptBuffers) -> Mig| {
@@ -93,7 +105,7 @@ pub fn optimize_depth(mig: &Mig, config: &DepthOptConfig) -> Mig {
             cur = step(bufs, cur, &eliminate_pass);
         }
         cur = step(bufs, cur, &|m, b| b.cleanup(m));
-        if depth_size(&cur) < depth_size(&best) {
+        if OBJECTIVE.of(&cur) < OBJECTIVE.of(&best) {
             bufs.recycle(std::mem::replace(&mut best, cur));
             continue;
         }
@@ -110,7 +122,7 @@ pub fn optimize_depth(mig: &Mig, config: &DepthOptConfig) -> Mig {
                 k = step(bufs, k, &eliminate_pass);
             }
             k = step(bufs, k, &|m, b| b.cleanup(m));
-            if depth_size(&k) < depth_size(&best) {
+            if OBJECTIVE.of(&k) < OBJECTIVE.of(&best) {
                 bufs.recycle(std::mem::replace(&mut best, k));
                 continue;
             }

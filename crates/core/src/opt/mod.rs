@@ -7,14 +7,24 @@
 //!   signals toward the outputs with `Ω.D` (L→R), `Ω.A` and `Ψ.C`.
 //! * [`activity`] — Section IV-C: switching-activity reduction through
 //!   probability-aware `Ψ.R` exchanges plus size recovery.
+//! * [`rewrite`] — cut-based Boolean rewriting against the NPN database,
+//!   in a size-oriented and a depth-oriented acceptance mode.
+//! * [`pipeline`] — the composable pass manager: the [`Pass`] trait, the
+//!   shared [`OptContext`], and the flow-script language that sequences
+//!   the passes above.
 
 pub mod activity;
 pub mod depth;
+pub mod pipeline;
 pub mod rewrite;
 pub mod size;
 
 pub use activity::{optimize_activity, ActivityOptConfig};
 pub use depth::{optimize_depth, DepthOptConfig};
+pub use pipeline::{
+    ActivityPass, DepthPass, Flow, FlowStep, OptContext, Pass, PassKind, PassMetrics, PassReport,
+    Repeat, RewritePass, SizePass,
+};
 pub use rewrite::{optimize_rewrite, RewriteConfig};
 pub use size::{optimize_size, SizeOptConfig};
 
@@ -127,14 +137,70 @@ where
     OptBuffers::new().rebuild(old, make)
 }
 
-/// `(size, depth)` cost used for lexicographic acceptance tests.
-pub(crate) fn size_depth(mig: &Mig) -> (usize, u32) {
-    (mig.size(), mig.depth())
+/// A lexicographic optimization cost: `primary` is compared first,
+/// `tiebreak` second (derived `Ord` gives exactly that order). Every
+/// acceptance test in the optimizer stack — pass-level "keep the best
+/// graph seen" guards and the rewrite engine's per-candidate scoring —
+/// goes through this one type, constructed via an [`Objective`], so
+/// size-oriented and depth-oriented passes share their comparison logic
+/// instead of each owning a private `(usize, u32)` helper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Cost {
+    /// The metric the pass minimizes.
+    pub primary: i64,
+    /// Broken ties go to the secondary metric.
+    pub tiebreak: i64,
 }
 
-/// `(depth, size)` cost used for lexicographic acceptance tests.
-pub(crate) fn depth_size(mig: &Mig) -> (u32, usize) {
-    (mig.depth(), mig.size())
+/// Which lexicographic [`Cost`] a pass minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Node count first, logic depth as the tiebreak (Algorithm 1 and
+    /// size-oriented Boolean rewriting).
+    SizeThenDepth,
+    /// Logic depth first, node count as the tiebreak (Algorithm 2 and
+    /// the depth-oriented rewrite mode).
+    DepthThenSize,
+}
+
+impl Objective {
+    /// Graph-level cost of `mig` under this objective.
+    pub fn of(self, mig: &Mig) -> Cost {
+        self.cost(mig.size(), mig.depth())
+    }
+
+    /// The cost of a graph with the given node count and depth under
+    /// this objective (for callers holding metrics, not the graph).
+    pub fn cost(self, size: usize, depth: u32) -> Cost {
+        match self {
+            Objective::SizeThenDepth => Cost {
+                primary: size as i64,
+                tiebreak: depth as i64,
+            },
+            Objective::DepthThenSize => Cost {
+                primary: depth as i64,
+                tiebreak: size as i64,
+            },
+        }
+    }
+
+    /// Candidate-level cost of one local replacement during rewriting:
+    /// it saves `gain` nodes net and its root lands at `level`. Lower is
+    /// better under the same derived order as [`Objective::of`] — the
+    /// size objective ranks by `(-gain, level)`, the depth objective by
+    /// `(level, -gain)`.
+    pub(crate) fn local(self, gain: isize, level: u32) -> Cost {
+        match self {
+            Objective::SizeThenDepth => Cost {
+                primary: -(gain as i64),
+                tiebreak: level as i64,
+            },
+            Objective::DepthThenSize => Cost {
+                primary: level as i64,
+                tiebreak: -(gain as i64),
+            },
+        }
+    }
 }
 
 #[cfg(test)]

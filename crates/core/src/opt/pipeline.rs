@@ -1,0 +1,831 @@
+//! The composable pass manager: the [`Pass`] trait, the shared
+//! [`OptContext`], and the flow-script language.
+//!
+//! The paper's Table I flow (size → depth → activity) used to be a
+//! hardcoded if-chain in the driver, with every optimizer privately
+//! allocating its rebuild arenas and caches. This module turns the
+//! optimizer stack into a pipeline of interchangeable passes:
+//!
+//! * [`Pass`] is the interface every optimizer implements — a name (the
+//!   word used in flow scripts and reports), a lexicographic
+//!   [`Objective`], and `run(&mut OptContext, Mig) -> Mig`.
+//! * [`OptContext`] owns the state that used to be scattered per pass:
+//!   the [`OptBuffers`] arena pool, the rewrite engine's cut/candidate
+//!   cache, the `jobs` worker-count setting, and a per-pass wall-time
+//!   ledger ([`PassReport`]). Because the context outlives pass
+//!   boundaries, a flow that alternates rewriting and algebraic passes
+//!   reuses arenas and translated cut sets instead of rebuilding them.
+//! * [`Flow`] is a parsed flow script — a `;`-separated sequence of
+//!   pass names with optional repetition (`size*2`) and convergence
+//!   (`size*`) markers — with [`Flow::parse`], a canonical
+//!   [`Display`](fmt::Display) rendering (scripts round-trip), and
+//!   [`Flow::run`].
+//!
+//! # Flow-script grammar
+//!
+//! ```text
+//! flow   := step (';' step)* [';']
+//! step   := pass [ '*' [count] ]
+//! pass   := 'size' | 'depth' | 'activity' | 'rewrite' | 'depth_rewrite'
+//! count  := positive integer
+//! ```
+//!
+//! Whitespace around tokens is ignored. `pass*N` runs the pass `N`
+//! times; a bare `pass*` repeats the pass until its own success metric
+//! stops improving ([`Pass::improved`] — the objective cost for most
+//! passes, the activity value for `activity`; capped at
+//! [`CONVERGE_CAP`] iterations). The paper's Table I flow is the script
+//! `"size; depth; activity"`.
+//!
+//! # Example
+//!
+//! ```
+//! use mig_core::{Flow, Mig, OptContext};
+//!
+//! // XOR3 from two cascaded XOR2s: 6 nodes, depth 4.
+//! let mut mig = Mig::new("xor3");
+//! let a = mig.add_input("a");
+//! let b = mig.add_input("b");
+//! let c = mig.add_input("c");
+//! let t = mig.xor(a, b);
+//! let f = mig.xor(t, c);
+//! mig.add_output("f", f);
+//!
+//! let flow = Flow::parse("size; rewrite; depth").unwrap();
+//! assert_eq!(flow.to_string(), "size; rewrite; depth");
+//! let mut ctx = OptContext::new();
+//! let opt = flow.run(mig.clone(), 2, &mut ctx);
+//! assert!(opt.equiv(&mig, 4));
+//! assert_eq!(opt.size(), 3, "database holds the 3-node XOR3");
+//! assert_eq!(ctx.ledger().len(), 3, "one report per executed pass");
+//! ```
+
+use std::fmt;
+use std::time::Instant;
+
+use super::activity::{optimize_activity_with, ActivityOptConfig};
+use super::depth::{optimize_depth_with, DepthOptConfig};
+use super::rewrite::{optimize_rewrite_with, RewriteCache, RewriteConfig};
+use super::size::{optimize_size_with, SizeOptConfig};
+use super::{Objective, OptBuffers};
+use crate::Mig;
+
+/// Iteration cap for a `pass*` convergence marker: the pass is re-run
+/// while its own success metric ([`Pass::improved`]) strictly improves,
+/// but never more than this many times (every pass also has an internal
+/// fixpoint loop, so the cap is a backstop, not a tuning knob).
+pub const CONVERGE_CAP: usize = 8;
+
+/// Size/depth/activity of one MIG, captured by the ledger around every
+/// pass execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PassMetrics {
+    /// Majority-node count.
+    pub size: usize,
+    /// Logic levels (inverters are free edge attributes).
+    pub depth: u32,
+    /// `Σ p(1−p)` under uniform input probabilities.
+    pub activity: f64,
+}
+
+impl PassMetrics {
+    /// Captures the three paper metrics of `mig`.
+    pub fn of(mig: &Mig) -> Self {
+        PassMetrics {
+            size: mig.size(),
+            depth: mig.depth(),
+            activity: mig.switching_activity_uniform(),
+        }
+    }
+}
+
+/// One entry of the [`OptContext`] wall-time ledger: which pass ran,
+/// how long it took, and the metrics on either side of it. Metric
+/// capture happens outside the timed window, so `millis` is the pass
+/// alone.
+#[derive(Debug, Clone)]
+pub struct PassReport {
+    /// The pass's [`Pass::name`] (`"size"`, `"rewrite"`, …).
+    pub pass: String,
+    /// Wall-clock time of the pass in milliseconds.
+    pub millis: f64,
+    /// Metrics of the graph handed to the pass.
+    pub before: PassMetrics,
+    /// Metrics of the graph the pass returned.
+    pub after: PassMetrics,
+}
+
+/// Shared state of one optimization pipeline.
+///
+/// Owns everything that used to be per-pass private: the
+/// [`OptBuffers`] arena pool every rebuild-style pass draws from, the
+/// rewrite engine's persistent cut/candidate cache (which survives
+/// across pass boundaries — keyed to the graph's mutation stamp, so a
+/// stale cache can never be misread), the evaluate-phase worker-count
+/// setting, and the per-pass wall-time ledger. One context serves any
+/// number of passes, flows, and circuits; reuse never changes results
+/// (caches are keyed or reset, arenas are wiped on reuse), it only
+/// removes allocations.
+#[derive(Debug, Default)]
+pub struct OptContext {
+    pub(crate) bufs: OptBuffers,
+    pub(crate) rewrite: RewriteCache,
+    jobs: usize,
+    ledger: Vec<PassReport>,
+    /// Metrics of the most recently measured graph state, keyed by its
+    /// mutation stamp, so chained passes do not recompute the O(n)
+    /// activity walk for a graph that was just measured.
+    last_metrics: Option<(u64, PassMetrics)>,
+}
+
+impl OptContext {
+    /// Creates a context with `jobs = 0` (available parallelism).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a context with an explicit rewrite-engine worker count
+    /// (`0` = available parallelism; the count never changes results).
+    pub fn with_jobs(jobs: usize) -> Self {
+        OptContext {
+            jobs,
+            ..Self::default()
+        }
+    }
+
+    /// The rewrite-engine worker-count setting.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Sets the rewrite-engine worker count (`0` = available
+    /// parallelism). Wall time only; never affects results.
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.jobs = jobs;
+    }
+
+    /// The wall-time ledger: one [`PassReport`] per executed pass, in
+    /// run order, accumulated across every [`Flow::run`] /
+    /// [`OptContext::run_pass`] on this context.
+    pub fn ledger(&self) -> &[PassReport] {
+        &self.ledger
+    }
+
+    /// Drains the ledger (e.g. between benchmark circuits sharing one
+    /// context).
+    pub fn take_ledger(&mut self) -> Vec<PassReport> {
+        std::mem::take(&mut self.ledger)
+    }
+
+    /// Measures `mig`, reusing the previous measurement when the graph
+    /// state (identified by its mutation stamp) has not changed since.
+    fn metrics_of(&mut self, mig: &Mig) -> PassMetrics {
+        let stamp = mig.rewrite_stamp();
+        if let Some((s, m)) = self.last_metrics {
+            if s == stamp {
+                return m;
+            }
+        }
+        let m = PassMetrics::of(mig);
+        self.last_metrics = Some((stamp, m));
+        m
+    }
+
+    /// Runs one pass with ledger bookkeeping: metrics are captured on
+    /// both sides of a timed window that contains only the pass itself
+    /// (the `before` side is free when the graph was measured as the
+    /// previous pass's `after`).
+    pub fn run_pass(&mut self, pass: &dyn Pass, mig: Mig) -> Mig {
+        let before = self.metrics_of(&mig);
+        let start = Instant::now();
+        let out = pass.run(self, mig);
+        let millis = start.elapsed().as_secs_f64() * 1e3;
+        let after = self.metrics_of(&out);
+        self.ledger.push(PassReport {
+            pass: pass.name().to_string(),
+            millis,
+            before,
+            after,
+        });
+        out
+    }
+}
+
+/// One optimization pass, as the pass manager sees it.
+///
+/// A pass is a pure function from MIG to MIG (functionally equivalent
+/// output, deterministic for a given input and configuration); it takes
+/// the input by value so its arena can be recycled into the context's
+/// pool. The four paper optimizers and both rewrite modes implement
+/// this trait; external code can add custom passes and drive them
+/// through [`OptContext::run_pass`].
+pub trait Pass {
+    /// Short lower-case name used in flow scripts, reports and the
+    /// bench schema.
+    fn name(&self) -> &'static str;
+
+    /// The lexicographic objective the pass minimizes.
+    fn objective(&self) -> Objective {
+        Objective::SizeThenDepth
+    }
+
+    /// Whether one execution paid off: `after` strictly improves on
+    /// `before` under the pass's own success metric. The `*`
+    /// convergence marker re-runs the pass while this holds. Default:
+    /// the [`objective`](Pass::objective) cost; the activity pass
+    /// overrides it to compare the activity value itself (which the
+    /// `Cost` type cannot carry).
+    fn improved(&self, before: &PassMetrics, after: &PassMetrics) -> bool {
+        let obj = self.objective();
+        obj.cost(after.size, after.depth) < obj.cost(before.size, before.depth)
+    }
+
+    /// Runs the pass on `mig` using the context's shared buffers.
+    fn run(&self, ctx: &mut OptContext, mig: Mig) -> Mig;
+}
+
+/// Algorithm 1 (node-count reduction) as a [`Pass`].
+#[derive(Debug, Clone, Default)]
+pub struct SizePass {
+    /// The underlying optimizer's tuning knobs.
+    pub config: SizeOptConfig,
+}
+
+impl Pass for SizePass {
+    fn name(&self) -> &'static str {
+        "size"
+    }
+
+    fn run(&self, ctx: &mut OptContext, mig: Mig) -> Mig {
+        let out = optimize_size_with(&mig, &self.config, &mut ctx.bufs);
+        ctx.bufs.recycle(mig);
+        out
+    }
+}
+
+/// Algorithm 2 (logic-depth reduction) as a [`Pass`].
+#[derive(Debug, Clone, Default)]
+pub struct DepthPass {
+    /// The underlying optimizer's tuning knobs.
+    pub config: DepthOptConfig,
+}
+
+impl Pass for DepthPass {
+    fn name(&self) -> &'static str {
+        "depth"
+    }
+
+    fn objective(&self) -> Objective {
+        Objective::DepthThenSize
+    }
+
+    fn run(&self, ctx: &mut OptContext, mig: Mig) -> Mig {
+        let out = optimize_depth_with(&mig, &self.config, &mut ctx.bufs);
+        ctx.bufs.recycle(mig);
+        out
+    }
+}
+
+/// Section IV-C (switching-activity reduction) as a [`Pass`].
+#[derive(Debug, Clone, Default)]
+pub struct ActivityPass {
+    /// The underlying optimizer's tuning knobs.
+    pub config: ActivityOptConfig,
+    /// Per-input probabilities of being logic 1; `None` means uniform
+    /// 0.5 on every input (the configuration the suite reports use).
+    pub probs: Option<Vec<f64>>,
+}
+
+impl Pass for ActivityPass {
+    fn name(&self) -> &'static str {
+        "activity"
+    }
+
+    /// `activity*` converges on the metric the pass actually minimizes:
+    /// the switching-activity value (the pass may trade a little size
+    /// for it within its slack, so the objective cost is the wrong
+    /// convergence signal here).
+    fn improved(&self, before: &PassMetrics, after: &PassMetrics) -> bool {
+        after.activity < before.activity
+    }
+
+    fn run(&self, ctx: &mut OptContext, mig: Mig) -> Mig {
+        let uniform;
+        let probs = match &self.probs {
+            Some(p) => p.as_slice(),
+            None => {
+                uniform = vec![0.5; mig.num_inputs()];
+                uniform.as_slice()
+            }
+        };
+        let out = optimize_activity_with(&mig, probs, &self.config, &mut ctx.bufs);
+        ctx.bufs.recycle(mig);
+        out
+    }
+}
+
+/// Cut-based Boolean rewriting as a [`Pass`] — both flow passes in one
+/// struct: with `config.goal` at [`Objective::SizeThenDepth`] this is
+/// the `rewrite` pass, at [`Objective::DepthThenSize`] the
+/// `depth_rewrite` pass. The pass draws the persistent
+/// cut/candidate cache and the worker scratch pool from the context, so
+/// consecutive rewrite steps of a flow (even with algebraic passes in
+/// between) reuse translated cut sets instead of re-enumerating, and a
+/// `config.jobs` of 0 defers to the context's `jobs` setting.
+#[derive(Debug, Clone, Default)]
+pub struct RewritePass {
+    /// The underlying engine's tuning knobs (`goal` picks the mode).
+    pub config: RewriteConfig,
+}
+
+impl Pass for RewritePass {
+    fn name(&self) -> &'static str {
+        match self.config.goal {
+            Objective::SizeThenDepth => "rewrite",
+            Objective::DepthThenSize => "depth_rewrite",
+        }
+    }
+
+    fn objective(&self) -> Objective {
+        self.config.goal
+    }
+
+    fn run(&self, ctx: &mut OptContext, mig: Mig) -> Mig {
+        let config = RewriteConfig {
+            jobs: if self.config.jobs == 0 {
+                ctx.jobs
+            } else {
+                self.config.jobs
+            },
+            ..self.config.clone()
+        };
+        let out = optimize_rewrite_with(&mig, &config, &mut ctx.bufs, &mut ctx.rewrite);
+        ctx.bufs.recycle(mig);
+        out
+    }
+}
+
+/// The built-in passes a flow script can name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PassKind {
+    /// Algorithm 1 — `size`.
+    Size,
+    /// Algorithm 2 — `depth`.
+    Depth,
+    /// Section IV-C — `activity`.
+    Activity,
+    /// Size-oriented Boolean rewriting — `rewrite`.
+    Rewrite,
+    /// Depth-oriented Boolean rewriting — `depth_rewrite`.
+    DepthRewrite,
+}
+
+impl PassKind {
+    /// Every built-in pass, in documentation order.
+    pub const ALL: [PassKind; 5] = [
+        PassKind::Size,
+        PassKind::Depth,
+        PassKind::Activity,
+        PassKind::Rewrite,
+        PassKind::DepthRewrite,
+    ];
+
+    /// The flow-script name of this pass.
+    pub fn name(self) -> &'static str {
+        match self {
+            PassKind::Size => "size",
+            PassKind::Depth => "depth",
+            PassKind::Activity => "activity",
+            PassKind::Rewrite => "rewrite",
+            PassKind::DepthRewrite => "depth_rewrite",
+        }
+    }
+
+    /// Parses a flow-script pass name.
+    pub fn parse(s: &str) -> Option<PassKind> {
+        Self::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// The objective the pass minimizes (drives `*` convergence).
+    pub fn objective(self) -> Objective {
+        match self {
+            PassKind::Size | PassKind::Activity | PassKind::Rewrite => Objective::SizeThenDepth,
+            PassKind::Depth | PassKind::DepthRewrite => Objective::DepthThenSize,
+        }
+    }
+
+    /// Instantiates the pass with its default configuration at the
+    /// given iteration budget (clamped to at least 1) — exactly the
+    /// per-pass configuration the legacy `run_opt` if-chain used.
+    pub fn build(self, effort: usize) -> Box<dyn Pass> {
+        let effort = effort.max(1);
+        match self {
+            PassKind::Size => Box::new(SizePass {
+                config: SizeOptConfig {
+                    effort,
+                    ..SizeOptConfig::default()
+                },
+            }),
+            PassKind::Depth => Box::new(DepthPass {
+                config: DepthOptConfig {
+                    effort,
+                    ..DepthOptConfig::default()
+                },
+            }),
+            PassKind::Activity => Box::new(ActivityPass {
+                config: ActivityOptConfig {
+                    effort,
+                    ..ActivityOptConfig::default()
+                },
+                probs: None,
+            }),
+            PassKind::Rewrite => Box::new(RewritePass {
+                config: RewriteConfig {
+                    effort,
+                    ..RewriteConfig::default()
+                },
+            }),
+            PassKind::DepthRewrite => Box::new(RewritePass {
+                config: RewriteConfig {
+                    effort,
+                    goal: Objective::DepthThenSize,
+                    ..RewriteConfig::default()
+                },
+            }),
+        }
+    }
+}
+
+impl fmt::Display for PassKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How often one flow step runs its pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Repeat {
+    /// A fixed number of executions (`pass` is 1, `pass*3` is 3).
+    Times(usize),
+    /// Re-run while the pass's objective strictly improves (`pass*`),
+    /// capped at [`CONVERGE_CAP`] executions.
+    Converge,
+}
+
+/// One step of a flow: a pass plus its repetition marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowStep {
+    /// Which pass runs.
+    pub pass: PassKind,
+    /// How often it runs.
+    pub repeat: Repeat,
+}
+
+impl fmt::Display for FlowStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.repeat {
+            Repeat::Times(1) => write!(f, "{}", self.pass),
+            Repeat::Times(n) => write!(f, "{}*{n}", self.pass),
+            Repeat::Converge => write!(f, "{}*", self.pass),
+        }
+    }
+}
+
+/// A parsed flow script: the sequence of pass steps a pipeline runs.
+///
+/// The [`Display`](fmt::Display) rendering is the canonical script form
+/// (`"size*2; rewrite; depth"`); parsing it back yields an equal
+/// `Flow`, so scripts round-trip.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Flow {
+    /// The steps, in run order.
+    pub steps: Vec<FlowStep>,
+}
+
+impl Flow {
+    /// Parses a flow script (see the [module docs](self) for the
+    /// grammar). Empty segments are tolerated (trailing `;`), an empty
+    /// script is an error, and unknown pass names or malformed repeat
+    /// counts report what was expected.
+    pub fn parse(script: &str) -> Result<Flow, String> {
+        let mut steps = Vec::new();
+        for raw in script.split(';') {
+            let tok = raw.trim();
+            if tok.is_empty() {
+                continue;
+            }
+            let (name, repeat) = match tok.split_once('*') {
+                None => (tok, Repeat::Times(1)),
+                Some((name, count)) => {
+                    let count = count.trim();
+                    let repeat = if count.is_empty() {
+                        Repeat::Converge
+                    } else {
+                        let n: usize = count
+                            .parse()
+                            .map_err(|e| format!("`{tok}`: bad repeat count: {e}"))?;
+                        if n == 0 {
+                            return Err(format!("`{tok}`: repeat count must be at least 1"));
+                        }
+                        Repeat::Times(n)
+                    };
+                    (name.trim_end(), repeat)
+                }
+            };
+            let pass = PassKind::parse(name).ok_or_else(|| {
+                let known: Vec<&str> = PassKind::ALL.iter().map(|k| k.name()).collect();
+                format!(
+                    "unknown pass `{name}` (expected one of {})",
+                    known.join(", ")
+                )
+            })?;
+            steps.push(FlowStep { pass, repeat });
+        }
+        if steps.is_empty() {
+            return Err("empty flow script".into());
+        }
+        Ok(Flow { steps })
+    }
+
+    /// Runs the flow on `mig` through the shared context. `effort` is
+    /// the iteration budget handed to every pass ([`PassKind::build`]);
+    /// each executed pass appends one entry to the context's ledger.
+    pub fn run(&self, mig: Mig, effort: usize, ctx: &mut OptContext) -> Mig {
+        let mut cur = mig;
+        for step in &self.steps {
+            let pass = step.pass.build(effort);
+            match step.repeat {
+                Repeat::Times(n) => {
+                    for _ in 0..n {
+                        cur = ctx.run_pass(&*pass, cur);
+                    }
+                }
+                Repeat::Converge => {
+                    // Every pass is monotone under its own success
+                    // metric, so the final (non-improving) iterate is
+                    // still no worse than its input and can be kept.
+                    for _ in 0..CONVERGE_CAP {
+                        cur = ctx.run_pass(&*pass, cur);
+                        let report = ctx.ledger().last().expect("run_pass appends");
+                        if !pass.improved(&report.before, &report.after) {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        cur
+    }
+}
+
+impl fmt::Display for Flow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, step) in self.steps.iter().enumerate() {
+            if i > 0 {
+                f.write_str("; ")?;
+            }
+            write!(f, "{step}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{optimize_depth, optimize_size, DepthOptConfig, Signal, SizeOptConfig};
+
+    fn xor_tangle() -> Mig {
+        let mut mig = Mig::new("tangle");
+        let ins: Vec<Signal> = (0..5).map(|i| mig.add_input(format!("x{i}"))).collect();
+        let mut acc = ins[0];
+        for (i, &x) in ins.iter().enumerate().skip(1) {
+            acc = match i % 3 {
+                0 => mig.xor(acc, x),
+                1 => mig.maj(acc, x, ins[(i + 2) % 5]),
+                _ => mig.mux(x, acc, ins[(i + 3) % 5]),
+            };
+        }
+        mig.add_output("y", acc);
+        mig
+    }
+
+    #[test]
+    fn parse_accepts_the_grammar() {
+        let flow = Flow::parse(" size*2 ;rewrite; depth_rewrite * ; activity ;").unwrap();
+        assert_eq!(
+            flow.steps,
+            vec![
+                FlowStep {
+                    pass: PassKind::Size,
+                    repeat: Repeat::Times(2)
+                },
+                FlowStep {
+                    pass: PassKind::Rewrite,
+                    repeat: Repeat::Times(1)
+                },
+                FlowStep {
+                    pass: PassKind::DepthRewrite,
+                    repeat: Repeat::Converge
+                },
+                FlowStep {
+                    pass: PassKind::Activity,
+                    repeat: Repeat::Times(1)
+                },
+            ]
+        );
+        assert_eq!(
+            flow.to_string(),
+            "size*2; rewrite; depth_rewrite*; activity"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for (script, needle) in [
+            ("", "empty flow"),
+            ("  ;; ", "empty flow"),
+            ("speed", "unknown pass `speed`"),
+            ("size*x", "bad repeat count"),
+            ("size*0", "at least 1"),
+            ("size**2", "bad repeat count"),
+        ] {
+            let err = Flow::parse(script).unwrap_err();
+            assert!(err.contains(needle), "`{script}` → {err}");
+        }
+    }
+
+    #[test]
+    fn display_parse_round_trips() {
+        for script in [
+            "size",
+            "size*3; depth",
+            "rewrite*; size; depth_rewrite; activity*2",
+        ] {
+            let flow = Flow::parse(script).unwrap();
+            assert_eq!(Flow::parse(&flow.to_string()).unwrap(), flow);
+            assert_eq!(flow.to_string(), script);
+        }
+        // Times(1) written explicitly normalizes to the bare name.
+        assert_eq!(Flow::parse("size*1").unwrap().to_string(), "size");
+    }
+
+    #[test]
+    fn flow_matches_the_manual_pass_sequence() {
+        // "size; depth" through the pipeline must reproduce the direct
+        // optimizer calls node for node (fresh buffers vs shared
+        // context must not matter).
+        let mig = xor_tangle();
+        let mut ctx = OptContext::with_jobs(1);
+        let flowed = Flow::parse("size; depth")
+            .unwrap()
+            .run(mig.clone(), 2, &mut ctx);
+        let manual = optimize_depth(
+            &optimize_size(
+                &mig,
+                &SizeOptConfig {
+                    effort: 2,
+                    ..SizeOptConfig::default()
+                },
+            ),
+            &DepthOptConfig {
+                effort: 2,
+                ..DepthOptConfig::default()
+            },
+        );
+        assert!(flowed.equiv(&mig, 4));
+        assert_eq!(flowed.num_nodes(), manual.num_nodes());
+        for node in flowed.gate_ids() {
+            assert_eq!(flowed.children(node), manual.children(node), "{node}");
+        }
+        assert_eq!(flowed.outputs(), manual.outputs());
+    }
+
+    #[test]
+    fn ledger_records_every_executed_pass() {
+        let mig = xor_tangle();
+        let mut ctx = OptContext::with_jobs(1);
+        let before = PassMetrics::of(&mig);
+        let out = Flow::parse("size*2; rewrite")
+            .unwrap()
+            .run(mig.clone(), 1, &mut ctx);
+        let ledger = ctx.take_ledger();
+        assert_eq!(
+            ledger.iter().map(|r| r.pass.as_str()).collect::<Vec<_>>(),
+            ["size", "size", "rewrite"]
+        );
+        assert_eq!(ledger[0].before.size, before.size);
+        for pair in ledger.windows(2) {
+            assert_eq!(pair[0].after.size, pair[1].before.size);
+        }
+        assert_eq!(ledger.last().unwrap().after.size, out.size());
+        assert!(ctx.ledger().is_empty(), "take_ledger drains");
+    }
+
+    #[test]
+    fn converge_stops_at_the_fixpoint() {
+        let mig = xor_tangle();
+        let mut ctx = OptContext::with_jobs(1);
+        let out = Flow::parse("size*").unwrap().run(mig.clone(), 1, &mut ctx);
+        let runs = ctx.ledger().len();
+        assert!((1..=CONVERGE_CAP).contains(&runs), "{runs} runs");
+        // The last run is the non-improving one (unless the cap hit),
+        // and keeping it is safe because passes are monotone.
+        let last = ctx.ledger().last().unwrap();
+        if runs < CONVERGE_CAP {
+            assert!(
+                (last.after.size, last.after.depth) >= (last.before.size, last.before.depth),
+                "converge must stop on the first non-improving run"
+            );
+        }
+        assert_eq!(out.size(), last.after.size);
+        assert!(out.equiv(&mig, 4));
+    }
+
+    #[test]
+    fn activity_convergence_tracks_the_activity_metric() {
+        // The activity pass may trade a little size within its slack;
+        // `activity*` must keep iterating while the activity value
+        // falls, and stop when it does not — size is not the signal.
+        let pass = ActivityPass::default();
+        let before = PassMetrics {
+            size: 10,
+            depth: 5,
+            activity: 3.0,
+        };
+        let larger_but_calmer = PassMetrics {
+            size: 11,
+            depth: 5,
+            activity: 2.5,
+        };
+        assert!(pass.improved(&before, &larger_but_calmer));
+        assert!(!pass.improved(&larger_but_calmer, &before));
+        // The default (objective-cost) rule still drives the others.
+        let size_pass = SizePass::default();
+        assert!(size_pass.improved(
+            &before,
+            &PassMetrics {
+                size: 9,
+                depth: 5,
+                activity: 3.0
+            }
+        ));
+        assert!(!size_pass.improved(&before, &larger_but_calmer));
+    }
+
+    #[test]
+    fn depth_rewrite_pass_reduces_depth_and_never_grows() {
+        // An XOR chain: the size-oriented database structures are also
+        // shallower, and the depth goal must find them without adding
+        // nodes.
+        let mut mig = Mig::new("xorchain");
+        let ins: Vec<Signal> = (0..6).map(|i| mig.add_input(format!("x{i}"))).collect();
+        let mut acc = ins[0];
+        for &x in &ins[1..] {
+            acc = mig.xor(acc, x);
+        }
+        mig.add_output("y", acc);
+        let mut ctx = OptContext::with_jobs(1);
+        let out = Flow::parse("depth_rewrite")
+            .unwrap()
+            .run(mig.clone(), 2, &mut ctx);
+        assert!(out.equiv(&mig, 4));
+        assert!(
+            out.depth() < mig.depth(),
+            "{} !< {}",
+            out.depth(),
+            mig.depth()
+        );
+        assert!(out.size() <= mig.size());
+    }
+
+    #[test]
+    fn shared_context_matches_fresh_contexts() {
+        // Two circuits through one context must give exactly the
+        // results of independent fresh contexts (arena and cut-cache
+        // reuse never changes results).
+        let m1 = xor_tangle();
+        let mut m2 = Mig::new("x3");
+        let a = m2.add_input("a");
+        let b = m2.add_input("b");
+        let c = m2.add_input("c");
+        let t = m2.xor(a, b);
+        let f = m2.xor(t, c);
+        m2.add_output("f", f);
+
+        let flow = Flow::parse("size; rewrite; depth").unwrap();
+        let mut shared = OptContext::with_jobs(1);
+        let s1 = flow.run(m1.clone(), 2, &mut shared);
+        let s2 = flow.run(m2.clone(), 2, &mut shared);
+        let f1 = flow.run(m1.clone(), 2, &mut OptContext::with_jobs(1));
+        let f2 = flow.run(m2.clone(), 2, &mut OptContext::with_jobs(1));
+        for (s, f) in [(&s1, &f1), (&s2, &f2)] {
+            assert_eq!(s.num_nodes(), f.num_nodes());
+            for node in s.gate_ids() {
+                assert_eq!(s.children(node), f.children(node));
+            }
+            assert_eq!(s.outputs(), f.outputs());
+        }
+        assert!(s1.equiv(&m1, 4) && s2.equiv(&m2, 4));
+    }
+}

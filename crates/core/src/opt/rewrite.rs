@@ -55,7 +55,7 @@ use std::collections::HashMap;
 use std::ops::Range;
 
 use super::size::eliminate_pass;
-use super::{size_depth, OptBuffers};
+use super::{Cost, Objective, OptBuffers};
 use crate::mig::MigView;
 use crate::scratch::ScratchPool;
 use crate::{Mig, NodeId, Signal};
@@ -99,6 +99,14 @@ pub struct RewriteConfig {
     /// evaluation is read-only and commits are serialized
     /// deterministically.
     pub jobs: usize,
+    /// Acceptance objective. [`Objective::SizeThenDepth`] (the default)
+    /// is classic size rewriting: a replacement must save nodes, with
+    /// local depth as the tiebreak. [`Objective::DepthThenSize`] is the
+    /// depth-aware mode (the `depth_rewrite` flow pass): a replacement
+    /// must land its root at a strictly lower level — never adding nodes
+    /// — with the node gain as the tiebreak, and the sweep-level guard
+    /// keeps the best `(depth, size)` graph instead of `(size, depth)`.
+    pub goal: Objective,
 }
 
 impl Default for RewriteConfig {
@@ -109,6 +117,7 @@ impl Default for RewriteConfig {
             effort: 2,
             depth_tiebreak: true,
             jobs: 0,
+            goal: Objective::SizeThenDepth,
         }
     }
 }
@@ -539,9 +548,11 @@ fn translate_cut(cut: &Cut, map: &[Signal], out_flip: bool, target: usize) -> Op
 }
 
 /// Boolean rewriting: repeatedly rewrites cuts against the database and
-/// recovers size with `Ω.D` elimination, keeping the best
-/// `(size, depth)` seen. The result is functionally equivalent to the
-/// input, never larger, and bit-identical for every `jobs` setting.
+/// recovers size with `Ω.D` elimination, keeping the best graph seen
+/// under `config.goal` — `(size, depth)` in the default size mode,
+/// `(depth, size)` in the depth-aware mode. The result is functionally
+/// equivalent to the input, never larger, and bit-identical for every
+/// `jobs` setting.
 ///
 /// # Example
 ///
@@ -613,7 +624,7 @@ pub(crate) fn optimize_rewrite_with(
                 best.depth()
             );
         }
-        if size_depth(&cur) < size_depth(&best) {
+        if config.goal.of(&cur) < config.goal.of(&best) {
             bufs.recycle(std::mem::replace(&mut best, cur));
         } else {
             bufs.recycle(cur);
@@ -691,7 +702,7 @@ fn rewrite_sweep(
         return None;
     }
 
-    let (new, committed) = commit(old, rc, bufs, db, config.depth_tiebreak);
+    let (new, committed) = commit(old, rc, bufs, db, config.goal, config.depth_tiebreak);
     if trace {
         eprintln!(
             "  sweep: enum={n_enum}/{} in {:.2}ms eval={n_eval} in {:.2}ms commit={} in {:.2}ms",
@@ -998,6 +1009,10 @@ fn eval_nodes(ctx: &EvalCtx, nodes: &[u32], w: &mut WorkerScratch) {
 /// nested cascades that dominate XOR-heavy circuits) is priced in,
 /// exactly like the old greedy engine. An existing node or trivial fold
 /// is free — it beats any replacement, so its candidates are dropped.
+/// Candidates are scored with `goal.local(gain, level)` — `(−gain,
+/// level)` for size rewriting, `(level, −gain)` for the depth-aware
+/// mode — against a threshold built from the node's default
+/// reconstruction, so both modes share one lexicographic comparison.
 /// Deterministic: candidates arrive in ascending node order whatever
 /// the worker count, and this loop is single-threaded.
 fn commit(
@@ -1005,6 +1020,7 @@ fn commit(
     rc: &mut RewriteCache,
     bufs: &mut OptBuffers,
     db: &MigDatabase,
+    goal: Objective,
     tiebreak: bool,
 ) -> (Mig, usize) {
     let view = old.view();
@@ -1036,7 +1052,14 @@ fn commit(
             .map(|s| new.level_of_signal(*s))
             .max()
             .expect("three children");
-        let mut plan: Option<(Cut, Npn4Transform, isize, u32)> = None;
+        // The acceptance threshold is the node's default reconstruction:
+        // gain 0 at `default_level`. Without the tiebreak a candidate
+        // must strictly beat the default on the primary metric alone.
+        let mut threshold = goal.local(0, default_level);
+        if !tiebreak {
+            threshold.tiebreak = i64::MIN;
+        }
+        let mut plan: Option<(Cut, Npn4Transform, Cost)> = None;
         for si in 0..rc.ncands[idx] as usize {
             let ci = rc.slots[idx * MAX_NODE_CANDS + si] as usize;
             if ci + 1 > rc.ncuts[idx] as usize {
@@ -1046,33 +1069,43 @@ fn commit(
             if cut.leaves().iter().any(|&l| !rc.reach[l as usize]) {
                 continue;
             }
-            let best_gain = plan.as_ref().map_or(0, |&(_, _, g, _)| g);
+            let best_cost = plan.as_ref().map_or(threshold, |&(_, _, c)| c);
             let saved = mffc_size(&view, node, cut.leaves(), &mut rc.refs) as isize;
-            if saved < best_gain {
-                continue;
-            }
+            let budget = match goal {
+                // Size goal: `saved` bounds the achievable gain, so a cut
+                // whose whole MFFC cannot reach the plan's gain is pruned
+                // before the dry run, and the dry run itself may stop as
+                // soon as the gain drops below the plan's.
+                Objective::SizeThenDepth => {
+                    let best_gain = -best_cost.primary as isize;
+                    if saved < best_gain {
+                        continue;
+                    }
+                    (saved - best_gain) as usize
+                }
+                // Depth goal: the gain is only the tiebreak, so every cut
+                // gets a full dry run — but never one that adds nodes
+                // (`added ≤ saved` keeps the pass monotone in size too).
+                Objective::DepthThenSize => saved as usize,
+            };
             let full_tt = extend4(cut.tt, cut.len as usize);
             let (canon, transform) = memo_canonize(&mut rc.canon_memo, full_tt);
             let Some(prog) = db.program(canon) else {
                 continue;
             };
             let ins = leaf_signals(&cut, &transform, |l| rc.map[l]);
-            let budget = (saved - best_gain) as usize;
             let nv = new.view();
             let Some((added, level)) = dry_run(&nv, prog, &ins, budget, &mut rc.dry) else {
                 continue;
             };
             let gain = saved - added as isize;
-            let better = match &plan {
-                Some((_, _, g, l)) => (gain, Reverse(level)) > (*g, Reverse(*l)),
-                None => gain > 0 || (tiebreak && gain == 0 && level < default_level),
-            };
-            if better {
-                plan = Some((cut, transform, gain, level));
+            let cost = goal.local(gain, level);
+            if cost < best_cost {
+                plan = Some((cut, transform, cost));
             }
         }
         rc.map[idx] = match plan {
-            Some((cut, transform, _, _)) => {
+            Some((cut, transform, _)) => {
                 let full_tt = extend4(cut.tt, cut.len as usize);
                 let canon = memo_canonize(&mut rc.canon_memo, full_tt).0;
                 let prog = db.program(canon).expect("plan came from the database");

@@ -8,8 +8,11 @@
 //! reshape/eliminate cycle repeats `effort` times and keeps the smallest
 //! intermediate result.
 
-use super::{size_depth, OptBuffers};
+use super::{Objective, OptBuffers};
 use crate::{Mig, Signal};
+
+/// The lexicographic objective Algorithm 1 minimizes.
+const OBJECTIVE: Objective = Objective::SizeThenDepth;
 
 /// Tuning knobs for [`optimize_size`].
 #[derive(Debug, Clone)]
@@ -72,7 +75,7 @@ pub(crate) fn optimize_size_with(mig: &Mig, config: &SizeOptConfig, bufs: &mut O
         bufs.recycle(b);
         let cur = bufs.cleanup(&c);
         bufs.recycle(c);
-        if size_depth(&cur) < size_depth(&best) {
+        if OBJECTIVE.of(&cur) < OBJECTIVE.of(&best) {
             bufs.recycle(std::mem::replace(&mut best, cur));
             continue;
         }
@@ -89,7 +92,7 @@ pub(crate) fn optimize_size_with(mig: &Mig, config: &SizeOptConfig, bufs: &mut O
             bufs.recycle(k2);
             let kicked = bufs.cleanup(&k3);
             bufs.recycle(k3);
-            if size_depth(&kicked) < size_depth(&best) {
+            if OBJECTIVE.of(&kicked) < OBJECTIVE.of(&best) {
                 bufs.recycle(std::mem::replace(&mut best, kicked));
                 continue;
             }

@@ -2,9 +2,9 @@
 //!
 //! ```text
 //! mighty opt [INPUT] [--target size|depth|activity|all] [--rewrite]
-//!            [--effort N] [--rounds N] [--jobs N] [-o FILE]
-//! mighty bench [BENCH]... [--quick] [--effort N] [--rounds N] [--jobs N]
-//!              [-o FILE]
+//!            [--flow SCRIPT] [--effort N] [--rounds N] [--jobs N] [-o FILE]
+//! mighty bench [BENCH]... [--quick] [--flow SCRIPT] [--effort N]
+//!              [--rounds N] [--jobs N] [-o FILE]
 //! mighty stats [INPUT]...
 //! mighty gen BENCH [-o FILE]
 //! mighty equiv A B [--rounds N]
@@ -16,28 +16,37 @@
 
 use std::process::ExitCode;
 
-use mig_mighty::{emit_verilog, load_input, render_report, run_opt, OptTarget};
+use mig_core::Flow;
+use mig_mighty::{emit_verilog, load_input, render_report, run_flow, run_opt, OptTarget};
 
 const USAGE: &str = "mighty — Majority-Inverter Graph optimization driver
 
 USAGE:
     mighty opt [INPUT] [--target size|depth|activity|all] [--rewrite]
-               [--effort N] [--rounds N] [--jobs N] [-o FILE]
+               [--flow SCRIPT] [--effort N] [--rounds N] [--jobs N] [-o FILE]
                                         optimize, verify, report (default
                                         INPUT: my_adder, target: all);
                                         --rewrite adds the cut-based Boolean
                                         rewriting pass after the size stage;
-                                        --jobs sets its evaluate-phase worker
-                                        threads (default: all cores; results
-                                        are identical for any value)
-    mighty bench [BENCH]... [--quick] [--effort N] [--rounds N] [--jobs N]
-                 [-o FILE]
-                                        timed size/rewrite/depth/activity
-                                        sweep over the MCNC suite; writes the
-                                        mig-bench/v3 JSON perf trajectory
-                                        (default FILE: BENCH_opt.json);
-                                        exits nonzero on any equivalence
-                                        failure or size regression
+                                        --flow runs an arbitrary pass script
+                                        instead of a target, e.g.
+                                        size*2; rewrite; depth_rewrite
+                                        (passes: size, depth, activity,
+                                        rewrite, depth_rewrite; pass*N
+                                        repeats, a bare pass* converges);
+                                        --jobs sets the rewriting engine's
+                                        evaluate-phase worker threads
+                                        (default: all cores; results are
+                                        identical for any value)
+    mighty bench [BENCH]... [--quick] [--flow SCRIPT] [--effort N]
+                 [--rounds N] [--jobs N] [-o FILE]
+                                        timed pass sweep over the MCNC suite
+                                        (default flow: size; rewrite; depth;
+                                        activity); writes the mig-bench/v4
+                                        JSON perf trajectory (default FILE:
+                                        BENCH_opt.json); exits nonzero on any
+                                        equivalence failure or size
+                                        regression
     mighty stats [INPUT]...             print circuit statistics
     mighty gen BENCH [-o FILE]          emit a generated benchmark as Verilog
     mighty equiv A B [--rounds N]       check two circuits for equivalence
@@ -48,7 +57,8 @@ INPUT is a benchmark name (see `mighty list`) or a Verilog file path.";
 
 struct Args {
     positional: Vec<String>,
-    target: OptTarget,
+    target: Option<OptTarget>,
+    flow: Option<String>,
     effort: Option<usize>,
     rounds: Option<usize>,
     jobs: Option<usize>,
@@ -60,7 +70,8 @@ struct Args {
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         positional: Vec::new(),
-        target: OptTarget::All,
+        target: None,
+        flow: None,
         effort: None,
         rounds: None,
         jobs: None,
@@ -76,7 +87,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 .ok_or_else(|| format!("{flag} requires a value"))
         };
         match a.as_str() {
-            "--target" | "-t" => args.target = OptTarget::parse(&value(a)?)?,
+            "--target" | "-t" => args.target = Some(OptTarget::parse(&value(a)?)?),
+            "--flow" | "-f" => args.flow = Some(value(a)?),
             "--effort" | "-e" => {
                 args.effort = Some(value(a)?.parse().map_err(|e| format!("--effort: {e}"))?);
             }
@@ -110,14 +122,29 @@ fn cmd_opt(args: &Args) -> Result<bool, String> {
         .map(String::as_str)
         .unwrap_or("my_adder");
     let net = load_input(spec)?;
-    let outcome = run_opt(
-        &net,
-        args.target,
-        args.effort.unwrap_or(2),
-        args.rounds.unwrap_or(32),
-        args.rewrite,
-        args.jobs.unwrap_or(0),
-    );
+    let outcome = match &args.flow {
+        Some(script) => {
+            if args.target.is_some() || args.rewrite {
+                return Err("--flow replaces --target/--rewrite; pass one or the other".into());
+            }
+            let flow = Flow::parse(script)?;
+            run_flow(
+                &net,
+                &flow,
+                args.effort.unwrap_or(2),
+                args.rounds.unwrap_or(32),
+                args.jobs.unwrap_or(0),
+            )
+        }
+        None => run_opt(
+            &net,
+            args.target.unwrap_or(OptTarget::All),
+            args.effort.unwrap_or(2),
+            args.rounds.unwrap_or(32),
+            args.rewrite,
+            args.jobs.unwrap_or(0),
+        ),
+    };
     print!("{}", render_report(&outcome));
     if let Some(path) = &args.output {
         emit_verilog(&outcome.optimized, path)?;
@@ -137,6 +164,10 @@ fn cmd_bench(args: &Args) -> Result<bool, String> {
         }
     }
     config.names = args.positional.clone();
+    if let Some(script) = &args.flow {
+        Flow::parse(script)?; // validate up front for a clean CLI error
+        config.flow = Some(script.clone());
+    }
     if let Some(effort) = args.effort {
         config.effort = effort;
     }

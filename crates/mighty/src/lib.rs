@@ -3,17 +3,22 @@
 //! This crate reproduces the role of the paper's *MIGhty* tool: a
 //! command-line front end that takes a circuit (a generated MCNC stand-in
 //! from [`mig_benchgen`] or a structural-Verilog file), imports it into a
-//! Majority-Inverter Graph, runs the paper's optimizers
-//! ([`mig_core::optimize_size`] — Algorithm 1, [`mig_core::optimize_depth`]
-//! — Algorithm 2, [`mig_core::optimize_activity`] — §IV-C), verifies the
-//! result against the input with [`mig_sim`] equivalence checking, and
-//! reports before/after size, depth and switching-activity statistics.
+//! Majority-Inverter Graph, runs an optimization *flow* — a script of
+//! [`mig_core`] passes sequenced by the composable pass manager
+//! ([`mig_core::Flow`]) — verifies the result against the input with
+//! [`mig_sim`] equivalence checking, and reports per-pass size, depth,
+//! switching-activity and wall-time numbers.
 //!
-//! The binary is `mighty`; the library half exposes the same pipeline as
-//! plain functions ([`load_input`], [`run_opt`], [`render_report`]) so
-//! integration tests drive the exact code path the CLI does. The timed
-//! suite sweep behind `mighty bench` lives in [`mig_bench`], which writes
-//! the `mig-bench/v3` perf-trajectory JSON (`BENCH_opt.json`).
+//! The legacy cost targets (`size`, `depth`, `activity`, `all` — the
+//! paper's Algorithm 1, Algorithm 2, §IV-C and Table I) are compiled to
+//! canned flow scripts by [`flow_for_target`]; `mighty opt --flow`
+//! exposes arbitrary scripts (e.g. `"size*2; rewrite; depth_rewrite;
+//! activity"`). The binary is `mighty`; the library half exposes the
+//! same pipeline as plain functions ([`load_input`], [`run_opt`],
+//! [`run_flow`], [`render_report`]) so integration tests drive the exact
+//! code path the CLI does. The timed suite sweep behind `mighty bench`
+//! lives in [`mig_bench`], which writes the `mig-bench/v4`
+//! perf-trajectory JSON (`BENCH_opt.json`).
 //!
 //! ```
 //! use mig_mighty::{load_input, run_opt, OptTarget};
@@ -22,18 +27,18 @@
 //! let outcome = run_opt(&net, OptTarget::Depth, 2, 16, false, 1);
 //! assert!(outcome.mig_equiv && outcome.net_equiv);
 //! assert!(outcome.after.depth <= outcome.before.depth);
+//! assert_eq!(outcome.flow, "depth");
 //! ```
 
 use std::fmt;
 use std::time::Instant;
 
-use mig_core::{
-    optimize_activity, optimize_depth, optimize_rewrite, optimize_size, ActivityOptConfig,
-    DepthOptConfig, Mig, RewriteConfig, SizeOptConfig,
-};
+use mig_core::{Flow, Mig, OptContext};
 use mig_netlist::{parse_verilog, write_verilog, Network};
 
-/// Which cost function the `opt` pipeline minimizes.
+/// Which cost function the legacy `opt` pipeline minimizes. Each target
+/// compiles to a canned flow script (see [`flow_for_target`]); the
+/// `--flow` switch bypasses targets entirely.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OptTarget {
     /// Algorithm 1: node count.
@@ -72,42 +77,51 @@ impl fmt::Display for OptTarget {
     }
 }
 
-/// The three paper metrics of one MIG, captured at a pipeline stage.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Snapshot {
-    /// Majority-node count (paper "Size").
-    pub size: usize,
-    /// Logic levels (paper "Depth"); inverters are free edge attributes.
-    pub depth: u32,
-    /// `Σ p(1−p)` under uniform inputs (paper "Activity").
-    pub activity: f64,
-}
-
-impl Snapshot {
-    /// Captures size/depth/activity of `mig`.
-    pub fn of(mig: &Mig) -> Self {
-        Snapshot {
-            size: mig.size(),
-            depth: mig.depth(),
-            activity: mig.switching_activity_uniform(),
-        }
+/// Compiles a legacy [`OptTarget`] (plus the `--rewrite` switch) to the
+/// canned flow script the old if-chain pipeline ran: the Boolean
+/// rewriting pass slots in after the size stage, or first for a
+/// depth/activity-only flow. The default target/rewrite combinations
+/// produce bit-identical results to the pre-flow `run_opt`.
+pub fn flow_for_target(target: OptTarget, rewrite: bool) -> &'static str {
+    match (target, rewrite) {
+        (OptTarget::Size, false) => "size",
+        (OptTarget::Size, true) => "size; rewrite",
+        (OptTarget::Depth, false) => "depth",
+        (OptTarget::Depth, true) => "rewrite; depth",
+        (OptTarget::Activity, false) => "activity",
+        (OptTarget::Activity, true) => "rewrite; activity",
+        (OptTarget::All, false) => "size; depth; activity",
+        (OptTarget::All, true) => "size; rewrite; depth; activity",
     }
 }
 
-/// Everything `mighty opt` produces: per-stage metrics, the equivalence
-/// verdicts, and the optimized network ready to be written back out.
+/// The three paper metrics of one MIG, captured at a pipeline stage
+/// (the pass manager's ledger metrics, re-exported under this crate's
+/// historic name).
+pub use mig_core::PassMetrics as Snapshot;
+
+/// One executed pass in an [`OptOutcome`] — exactly the pass manager's
+/// ledger entry (name, wall time, metrics on both sides). The
+/// import-normalizing `"cleanup"` stage appears only when it changed
+/// the graph.
+pub use mig_core::PassReport as StageReport;
+
+/// Everything `mighty opt` produces: per-pass metrics and timings, the
+/// equivalence verdicts, and the optimized network ready to be written
+/// back out.
 #[derive(Debug, Clone)]
 pub struct OptOutcome {
     /// Circuit name as recorded in the netlist.
     pub name: String,
-    /// The cost function that was optimized.
-    pub target: OptTarget,
+    /// The canonical flow script that ran (compiled from a legacy
+    /// target, or the `--flow` script as parsed).
+    pub flow: String,
     /// Metrics of the imported (unoptimized) MIG.
     pub before: Snapshot,
     /// Metrics after optimization.
     pub after: Snapshot,
-    /// `(stage label, metrics after that stage)`, in run order.
-    pub stages: Vec<(&'static str, Snapshot)>,
+    /// One entry per executed pass, in run order, with wall times.
+    pub stages: Vec<StageReport>,
     /// MIG-level equivalence of the optimized graph against the import.
     pub mig_equiv: bool,
     /// Network-level equivalence of the exported result against the input
@@ -135,15 +149,15 @@ pub fn load_input(spec: &str) -> Result<Network, String> {
     parse_verilog(&text).map_err(|e| format!("{spec}: {e}"))
 }
 
-/// Runs the full optimize-and-verify pipeline on one network.
+/// Runs the legacy optimize-and-verify pipeline on one network: the
+/// target (plus `rewrite`) compiles to its canned flow via
+/// [`flow_for_target`] and runs through [`run_flow`] — a thin wrapper,
+/// kept because the canned flows are the paper's reference pipelines.
 ///
-/// `effort` scales every optimizer's iteration budget; `rounds` is the
-/// number of 64-pattern blocks used by the random half of the equivalence
+/// `effort` scales every pass's iteration budget; `rounds` is the number
+/// of 64-pattern blocks used by the random half of the equivalence
 /// checks (small input counts are always checked exhaustively). Both are
 /// clamped to at least 1 so a zero never silently skips verification.
-/// With `rewrite` set, the cut-based Boolean rewriting pass
-/// ([`mig_core::optimize_rewrite`]) runs after the size stage (or first,
-/// for a depth/activity-only flow) — the `mighty opt --rewrite` switch.
 /// `jobs` is the rewriting engine's evaluate-phase worker count (0 =
 /// available parallelism); it affects wall time only, never the result.
 pub fn run_opt(
@@ -154,60 +168,42 @@ pub fn run_opt(
     rewrite: bool,
     jobs: usize,
 ) -> OptOutcome {
+    let flow = Flow::parse(flow_for_target(target, rewrite)).expect("canned flows parse");
+    run_flow(net, &flow, effort, rounds, jobs)
+}
+
+/// Runs an arbitrary optimization flow on one network and verifies the
+/// result: import → cleanup → every pass of `flow` through one shared
+/// [`OptContext`] → MIG- and netlist-level equivalence checks. The
+/// per-pass wall times and metrics land in [`OptOutcome::stages`].
+pub fn run_flow(
+    net: &Network,
+    flow: &Flow,
+    effort: usize,
+    rounds: usize,
+    jobs: usize,
+) -> OptOutcome {
     let rounds = rounds.max(1);
     let mig = Mig::from_network(net);
     let before = Snapshot::of(&mig);
-    let uniform = vec![0.5; mig.num_inputs()];
+    let mut ctx = OptContext::with_jobs(jobs);
 
     let start = Instant::now();
-    let mut stages: Vec<(&'static str, Snapshot)> = Vec::new();
-    let mut cur = mig.cleanup();
-    if Snapshot::of(&cur) != before {
-        stages.push(("cleanup", Snapshot::of(&cur)));
+    let mut stages: Vec<StageReport> = Vec::new();
+    let cleanup_start = Instant::now();
+    let cleaned = mig.cleanup();
+    let cleanup_millis = cleanup_start.elapsed().as_secs_f64() * 1e3;
+    if Snapshot::of(&cleaned) != before {
+        stages.push(StageReport {
+            pass: "cleanup".to_string(),
+            millis: cleanup_millis,
+            before,
+            after: Snapshot::of(&cleaned),
+        });
     }
-    if matches!(target, OptTarget::Size | OptTarget::All) {
-        cur = optimize_size(
-            &cur,
-            &SizeOptConfig {
-                effort: effort.max(1),
-                ..SizeOptConfig::default()
-            },
-        );
-        stages.push(("size (Alg. 1)", Snapshot::of(&cur)));
-    }
-    if rewrite {
-        cur = optimize_rewrite(
-            &cur,
-            &RewriteConfig {
-                effort: effort.max(1),
-                jobs,
-                ..RewriteConfig::default()
-            },
-        );
-        stages.push(("rewrite (Boolean)", Snapshot::of(&cur)));
-    }
-    if matches!(target, OptTarget::Depth | OptTarget::All) {
-        cur = optimize_depth(
-            &cur,
-            &DepthOptConfig {
-                effort: effort.max(1),
-                ..DepthOptConfig::default()
-            },
-        );
-        stages.push(("depth (Alg. 2)", Snapshot::of(&cur)));
-    }
-    if matches!(target, OptTarget::Activity | OptTarget::All) {
-        cur = optimize_activity(
-            &cur,
-            &uniform,
-            &ActivityOptConfig {
-                effort: effort.max(1),
-                ..ActivityOptConfig::default()
-            },
-        );
-        stages.push(("activity (§IV-C)", Snapshot::of(&cur)));
-    }
+    let cur = flow.run(cleaned, effort, &mut ctx);
     let millis = start.elapsed().as_millis();
+    stages.extend(ctx.take_ledger());
 
     let after = Snapshot::of(&cur);
     let mig_equiv = cur.equiv(&mig, rounds);
@@ -216,7 +212,7 @@ pub fn run_opt(
 
     OptOutcome {
         name: net.name().to_string(),
-        target,
+        flow: flow.to_string(),
         before,
         after,
         stages,
@@ -234,32 +230,56 @@ fn pct(before: f64, after: f64) -> String {
     format!("{:+.1}%", (after - before) / before * 100.0)
 }
 
-/// Renders the human-readable before/after report the CLI prints.
+/// The paper cross-reference printed next to a pass name in the report.
+fn pass_label(pass: &str) -> String {
+    match pass {
+        "size" => "size (Alg. 1)".to_string(),
+        "depth" => "depth (Alg. 2)".to_string(),
+        "activity" => "activity (§IV-C)".to_string(),
+        "rewrite" => "rewrite (Boolean)".to_string(),
+        "depth_rewrite" => "depth_rewrite (Boolean)".to_string(),
+        other => other.to_string(),
+    }
+}
+
+/// Renders the human-readable report the CLI prints: one row per
+/// executed pass with its node/depth deltas against the previous stage
+/// and its own wall time, then the totals against the import.
 pub fn render_report(o: &OptOutcome) -> String {
     let mut s = String::new();
     s.push_str(&format!(
-        "=== {} · target={} · {} ms ===\n",
-        o.name, o.target, o.millis
+        "=== {} · flow: {} · {} ms ===\n",
+        o.name, o.flow, o.millis
     ));
     s.push_str(&format!(
-        "{:<24} {:>8} {:>8} {:>12}\n",
-        "stage", "size", "depth", "activity"
+        "{:<24} {:>8} {:>7} {:>7} {:>7} {:>12} {:>9}\n",
+        "stage", "size", "Δsize", "depth", "Δdepth", "activity", "ms"
     ));
     s.push_str(&format!(
-        "{:<24} {:>8} {:>8} {:>12.3}\n",
-        "import", o.before.size, o.before.depth, o.before.activity
+        "{:<24} {:>8} {:>7} {:>7} {:>7} {:>12.3} {:>9}\n",
+        "import", o.before.size, "—", o.before.depth, "—", o.before.activity, "—"
     ));
-    for (label, snap) in &o.stages {
+    for stage in &o.stages {
+        let dsize = stage.after.size as i64 - stage.before.size as i64;
+        let ddepth = i64::from(stage.after.depth) - i64::from(stage.before.depth);
         s.push_str(&format!(
-            "{:<24} {:>8} {:>8} {:>12.3}\n",
-            label, snap.size, snap.depth, snap.activity
+            "{:<24} {:>8} {:>+7} {:>7} {:>+7} {:>12.3} {:>9.1}\n",
+            pass_label(&stage.pass),
+            stage.after.size,
+            dsize,
+            stage.after.depth,
+            ddepth,
+            stage.after.activity,
+            stage.millis,
         ));
     }
     s.push_str(&format!(
-        "{:<24} {:>8} {:>8} {:>12}\n",
+        "{:<24} {:>8} {:>7} {:>7} {:>7} {:>12}\n",
         "Δ vs import",
         pct(o.before.size as f64, o.after.size as f64),
+        "",
         pct(o.before.depth as f64, o.after.depth as f64),
+        "",
         pct(o.before.activity, o.after.activity),
     ));
     s.push_str(&format!(
@@ -301,9 +321,10 @@ mod tests {
         assert!(o.net_equiv, "network-level equivalence must hold");
         assert!(o.after.size <= o.before.size);
         assert!(o.after.depth <= o.before.depth);
-        let labels: Vec<&str> = o.stages.iter().map(|(l, _)| *l).collect();
-        for expected in ["size (Alg. 1)", "depth (Alg. 2)", "activity (§IV-C)"] {
-            assert!(labels.contains(&expected), "missing stage {expected}");
+        assert_eq!(o.flow, "size; depth; activity");
+        let passes: Vec<&str> = o.stages.iter().map(|s| s.pass.as_str()).collect();
+        for expected in ["size", "depth", "activity"] {
+            assert!(passes.contains(&expected), "missing pass {expected}");
         }
     }
 
@@ -313,20 +334,60 @@ mod tests {
         let plain = run_opt(&net, OptTarget::Size, 1, 16, false, 1);
         let o = run_opt(&net, OptTarget::Size, 1, 16, true, 1);
         assert!(o.mig_equiv && o.net_equiv);
-        let labels: Vec<&str> = o.stages.iter().map(|(l, _)| *l).collect();
-        assert!(labels.contains(&"rewrite (Boolean)"), "{labels:?}");
+        assert_eq!(o.flow, "size; rewrite");
+        let passes: Vec<&str> = o.stages.iter().map(|s| s.pass.as_str()).collect();
+        assert!(passes.contains(&"rewrite"), "{passes:?}");
         assert!(o.after.size <= plain.after.size, "rewrite must not grow");
     }
 
     #[test]
-    fn report_mentions_every_metric_and_verdict() {
+    fn run_flow_matches_the_compiled_target() {
+        // The thin-wrapper contract: run_opt(target) and run_flow on the
+        // canned script must produce the same stages and metrics.
+        let net = load_input("count").unwrap();
+        let via_target = run_opt(&net, OptTarget::All, 1, 8, true, 1);
+        let flow = Flow::parse(flow_for_target(OptTarget::All, true)).unwrap();
+        let via_flow = run_flow(&net, &flow, 1, 8, 1);
+        assert_eq!(via_target.flow, via_flow.flow);
+        assert_eq!(via_target.after.size, via_flow.after.size);
+        assert_eq!(via_target.after.depth, via_flow.after.depth);
+        assert_eq!(via_target.stages.len(), via_flow.stages.len());
+        for (a, b) in via_target.stages.iter().zip(&via_flow.stages) {
+            assert_eq!(a.pass, b.pass);
+            assert_eq!(a.after.size, b.after.size);
+            assert_eq!(a.after.depth, b.after.depth);
+        }
+    }
+
+    #[test]
+    fn custom_flows_run_and_verify() {
+        let net = load_input("my_adder").unwrap();
+        let flow = Flow::parse("rewrite; depth_rewrite; size*2").unwrap();
+        let o = run_flow(&net, &flow, 1, 8, 1);
+        assert!(o.mig_equiv && o.net_equiv);
+        assert_eq!(o.flow, "rewrite; depth_rewrite; size*2");
+        let passes: Vec<&str> = o.stages.iter().map(|s| s.pass.as_str()).collect();
+        assert!(passes.ends_with(&["rewrite", "depth_rewrite", "size", "size"]));
+    }
+
+    #[test]
+    fn report_mentions_every_metric_verdict_and_per_pass_time() {
         let net = load_input("my_adder").unwrap();
         let o = run_opt(&net, OptTarget::Size, 1, 8, false, 1);
         let r = render_report(&o);
-        assert!(r.contains("size"), "{r}");
-        assert!(r.contains("depth"), "{r}");
-        assert!(r.contains("activity"), "{r}");
-        assert!(r.contains("PASS"), "{r}");
+        for needle in [
+            "size",
+            "Δsize",
+            "depth",
+            "Δdepth",
+            "activity",
+            "ms",
+            "flow: size",
+            "size (Alg. 1)",
+            "PASS",
+        ] {
+            assert!(r.contains(needle), "missing `{needle}` in:\n{r}");
+        }
     }
 
     #[test]
@@ -340,5 +401,21 @@ mod tests {
             assert_eq!(OptTarget::parse(&t.to_string()).unwrap(), t);
         }
         assert!(OptTarget::parse("speed").is_err());
+    }
+
+    #[test]
+    fn canned_flows_all_parse() {
+        for target in [
+            OptTarget::Size,
+            OptTarget::Depth,
+            OptTarget::Activity,
+            OptTarget::All,
+        ] {
+            for rewrite in [false, true] {
+                let script = flow_for_target(target, rewrite);
+                let flow = Flow::parse(script).expect(script);
+                assert_eq!(flow.to_string(), script, "canned scripts are canonical");
+            }
+        }
     }
 }

@@ -27,6 +27,8 @@
 //! assert_eq!(net.num_outputs(), 2);
 //! ```
 
+#![warn(missing_docs)]
+
 mod network;
 pub mod rng;
 mod stats;
