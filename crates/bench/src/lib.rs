@@ -8,18 +8,20 @@
 //! successive PRs accumulate a performance trajectory (compare the
 //! committed file against a fresh run to spot regressions).
 //!
-//! The schema (`mig-bench/v4`, documented in `DESIGN.md` §7/§10; v2
+//! The schema (`mig-bench/v5`, documented in `DESIGN.md` §7/§10; v2
 //! added the cut-based Boolean `rewrite` pass between `size` and
 //! `depth`; v3 added the top-level `threads` field recording the rewrite
 //! engine's resolved evaluate-phase worker count; v4 added the top-level
 //! `flow` field with the canonical flow script and derives the `passes`
 //! array from the pass-manager ledger, so arbitrary flows — repeated
-//! passes included — serialize naturally; the default flow's non-timing
-//! fields are identical to v3):
+//! passes included — serialize naturally; v5 technology-maps every
+//! optimized result onto both stock libraries and adds the per-benchmark
+//! `mapped`/`mapped_nomaj` objects plus the totals' mapped-area sums —
+//! every v4 field serializes byte-identically):
 //!
 //! ```json
 //! {
-//!   "schema": "mig-bench/v4",
+//!   "schema": "mig-bench/v5",
 //!   "suite": "mcnc14",
 //!   "mode": "full",
 //!   "flow": "size; rewrite; depth; activity",
@@ -35,11 +37,19 @@
 //!         {"pass": "rewrite", "size": 79, "depth": 14,
 //!          "activity": 17.8, "millis": 9.0}
 //!       ],
-//!       "equiv": true, "size_ok": true, "total_millis": 40.1
+//!       "equiv": true, "size_ok": true,
+//!       "mapped": {"library": "cmos22", "cells": 117, "area": 50.715,
+//!                  "delay": 0.2795, "power": 57.30, "equiv": true},
+//!       "mapped_nomaj": {"library": "cmos22-nomaj", "cells": 173,
+//!                        "area": 57.232, "delay": 0.3620,
+//!                        "power": 63.80, "equiv": true},
+//!       "total_millis": 40.1
 //!     }
 //!   ],
 //!   "totals": {"benchmarks": 14, "millis": 400.0,
-//!              "size_before": 1000, "size_after": 800, "all_ok": true}
+//!              "size_before": 1000, "size_after": 800,
+//!              "mapped_area": 700.0, "mapped_nomaj_area": 800.0,
+//!              "all_ok": true}
 //! }
 //! ```
 //!
@@ -53,7 +63,7 @@
 //! let report = run_suite(&cfg);
 //! assert!(report.all_ok());
 //! assert_eq!(report.benchmarks.len(), 1);
-//! assert!(mig_bench::to_json(&report).contains("\"schema\": \"mig-bench/v4\""));
+//! assert!(mig_bench::to_json(&report).contains("\"schema\": \"mig-bench/v5\""));
 //! ```
 
 #![warn(missing_docs)]
@@ -61,6 +71,7 @@
 use std::fmt::Write as _;
 
 use mig_core::{Flow, Mig, OptContext, RewriteConfig};
+use mig_techmap::{map_mig, CellLibrary, MapConfig};
 
 /// The canonical default flow: the v3 harness's fixed size → rewrite →
 /// depth → activity pipeline as a flow script.
@@ -135,6 +146,25 @@ pub use mig_core::PassMetrics as Metrics;
 /// harness's historic name.
 pub use mig_core::PassReport as PassResult;
 
+/// Mapped-cost record for one benchmark on one cell library: the
+/// optimized MIG technology-mapped by `mig_techmap` and verified at the
+/// cell-netlist level.
+#[derive(Debug, Clone)]
+pub struct MappedRecord {
+    /// Display name of the library mapped onto.
+    pub library: String,
+    /// Cell-instance count of the mapped netlist.
+    pub cells: usize,
+    /// Total cell area in µm².
+    pub area: f64,
+    /// Critical-path delay in ns.
+    pub delay: f64,
+    /// Estimated power in µW.
+    pub power: f64,
+    /// Equivalence of the mapped netlist against the import.
+    pub equiv: bool,
+}
+
 /// Full record for one benchmark circuit.
 #[derive(Debug, Clone)]
 pub struct BenchRecord {
@@ -156,7 +186,12 @@ pub struct BenchRecord {
     /// the activity pass may trade size for their own metric by design,
     /// so they are not gated on size.)
     pub size_ok: bool,
-    /// Wall-clock time over all passes (excludes verify).
+    /// Mapped cost of the optimized result on the paper's MAJ-capable
+    /// `cmos22` library.
+    pub mapped: MappedRecord,
+    /// Mapped cost on the majority-free control library.
+    pub mapped_nomaj: MappedRecord,
+    /// Wall-clock time over all passes (excludes verify and mapping).
     pub total_millis: f64,
 }
 
@@ -177,14 +212,46 @@ pub struct BenchReport {
 }
 
 impl BenchReport {
-    /// True when every benchmark verified equivalent and none grew.
+    /// True when every benchmark verified equivalent (at MIG level and
+    /// for both mapped netlists) and none grew.
     pub fn all_ok(&self) -> bool {
-        self.benchmarks.iter().all(|b| b.equiv && b.size_ok)
+        self.benchmarks
+            .iter()
+            .all(|b| b.equiv && b.size_ok && b.mapped.equiv && b.mapped_nomaj.equiv)
     }
 
     /// Total optimization wall time over all benchmarks.
     pub fn total_millis(&self) -> f64 {
         self.benchmarks.iter().map(|b| b.total_millis).sum()
+    }
+
+    /// Suite mapped area on the MAJ-capable library, in µm².
+    pub fn mapped_area(&self) -> f64 {
+        self.benchmarks.iter().map(|b| b.mapped.area).sum()
+    }
+
+    /// Suite mapped area on the majority-free control library, in µm².
+    pub fn mapped_nomaj_area(&self) -> f64 {
+        self.benchmarks.iter().map(|b| b.mapped_nomaj.area).sum()
+    }
+}
+
+/// Maps one optimized MIG onto `lib` and verifies the cell netlist
+/// against the import network.
+fn map_record(
+    cur: &Mig,
+    net: &mig_netlist::Network,
+    lib: &CellLibrary,
+    rounds: usize,
+) -> MappedRecord {
+    let design = map_mig(cur, lib, &MapConfig::default());
+    MappedRecord {
+        library: lib.name.to_string(),
+        cells: design.num_cells(),
+        area: design.area(),
+        delay: design.delay(),
+        power: design.power(),
+        equiv: mig_sim::equivalent(net, &design.to_network(), rounds),
     }
 }
 
@@ -231,6 +298,8 @@ pub fn run_suite(config: &BenchConfig) -> BenchReport {
             .filter(|r| matches!(r.pass.as_str(), "size" | "rewrite" | "depth_rewrite"))
             .all(|r| r.after.size <= r.before.size);
         let total_millis = passes.iter().map(|p| p.millis).sum();
+        let mapped = map_record(&cur, &net, &CellLibrary::cmos22(), rounds);
+        let mapped_nomaj = map_record(&cur, &net, &CellLibrary::cmos22_no_maj(), rounds);
         benchmarks.push(BenchRecord {
             name: name.clone(),
             inputs: mig.num_inputs(),
@@ -239,6 +308,8 @@ pub fn run_suite(config: &BenchConfig) -> BenchReport {
             passes,
             equiv: cur.equiv(&mig, rounds),
             size_ok,
+            mapped,
+            mapped_nomaj,
             total_millis,
         });
     }
@@ -251,7 +322,7 @@ pub fn run_suite(config: &BenchConfig) -> BenchReport {
     }
 }
 
-/// Serializes a report in the stable `mig-bench/v4` schema.
+/// Serializes a report in the stable `mig-bench/v5` schema.
 ///
 /// Hand-rolled (the workspace has zero third-party dependencies); all
 /// strings in the schema are benchmark names, pass labels and canonical
@@ -259,7 +330,7 @@ pub fn run_suite(config: &BenchConfig) -> BenchReport {
 pub fn to_json(report: &BenchReport) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"mig-bench/v4\",");
+    let _ = writeln!(s, "  \"schema\": \"mig-bench/v5\",");
     let _ = writeln!(s, "  \"suite\": \"mcnc14\",");
     let _ = writeln!(s, "  \"mode\": \"{}\",", report.mode);
     let _ = writeln!(s, "  \"flow\": \"{}\",", report.flow);
@@ -289,6 +360,15 @@ pub fn to_json(report: &BenchReport) -> String {
         s.push_str("      ],\n");
         let _ = writeln!(s, "      \"equiv\": {},", b.equiv);
         let _ = writeln!(s, "      \"size_ok\": {},", b.size_ok);
+        for (key, m) in [("mapped", &b.mapped), ("mapped_nomaj", &b.mapped_nomaj)] {
+            let _ = writeln!(
+                s,
+                "      \"{key}\": {{\"library\": \"{}\", \"cells\": {}, \
+                 \"area\": {:.3}, \"delay\": {:.4}, \"power\": {:.2}, \
+                 \"equiv\": {}}},",
+                m.library, m.cells, m.area, m.delay, m.power, m.equiv
+            );
+        }
         let _ = writeln!(s, "      \"total_millis\": {:.2}", b.total_millis);
         s.push_str("    }");
         s.push_str(if i + 1 < report.benchmarks.len() {
@@ -309,6 +389,12 @@ pub fn to_json(report: &BenchReport) -> String {
     let _ = writeln!(s, "    \"millis\": {:.2},", report.total_millis());
     let _ = writeln!(s, "    \"size_before\": {size_before},");
     let _ = writeln!(s, "    \"size_after\": {size_after},");
+    let _ = writeln!(s, "    \"mapped_area\": {:.3},", report.mapped_area());
+    let _ = writeln!(
+        s,
+        "    \"mapped_nomaj_area\": {:.3},",
+        report.mapped_nomaj_area()
+    );
     let _ = writeln!(s, "    \"all_ok\": {}", report.all_ok());
     s.push_str("  }\n}\n");
     s
@@ -336,12 +422,12 @@ pub fn render_table(report: &BenchReport) -> String {
     for p in widest {
         let _ = write!(s, " {:^23} |", format!("{} pass", p.pass));
     }
-    let _ = writeln!(s);
+    let _ = writeln!(s, " {:^19} |", "mapped µm²");
     let _ = write!(s, "{:<10} {:>7} {:>6} |", "bench", "size", "depth");
     for _ in widest {
         let _ = write!(s, " {:>7} {:>6} {:>8} |", "size", "depth", "ms");
     }
-    let _ = writeln!(s, " {:>6}", "equiv");
+    let _ = writeln!(s, " {:>9} {:>9} | {:>6}", "cmos22", "nomaj", "equiv");
     for b in &report.benchmarks {
         let _ = write!(
             s,
@@ -370,15 +456,23 @@ pub fn render_table(report: &BenchReport) -> String {
         }
         let _ = writeln!(
             s,
-            " {:>6}",
-            if b.equiv && b.size_ok { "PASS" } else { "FAIL" }
+            " {:>9.3} {:>9.3} | {:>6}",
+            b.mapped.area,
+            b.mapped_nomaj.area,
+            if b.equiv && b.size_ok && b.mapped.equiv && b.mapped_nomaj.equiv {
+                "PASS"
+            } else {
+                "FAIL"
+            }
         );
     }
     let _ = writeln!(
         s,
-        "total: {} benchmarks · {:.1} ms optimization · {}",
+        "total: {} benchmarks · {:.1} ms optimization · mapped {:.1}/{:.1} µm² (cmos22/nomaj) · {}",
         report.benchmarks.len(),
         report.total_millis(),
+        report.mapped_area(),
+        report.mapped_nomaj_area(),
         if report.all_ok() {
             "all PASS"
         } else {
@@ -437,7 +531,7 @@ mod tests {
         let report = run_suite(&tiny_config());
         let json = to_json(&report);
         for field in [
-            "\"schema\": \"mig-bench/v4\"",
+            "\"schema\": \"mig-bench/v5\"",
             "\"suite\": \"mcnc14\"",
             "\"mode\": \"quick\"",
             "\"flow\": \"size; rewrite; depth; activity\"",
@@ -451,7 +545,11 @@ mod tests {
             "\"pass\": \"activity\"",
             "\"equiv\": true",
             "\"size_ok\": true",
+            "\"mapped\": {\"library\": \"cmos22\"",
+            "\"mapped_nomaj\": {\"library\": \"cmos22-nomaj\"",
             "\"totals\": {",
+            "\"mapped_area\": ",
+            "\"mapped_nomaj_area\": ",
             "\"all_ok\": true",
         ] {
             assert!(json.contains(field), "missing {field} in:\n{json}");
@@ -460,6 +558,17 @@ mod tests {
         let opens = json.matches(['{', '[']).count();
         let closes = json.matches(['}', ']']).count();
         assert_eq!(opens, closes, "unbalanced JSON");
+    }
+
+    #[test]
+    fn maj_library_maps_smaller_than_the_control() {
+        // The paper's headline mapping claim in miniature: first-class
+        // majority cells beat the majority-free control library.
+        let report = run_suite(&tiny_config());
+        for b in &report.benchmarks {
+            assert!(b.mapped.equiv && b.mapped_nomaj.equiv, "{}", b.name);
+        }
+        assert!(report.mapped_area() < report.mapped_nomaj_area());
     }
 
     #[test]

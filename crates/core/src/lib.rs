@@ -59,8 +59,9 @@ pub(crate) mod strash;
 
 pub use crate::mig::Mig;
 pub use opt::{
-    optimize_activity, optimize_depth, optimize_rewrite, optimize_size, ActivityOptConfig,
-    ActivityPass, Cost, DepthOptConfig, DepthPass, Flow, FlowStep, Objective, OptContext, Pass,
-    PassKind, PassMetrics, PassReport, Repeat, RewriteConfig, RewritePass, SizeOptConfig, SizePass,
+    enumerate_cuts, optimize_activity, optimize_depth, optimize_rewrite, optimize_size,
+    ActivityOptConfig, ActivityPass, Cost, CutSet, DepthOptConfig, DepthPass, EnumeratedCut, Flow,
+    FlowStep, MapPass, MappedMetrics, Objective, OptContext, Pass, PassKind, PassMetrics,
+    PassReport, Repeat, RewriteConfig, RewritePass, SizeOptConfig, SizePass, TechModel,
 };
 pub use signal::{NodeId, Signal};

@@ -22,10 +22,10 @@ pub mod size;
 pub use activity::{optimize_activity, ActivityOptConfig};
 pub use depth::{optimize_depth, DepthOptConfig};
 pub use pipeline::{
-    ActivityPass, DepthPass, Flow, FlowStep, OptContext, Pass, PassKind, PassMetrics, PassReport,
-    Repeat, RewritePass, SizePass,
+    ActivityPass, DepthPass, Flow, FlowStep, MapPass, MappedMetrics, OptContext, Pass, PassKind,
+    PassMetrics, PassReport, Repeat, RewritePass, SizePass, TechModel,
 };
-pub use rewrite::{optimize_rewrite, RewriteConfig};
+pub use rewrite::{enumerate_cuts, optimize_rewrite, CutSet, EnumeratedCut, RewriteConfig};
 pub use size::{optimize_size, SizeOptConfig};
 
 use crate::{Mig, NodeId, Signal};
@@ -153,6 +153,15 @@ pub struct Cost {
 }
 
 /// Which lexicographic [`Cost`] a pass minimizes.
+///
+/// The two structural objectives are the paper's: node count and logic
+/// depth. The two *mapped* objectives score a graph by its
+/// technology-mapped cost instead ([`MappedMetrics`] measured through
+/// the context's [`TechModel`](pipeline::TechModel)); passes that only
+/// understand structural metrics fall back to the
+/// [`structural`](Objective::structural) proxy, which is also what
+/// [`Objective::of`]/[`Objective::cost`] report when no mapped
+/// measurement is at hand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Objective {
     /// Node count first, logic depth as the tiebreak (Algorithm 1 and
@@ -161,26 +170,73 @@ pub enum Objective {
     /// Logic depth first, node count as the tiebreak (Algorithm 2 and
     /// the depth-oriented rewrite mode).
     DepthThenSize,
+    /// Mapped cell area first, mapped delay as the tiebreak (the
+    /// `map_area` recovery pass). Structural proxy:
+    /// [`SizeThenDepth`](Objective::SizeThenDepth).
+    MappedArea,
+    /// Mapped critical-path delay first, mapped area as the tiebreak
+    /// (the `map_delay` recovery pass). Structural proxy:
+    /// [`DepthThenSize`](Objective::DepthThenSize).
+    MappedDelay,
 }
 
 impl Objective {
-    /// Graph-level cost of `mig` under this objective.
+    /// The structural objective a pass should use when it has no
+    /// technology model to measure mapped cost with: the mapped-area
+    /// objective degrades to size-then-depth (cell area tracks node
+    /// count), the mapped-delay objective to depth-then-size (mapped
+    /// delay tracks logic depth). The structural objectives map to
+    /// themselves.
+    pub fn structural(self) -> Objective {
+        match self {
+            Objective::SizeThenDepth | Objective::MappedArea => Objective::SizeThenDepth,
+            Objective::DepthThenSize | Objective::MappedDelay => Objective::DepthThenSize,
+        }
+    }
+
+    /// Graph-level cost of `mig` under this objective (the structural
+    /// proxy for the mapped objectives — measuring true mapped cost
+    /// needs a [`TechModel`](pipeline::TechModel), see
+    /// [`Objective::mapped_cost`]).
     pub fn of(self, mig: &Mig) -> Cost {
         self.cost(mig.size(), mig.depth())
     }
 
     /// The cost of a graph with the given node count and depth under
     /// this objective (for callers holding metrics, not the graph).
+    /// Mapped objectives score with their structural proxy here.
     pub fn cost(self, size: usize, depth: u32) -> Cost {
-        match self {
+        match self.structural() {
             Objective::SizeThenDepth => Cost {
                 primary: size as i64,
                 tiebreak: depth as i64,
             },
-            Objective::DepthThenSize => Cost {
+            _ => Cost {
                 primary: depth as i64,
                 tiebreak: size as i64,
             },
+        }
+    }
+
+    /// The cost of a technology-mapped graph under this objective:
+    /// mapped area (µm²) and delay (ns) are scaled to integers (pm² /
+    /// zeptoseconds-scale fixed point, far below any library's
+    /// resolution) so they fit the lexicographic [`Cost`]. The
+    /// structural objectives ignore the measurement and keep their
+    /// structural meaning — callers can pass any objective through.
+    pub fn mapped_cost(self, m: &pipeline::MappedMetrics) -> Cost {
+        let area = (m.area * 1e6).round() as i64;
+        let delay = (m.delay * 1e6).round() as i64;
+        match self {
+            Objective::MappedArea => Cost {
+                primary: area,
+                tiebreak: delay,
+            },
+            Objective::MappedDelay => Cost {
+                primary: delay,
+                tiebreak: area,
+            },
+            structural => structural.cost(m.cells, 0),
         }
     }
 
@@ -188,14 +244,14 @@ impl Objective {
     /// it saves `gain` nodes net and its root lands at `level`. Lower is
     /// better under the same derived order as [`Objective::of`] — the
     /// size objective ranks by `(-gain, level)`, the depth objective by
-    /// `(level, -gain)`.
+    /// `(level, -gain)`; mapped objectives use their structural proxy.
     pub(crate) fn local(self, gain: isize, level: u32) -> Cost {
-        match self {
+        match self.structural() {
             Objective::SizeThenDepth => Cost {
                 primary: -(gain as i64),
                 tiebreak: level as i64,
             },
-            Objective::DepthThenSize => Cost {
+            _ => Cost {
                 primary: level as i64,
                 tiebreak: -(gain as i64),
             },

@@ -27,6 +27,7 @@
 //! flow   := step (';' step)* [';']
 //! step   := pass [ '*' [count] ]
 //! pass   := 'size' | 'depth' | 'activity' | 'rewrite' | 'depth_rewrite'
+//!         | 'map_area' | 'map_delay'
 //! count  := positive integer
 //! ```
 //!
@@ -76,8 +77,45 @@ use crate::Mig;
 /// fixpoint loop, so the cap is a backstop, not a tuning knob).
 pub const CONVERGE_CAP: usize = 8;
 
+/// Technology-mapped cost of one MIG: what a [`TechModel`] measures.
+///
+/// The structural metrics ([`PassMetrics`]) describe the graph; these
+/// describe the *cell netlist* a technology mapper would produce for it,
+/// in the units of the paper's §V experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MappedMetrics {
+    /// Total cell area in µm².
+    pub area: f64,
+    /// Critical-path delay in ns.
+    pub delay: f64,
+    /// Estimated power in µW.
+    pub power: f64,
+    /// Number of cell instances.
+    pub cells: usize,
+}
+
+/// A technology cost model the pass manager can consult: maps a graph
+/// (conceptually — implementations run a real technology mapper) and
+/// reports the mapped area/delay/power.
+///
+/// The trait lives here rather than in the techmap crate because the
+/// dependency points the other way: `mig_techmap` depends on `mig_core`
+/// for the graph and the cut enumerator, so the mapper implements this
+/// trait and is *installed into* an [`OptContext`]
+/// ([`OptContext::set_tech`]), giving every pass — current and future —
+/// an honest mapped objective without a crate cycle.
+pub trait TechModel: std::fmt::Debug {
+    /// Model name for reports (typically the cell-library name).
+    fn name(&self) -> &str;
+
+    /// Measures `mig`'s technology-mapped cost. Must be deterministic
+    /// and read-only — the pass manager calls it freely around passes.
+    fn measure(&self, mig: &Mig) -> MappedMetrics;
+}
+
 /// Size/depth/activity of one MIG, captured by the ledger around every
-/// pass execution.
+/// pass execution — plus the mapped cost when the context carries a
+/// [`TechModel`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PassMetrics {
     /// Majority-node count.
@@ -86,15 +124,21 @@ pub struct PassMetrics {
     pub depth: u32,
     /// `Σ p(1−p)` under uniform input probabilities.
     pub activity: f64,
+    /// Technology-mapped cost, measured only when the measuring
+    /// [`OptContext`] has a [`TechModel`] installed (`None` otherwise —
+    /// plain structural runs pay nothing for the mapping layer).
+    pub mapped: Option<MappedMetrics>,
 }
 
 impl PassMetrics {
-    /// Captures the three paper metrics of `mig`.
+    /// Captures the three paper metrics of `mig` (no mapped cost; the
+    /// context's ledger adds it when a technology model is installed).
     pub fn of(mig: &Mig) -> Self {
         PassMetrics {
             size: mig.size(),
             depth: mig.depth(),
             activity: mig.switching_activity_uniform(),
+            mapped: None,
         }
     }
 }
@@ -136,6 +180,10 @@ pub struct OptContext {
     /// mutation stamp, so chained passes do not recompute the O(n)
     /// activity walk for a graph that was just measured.
     last_metrics: Option<(u64, PassMetrics)>,
+    /// Optional technology cost model. When installed, ledger metrics
+    /// carry [`PassMetrics::mapped`] and the `map_area` / `map_delay`
+    /// recovery passes become active (they are no-ops without it).
+    pub(crate) tech: Option<Box<dyn TechModel>>,
 }
 
 impl OptContext {
@@ -177,6 +225,28 @@ impl OptContext {
         std::mem::take(&mut self.ledger)
     }
 
+    /// Installs a technology cost model. From here on, ledger metrics
+    /// carry the mapped cost and the `map_area`/`map_delay` passes are
+    /// active. Replaces any previously installed model.
+    pub fn set_tech(&mut self, tech: Box<dyn TechModel>) {
+        // Cached metrics lack (or carry a different model's) mapped
+        // cost — never serve them for the new model.
+        self.last_metrics = None;
+        self.tech = Some(tech);
+    }
+
+    /// Removes the technology cost model, returning it (e.g. for a
+    /// final measurement outside the pipeline).
+    pub fn clear_tech(&mut self) -> Option<Box<dyn TechModel>> {
+        self.last_metrics = None;
+        self.tech.take()
+    }
+
+    /// The installed technology cost model, if any.
+    pub fn tech(&self) -> Option<&dyn TechModel> {
+        self.tech.as_deref()
+    }
+
     /// Measures `mig`, reusing the previous measurement when the graph
     /// state (identified by its mutation stamp) has not changed since.
     fn metrics_of(&mut self, mig: &Mig) -> PassMetrics {
@@ -186,7 +256,10 @@ impl OptContext {
                 return m;
             }
         }
-        let m = PassMetrics::of(mig);
+        let mut m = PassMetrics::of(mig);
+        if let Some(tech) = &self.tech {
+            m.mapped = Some(tech.measure(mig));
+        }
         self.last_metrics = Some((stamp, m));
         m
     }
@@ -340,9 +413,9 @@ pub struct RewritePass {
 
 impl Pass for RewritePass {
     fn name(&self) -> &'static str {
-        match self.config.goal {
+        match self.config.goal.structural() {
             Objective::SizeThenDepth => "rewrite",
-            Objective::DepthThenSize => "depth_rewrite",
+            _ => "depth_rewrite",
         }
     }
 
@@ -365,6 +438,92 @@ impl Pass for RewritePass {
     }
 }
 
+/// Technology-aware recovery as a [`Pass`] — the `map_area` /
+/// `map_delay` flow steps. The pass re-runs the structural passes that
+/// best track its mapped objective (`size` + `rewrite` for area,
+/// `depth` + `depth_rewrite` for delay) and keeps the iterate with the
+/// lowest *mapped* cost as measured by the context's [`TechModel`] —
+/// the honest objective the structural passes cannot see. Without an
+/// installed model the pass is a no-op (flows stay parseable and
+/// runnable in purely structural pipelines).
+#[derive(Debug, Clone)]
+pub struct MapPass {
+    /// The mapped objective: [`Objective::MappedArea`] (the `map_area`
+    /// pass) or [`Objective::MappedDelay`] (`map_delay`). Structural
+    /// objectives behave like their mapped counterpart per
+    /// [`Objective::structural`] pairing.
+    pub goal: Objective,
+    /// Iteration budget handed to the inner structural passes.
+    pub effort: usize,
+}
+
+impl Default for MapPass {
+    fn default() -> Self {
+        MapPass {
+            goal: Objective::MappedArea,
+            effort: 1,
+        }
+    }
+}
+
+impl Pass for MapPass {
+    fn name(&self) -> &'static str {
+        match self.goal.structural() {
+            Objective::SizeThenDepth => "map_area",
+            _ => "map_delay",
+        }
+    }
+
+    fn objective(&self) -> Objective {
+        self.goal
+    }
+
+    /// `map_area*` / `map_delay*` converge on the mapped cost when both
+    /// sides carry one; structural cost is the fallback signal.
+    fn improved(&self, before: &PassMetrics, after: &PassMetrics) -> bool {
+        match (&before.mapped, &after.mapped) {
+            (Some(b), Some(a)) => self.goal.mapped_cost(a) < self.goal.mapped_cost(b),
+            _ => {
+                let obj = self.goal.structural();
+                obj.cost(after.size, after.depth) < obj.cost(before.size, before.depth)
+            }
+        }
+    }
+
+    fn run(&self, ctx: &mut OptContext, mig: Mig) -> Mig {
+        // Take the model out so the inner structural passes (driven
+        // directly, off-ledger) don't pay a mapper run per iterate
+        // measurement; it goes back before returning.
+        let Some(tech) = ctx.tech.take() else {
+            return mig;
+        };
+        ctx.last_metrics = None;
+        let kinds: &[PassKind] = match self.goal.structural() {
+            Objective::SizeThenDepth => &[PassKind::Size, PassKind::Rewrite],
+            _ => &[PassKind::Depth, PassKind::DepthRewrite],
+        };
+        let passes: Vec<Box<dyn Pass>> = kinds.iter().map(|k| k.build(self.effort)).collect();
+        let mut best = mig;
+        let mut best_cost = self.goal.mapped_cost(&tech.measure(&best));
+        let mut cur = best.clone();
+        for _ in 0..CONVERGE_CAP {
+            for pass in &passes {
+                cur = pass.run(ctx, cur);
+            }
+            let cost = self.goal.mapped_cost(&tech.measure(&cur));
+            if cost < best_cost {
+                ctx.bufs.recycle(std::mem::replace(&mut best, cur.clone()));
+                best_cost = cost;
+            } else {
+                break;
+            }
+        }
+        ctx.bufs.recycle(cur);
+        ctx.set_tech(tech);
+        best
+    }
+}
+
 /// The built-in passes a flow script can name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PassKind {
@@ -378,16 +537,24 @@ pub enum PassKind {
     Rewrite,
     /// Depth-oriented Boolean rewriting — `depth_rewrite`.
     DepthRewrite,
+    /// Mapped-area recovery — `map_area` (no-op without a
+    /// [`TechModel`] in the context).
+    MapArea,
+    /// Mapped-delay recovery — `map_delay` (no-op without a
+    /// [`TechModel`] in the context).
+    MapDelay,
 }
 
 impl PassKind {
     /// Every built-in pass, in documentation order.
-    pub const ALL: [PassKind; 5] = [
+    pub const ALL: [PassKind; 7] = [
         PassKind::Size,
         PassKind::Depth,
         PassKind::Activity,
         PassKind::Rewrite,
         PassKind::DepthRewrite,
+        PassKind::MapArea,
+        PassKind::MapDelay,
     ];
 
     /// The flow-script name of this pass.
@@ -398,6 +565,8 @@ impl PassKind {
             PassKind::Activity => "activity",
             PassKind::Rewrite => "rewrite",
             PassKind::DepthRewrite => "depth_rewrite",
+            PassKind::MapArea => "map_area",
+            PassKind::MapDelay => "map_delay",
         }
     }
 
@@ -411,6 +580,8 @@ impl PassKind {
         match self {
             PassKind::Size | PassKind::Activity | PassKind::Rewrite => Objective::SizeThenDepth,
             PassKind::Depth | PassKind::DepthRewrite => Objective::DepthThenSize,
+            PassKind::MapArea => Objective::MappedArea,
+            PassKind::MapDelay => Objective::MappedDelay,
         }
     }
 
@@ -451,6 +622,14 @@ impl PassKind {
                     goal: Objective::DepthThenSize,
                     ..RewriteConfig::default()
                 },
+            }),
+            PassKind::MapArea => Box::new(MapPass {
+                goal: Objective::MappedArea,
+                effort,
+            }),
+            PassKind::MapDelay => Box::new(MapPass {
+                goal: Objective::MappedDelay,
+                effort,
             }),
         }
     }
@@ -752,11 +931,13 @@ mod tests {
             size: 10,
             depth: 5,
             activity: 3.0,
+            mapped: None,
         };
         let larger_but_calmer = PassMetrics {
             size: 11,
             depth: 5,
             activity: 2.5,
+            mapped: None,
         };
         assert!(pass.improved(&before, &larger_but_calmer));
         assert!(!pass.improved(&larger_but_calmer, &before));
@@ -767,7 +948,8 @@ mod tests {
             &PassMetrics {
                 size: 9,
                 depth: 5,
-                activity: 3.0
+                activity: 3.0,
+                mapped: None
             }
         ));
         assert!(!size_pass.improved(&before, &larger_but_calmer));

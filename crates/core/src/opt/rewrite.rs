@@ -1071,7 +1071,7 @@ fn commit(
             }
             let best_cost = plan.as_ref().map_or(threshold, |&(_, _, c)| c);
             let saved = mffc_size(&view, node, cut.leaves(), &mut rc.refs) as isize;
-            let budget = match goal {
+            let budget = match goal.structural() {
                 // Size goal: `saved` bounds the achievable gain, so a cut
                 // whose whole MFFC cannot reach the plan's gain is pruned
                 // before the dry run, and the dry run itself may stop as
@@ -1086,7 +1086,7 @@ fn commit(
                 // Depth goal: the gain is only the tiebreak, so every cut
                 // gets a full dry run — but never one that adds nodes
                 // (`added ≤ saved` keeps the pass monotone in size too).
-                Objective::DepthThenSize => saved as usize,
+                _ => saved as usize,
             };
             let full_tt = extend4(cut.tt, cut.len as usize);
             let (canon, transform) = memo_canonize(&mut rc.canon_memo, full_tt);
@@ -1286,6 +1286,129 @@ fn merge3(a: &Cut, b: &Cut, c: &Cut, k: usize) -> Option<Cut> {
     Some(out)
 }
 
+/// One k-feasible priority cut of [`enumerate_cuts`]: up to four sorted
+/// leaf *node* indices plus the root's function over them.
+///
+/// `tt`'s low `2^len` bits are valid: bit `i` is the value of the root
+/// node's **plain** (non-complemented) output when leaf `j` carries bit
+/// `j` of `i` as its plain value. Constants never appear as leaves —
+/// the enumerator folds them into the truth table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnumeratedCut {
+    /// Leaf node indices, ascending; only the first `len` are valid.
+    pub leaves: [u32; 4],
+    /// Number of leaves (0 only for the constant node's empty cut).
+    pub len: u8,
+    /// The root's function over the leaves (low `2^len` bits).
+    pub tt: u16,
+}
+
+impl EnumeratedCut {
+    /// The valid leaf node indices.
+    pub fn leaves(&self) -> &[u32] {
+        &self.leaves[..self.len as usize]
+    }
+}
+
+/// Per-node priority-cut sets over one MIG, as produced by
+/// [`enumerate_cuts`] — the rewrite engine's enumerator exposed for
+/// consumers outside this module (the technology mapper matches these
+/// cuts against cell libraries).
+#[derive(Debug, Clone, Default)]
+pub struct CutSet {
+    cuts: Vec<EnumeratedCut>,
+    offsets: Vec<u32>,
+}
+
+impl CutSet {
+    /// The cuts of node `node` (an arena index). Reachable gates carry
+    /// their priority cuts with the node's own unit cut **last**; each
+    /// input carries exactly its unit cut; the constant node carries one
+    /// empty cut; unreachable gates carry none.
+    pub fn cuts_of(&self, node: usize) -> &[EnumeratedCut] {
+        let lo = self.offsets[node] as usize;
+        let hi = self.offsets[node + 1] as usize;
+        &self.cuts[lo..hi]
+    }
+
+    /// Number of nodes the set describes (the graph's arena size).
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+}
+
+/// Runs one full priority-cut enumeration over every reachable gate of
+/// `mig` and returns the per-node cut sets — exactly the enumeration the
+/// Boolean rewriting engine performs on its first sweep (`cut_size`
+/// clamped to 2..=4, `max_cuts` non-unit cuts kept per node, clamped to
+/// 1..=8), single-threaded and deterministic.
+///
+/// # Example
+///
+/// ```
+/// use mig_core::{enumerate_cuts, Mig};
+///
+/// let mut mig = Mig::new("xor");
+/// let a = mig.add_input("a");
+/// let b = mig.add_input("b");
+/// let x = mig.xor(a, b);
+/// mig.add_output("f", x);
+/// let cuts = enumerate_cuts(&mig, 4, 8);
+/// // The XOR root has a 2-leaf cut over {a, b} computing 0b0110.
+/// let root = x.node().index();
+/// assert!(cuts
+///     .cuts_of(root)
+///     .iter()
+///     .any(|c| c.len == 2 && c.tt == 0b0110));
+/// ```
+pub fn enumerate_cuts(mig: &Mig, cut_size: usize, max_cuts: usize) -> CutSet {
+    let max_cuts = max_cuts.clamp(1, MAX_NODE_CANDS);
+    let mut rc = RewriteCache::default();
+    enumerate_full(mig, cut_size.clamp(2, 4), max_cuts, &mut rc);
+    let stride = rc.stride;
+    let mut out = CutSet {
+        cuts: Vec::new(),
+        offsets: Vec::with_capacity(mig.num_nodes() + 1),
+    };
+    out.offsets.push(0);
+    for i in 0..mig.num_nodes() {
+        let n = rc.ncuts[i] as usize;
+        for c in &rc.cuts[i * stride..i * stride + n] {
+            out.cuts.push(EnumeratedCut {
+                leaves: c.leaves,
+                len: c.len,
+                tt: c.tt,
+            });
+        }
+        out.offsets.push(out.cuts.len() as u32);
+    }
+    out
+}
+
+/// One full (non-incremental, single-threaded) enumeration over `mig`
+/// into `rc` — the body shared by [`enumerate_cuts`] and the test
+/// helpers.
+fn enumerate_full(mig: &Mig, k: usize, max_cuts: usize, rc: &mut RewriteCache) {
+    rc.bind(mig, max_cuts + 1);
+    {
+        let mark = mig.reach_ref();
+        rc.reach.clear();
+        rc.reach.extend_from_slice(&mark);
+    }
+    let view = mig.view();
+    rc.worklist.clear();
+    for node in mig.gate_ids() {
+        if rc.reach[node.index()] {
+            rc.worklist.push(node.index() as u32);
+        }
+    }
+    rc.worklist
+        .sort_by_key(|&i| view.level_of(NodeId::from_index(i as usize)));
+    let mut workers = rc.workers.take_n(1);
+    enumerate_changed(mig, rc, k, max_cuts, 1, &mut workers);
+    rc.workers.put_all(workers);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1301,21 +1424,7 @@ mod tests {
     /// Runs one full enumeration over `mig` into a fresh cache
     /// (single-threaded), for tests that inspect cut sets directly.
     fn enumerate_for_test(mig: &Mig, k: usize, max_cuts: usize, rc: &mut RewriteCache) {
-        rc.bind(mig, max_cuts + 1);
-        rc.reach.clear();
-        rc.reach.extend_from_slice(&mig.reach_ref());
-        let view = mig.view();
-        rc.worklist.clear();
-        for node in mig.gate_ids() {
-            if rc.reach[node.index()] {
-                rc.worklist.push(node.index() as u32);
-            }
-        }
-        rc.worklist
-            .sort_by_key(|&i| view.level_of(NodeId::from_index(i as usize)));
-        let mut workers = rc.workers.take_n(1);
-        enumerate_changed(mig, rc, k, max_cuts, 1, &mut workers);
-        rc.workers.put_all(workers);
+        enumerate_full(mig, k, max_cuts, rc);
     }
 
     #[test]

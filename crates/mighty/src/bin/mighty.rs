@@ -3,6 +3,8 @@
 //! ```text
 //! mighty opt [INPUT] [--target size|depth|activity|all] [--rewrite]
 //!            [--flow SCRIPT] [--effort N] [--rounds N] [--jobs N] [-o FILE]
+//! mighty map [INPUT] [--lib cmos22|cmos22_no_maj] [--flow SCRIPT]
+//!            [--effort N] [--rounds N] [--jobs N] [-o FILE]
 //! mighty bench [BENCH]... [--quick] [--flow SCRIPT] [--effort N]
 //!              [--rounds N] [--jobs N] [-o FILE]
 //! mighty stats [INPUT]...
@@ -17,7 +19,10 @@
 use std::process::ExitCode;
 
 use mig_core::Flow;
-use mig_mighty::{emit_verilog, load_input, render_report, run_flow, run_opt, OptTarget};
+use mig_mighty::{
+    emit_verilog, load_input, render_map_report, render_report, run_flow, run_map, run_opt,
+    OptTarget,
+};
 
 const USAGE: &str = "mighty — Majority-Inverter Graph optimization driver
 
@@ -32,18 +37,32 @@ USAGE:
                                         instead of a target, e.g.
                                         size*2; rewrite; depth_rewrite
                                         (passes: size, depth, activity,
-                                        rewrite, depth_rewrite; pass*N
-                                        repeats, a bare pass* converges);
+                                        rewrite, depth_rewrite, map_area,
+                                        map_delay; pass*N repeats, a bare
+                                        pass* converges);
                                         --jobs sets the rewriting engine's
                                         evaluate-phase worker threads
                                         (default: all cores; results are
                                         identical for any value)
+    mighty map [INPUT] [--lib cmos22|cmos22_no_maj] [--flow SCRIPT]
+               [--effort N] [--rounds N] [--jobs N] [-o FILE]
+                                        technology-map onto a standard-cell
+                                        library (default lib: cmos22) and
+                                        report mapped area/delay/power; an
+                                        optional --flow optimizes first with
+                                        the library installed as the flow's
+                                        tech model (so map_area/map_delay
+                                        steps minimize real mapped cost);
+                                        -o writes the mapped netlist as
+                                        structural Verilog
     mighty bench [BENCH]... [--quick] [--flow SCRIPT] [--effort N]
                  [--rounds N] [--jobs N] [-o FILE]
                                         timed pass sweep over the MCNC suite
                                         (default flow: size; rewrite; depth;
-                                        activity); writes the mig-bench/v4
-                                        JSON perf trajectory (default FILE:
+                                        activity); writes the mig-bench/v5
+                                        JSON perf trajectory with mapped
+                                        area/delay/power on both stock
+                                        libraries (default FILE:
                                         BENCH_opt.json); exits nonzero on any
                                         equivalence failure or size
                                         regression
@@ -51,6 +70,7 @@ USAGE:
     mighty gen BENCH [-o FILE]          emit a generated benchmark as Verilog
     mighty equiv A B [--rounds N]       check two circuits for equivalence
     mighty list                         list the generated MCNC benchmarks
+                                        and the stock cell libraries
     mighty help                         show this message
 
 INPUT is a benchmark name (see `mighty list`) or a Verilog file path.";
@@ -63,6 +83,7 @@ struct Args {
     rounds: Option<usize>,
     jobs: Option<usize>,
     output: Option<String>,
+    lib: Option<String>,
     quick: bool,
     rewrite: bool,
 }
@@ -76,6 +97,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         rounds: None,
         jobs: None,
         output: None,
+        lib: None,
         quick: false,
         rewrite: false,
     };
@@ -106,6 +128,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 );
             }
             "--output" | "-o" => args.output = Some(value(a)?),
+            "--lib" | "-l" => args.lib = Some(value(a)?),
             flag if flag.starts_with('-') && flag != "-" => {
                 return Err(format!("unknown flag `{flag}`"));
             }
@@ -150,6 +173,29 @@ fn cmd_opt(args: &Args) -> Result<bool, String> {
         emit_verilog(&outcome.optimized, path)?;
     }
     Ok(outcome.mig_equiv && outcome.net_equiv)
+}
+
+fn cmd_map(args: &Args) -> Result<bool, String> {
+    let spec = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("my_adder");
+    let net = load_input(spec)?;
+    let flow = args.flow.as_deref().map(Flow::parse).transpose()?;
+    let outcome = run_map(
+        &net,
+        args.lib.as_deref().unwrap_or("cmos22"),
+        flow.as_ref(),
+        args.effort.unwrap_or(2),
+        args.rounds.unwrap_or(32),
+        args.jobs.unwrap_or(0),
+    )?;
+    print!("{}", render_map_report(&outcome));
+    if let Some(path) = &args.output {
+        emit_verilog(&outcome.design.to_network(), path)?;
+    }
+    Ok(outcome.mig_equiv && outcome.map_equiv)
 }
 
 fn cmd_bench(args: &Args) -> Result<bool, String> {
@@ -237,6 +283,7 @@ fn run() -> Result<bool, String> {
     let args = parse_args(rest)?;
     match cmd.as_str() {
         "opt" => cmd_opt(&args),
+        "map" => cmd_map(&args),
         "bench" => cmd_bench(&args),
         "stats" => cmd_stats(&args).map(|()| true),
         "gen" => cmd_gen(&args).map(|()| true),
@@ -245,6 +292,7 @@ fn run() -> Result<bool, String> {
             for name in mig_benchgen::MCNC_NAMES {
                 println!("{name}");
             }
+            println!("libraries: {}", mig_techmap::KNOWN_LIBRARIES.join(", "));
             Ok(true)
         }
         "help" | "--help" | "-h" => {

@@ -17,8 +17,13 @@
 //! same pipeline as plain functions ([`load_input`], [`run_opt`],
 //! [`run_flow`], [`render_report`]) so integration tests drive the exact
 //! code path the CLI does. The timed suite sweep behind `mighty bench`
-//! lives in [`mig_bench`], which writes the `mig-bench/v4`
-//! perf-trajectory JSON (`BENCH_opt.json`).
+//! lives in [`mig_bench`], which writes the `mig-bench/v5`
+//! perf-trajectory JSON (`BENCH_opt.json`) with every optimized result
+//! technology-mapped onto both stock `mig_techmap` libraries. The
+//! `mighty map` half ([`run_map`], [`render_map_report`]) maps a
+//! circuit onto a [`CellLibrary`] — optionally after a flow that
+//! carries the library as its [`mig_core::TechModel`], so `map_area` /
+//! `map_delay` steps minimize measured mapped cost.
 //!
 //! ```
 //! use mig_mighty::{load_input, run_opt, OptTarget};
@@ -33,8 +38,9 @@
 use std::fmt;
 use std::time::Instant;
 
-use mig_core::{Flow, Mig, OptContext};
+use mig_core::{Flow, MappedMetrics, Mig, OptContext};
 use mig_netlist::{parse_verilog, write_verilog, Network};
+use mig_techmap::{map_mig, CellLibrary, MapConfig, MappedDesign, TechMapper, KNOWN_LIBRARIES};
 
 /// Which cost function the legacy `opt` pipeline minimizes. Each target
 /// compiles to a canned flow script (see [`flow_for_target`]); the
@@ -223,6 +229,111 @@ pub fn run_flow(
     }
 }
 
+/// Everything `mighty map` produces: the optimization trail (when a
+/// flow ran before mapping), the mapped netlist with its physical
+/// metrics, and both equivalence verdicts.
+#[derive(Debug, Clone)]
+pub struct MapOutcome {
+    /// Circuit name as recorded in the netlist.
+    pub name: String,
+    /// Display name of the cell library mapped onto.
+    pub library: String,
+    /// The flow script that ran before mapping, if any.
+    pub flow: Option<String>,
+    /// Metrics of the imported (unoptimized) MIG.
+    pub before: Snapshot,
+    /// Metrics of the MIG handed to the mapper.
+    pub after: Snapshot,
+    /// One entry per executed pass, in run order, with wall times.
+    pub stages: Vec<StageReport>,
+    /// Physical metrics of the mapped design.
+    pub mapped: MappedMetrics,
+    /// The mapped standard-cell netlist.
+    pub design: MappedDesign,
+    /// MIG-level equivalence of the pre-mapping graph vs the import.
+    pub mig_equiv: bool,
+    /// Equivalence of the mapped netlist against the input network,
+    /// checked through `mig_sim` on the cell-level export.
+    pub map_equiv: bool,
+    /// Wall-clock optimize+map time in milliseconds (excludes I/O).
+    pub millis: u128,
+}
+
+/// Resolves a `--lib` argument to a stock [`CellLibrary`], with an
+/// error that lists the available names.
+pub fn resolve_library(name: &str) -> Result<CellLibrary, String> {
+    CellLibrary::by_name(name).ok_or_else(|| {
+        format!(
+            "unknown library `{name}` (available: {})",
+            KNOWN_LIBRARIES.join(", ")
+        )
+    })
+}
+
+/// Runs `mighty map`: import → cleanup → optional optimization flow
+/// (with the target library installed as the flow's [`mig_core::TechModel`],
+/// so `map_area`/`map_delay` steps measure real mapped cost) → cut-based
+/// technology mapping → equivalence checks at both levels.
+pub fn run_map(
+    net: &Network,
+    library: &str,
+    flow: Option<&Flow>,
+    effort: usize,
+    rounds: usize,
+    jobs: usize,
+) -> Result<MapOutcome, String> {
+    let lib = resolve_library(library)?;
+    let rounds = rounds.max(1);
+    let mig = Mig::from_network(net);
+    let before = Snapshot::of(&mig);
+    let mut ctx = OptContext::with_jobs(jobs);
+    ctx.set_tech(Box::new(TechMapper::new(lib.clone())));
+
+    let start = Instant::now();
+    let mut stages: Vec<StageReport> = Vec::new();
+    let cleanup_start = Instant::now();
+    let cleaned = mig.cleanup();
+    let cleanup_millis = cleanup_start.elapsed().as_secs_f64() * 1e3;
+    if Snapshot::of(&cleaned) != before {
+        stages.push(StageReport {
+            pass: "cleanup".to_string(),
+            millis: cleanup_millis,
+            before,
+            after: Snapshot::of(&cleaned),
+        });
+    }
+    let cur = match flow {
+        Some(f) => f.run(cleaned, effort, &mut ctx),
+        None => cleaned,
+    };
+    stages.extend(ctx.take_ledger());
+    let design = map_mig(&cur, &lib, &MapConfig::default());
+    let millis = start.elapsed().as_millis();
+
+    let mapped = MappedMetrics {
+        area: design.area(),
+        delay: design.delay(),
+        power: design.power(),
+        cells: design.num_cells(),
+    };
+    let after = Snapshot::of(&cur);
+    let mig_equiv = cur.equiv(&mig, rounds);
+    let map_equiv = mig_sim::equivalent(net, &design.to_network(), rounds);
+    Ok(MapOutcome {
+        name: net.name().to_string(),
+        library: lib.name.to_string(),
+        flow: flow.map(Flow::to_string),
+        before,
+        after,
+        stages,
+        mapped,
+        design,
+        mig_equiv,
+        map_equiv,
+        millis,
+    })
+}
+
 fn pct(before: f64, after: f64) -> String {
     if before == 0.0 {
         return "—".to_string();
@@ -238,6 +349,8 @@ fn pass_label(pass: &str) -> String {
         "activity" => "activity (§IV-C)".to_string(),
         "rewrite" => "rewrite (Boolean)".to_string(),
         "depth_rewrite" => "depth_rewrite (Boolean)".to_string(),
+        "map_area" => "map_area (mapped §V)".to_string(),
+        "map_delay" => "map_delay (mapped §V)".to_string(),
         other => other.to_string(),
     }
 }
@@ -286,6 +399,49 @@ pub fn render_report(o: &OptOutcome) -> String {
         "equivalence: MIG {} · netlist (mig_sim) {}\n",
         if o.mig_equiv { "PASS" } else { "FAIL" },
         if o.net_equiv { "PASS" } else { "FAIL" },
+    ));
+    s
+}
+
+/// Renders the `mighty map` report: the optimization trail (when a
+/// flow ran), then the mapped area/delay/power line and the verdicts.
+pub fn render_map_report(o: &MapOutcome) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "=== {} · lib: {} · flow: {} · {} ms ===\n",
+        o.name,
+        o.library,
+        o.flow.as_deref().unwrap_or("(none)"),
+        o.millis
+    ));
+    if !o.stages.is_empty() {
+        s.push_str(&format!(
+            "{:<24} {:>8} {:>7} {:>12} {:>9}\n",
+            "stage", "size", "depth", "activity", "ms"
+        ));
+        s.push_str(&format!(
+            "{:<24} {:>8} {:>7} {:>12.3} {:>9}\n",
+            "import", o.before.size, o.before.depth, o.before.activity, "—"
+        ));
+        for stage in &o.stages {
+            s.push_str(&format!(
+                "{:<24} {:>8} {:>7} {:>12.3} {:>9.1}\n",
+                pass_label(&stage.pass),
+                stage.after.size,
+                stage.after.depth,
+                stage.after.activity,
+                stage.millis,
+            ));
+        }
+    }
+    s.push_str(&format!(
+        "mapped:  {} cells · area {:.3} µm² · delay {:.4} ns · power {:.3} µW\n",
+        o.mapped.cells, o.mapped.area, o.mapped.delay, o.mapped.power
+    ));
+    s.push_str(&format!(
+        "equivalence: MIG {} · mapped netlist (mig_sim) {}\n",
+        if o.mig_equiv { "PASS" } else { "FAIL" },
+        if o.map_equiv { "PASS" } else { "FAIL" },
     ));
     s
 }

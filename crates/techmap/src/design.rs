@@ -96,8 +96,7 @@ impl MappedDesign {
                 .map(|&n| arrival[n as usize])
                 .fold(0.0f64, f64::max);
             let out = self.instance_net(i) as usize;
-            arrival[out] =
-                input_arr + cell.delay + self.library.fanout_delay * fanout[out] as f64;
+            arrival[out] = input_arr + cell.delay + self.library.fanout_delay * fanout[out] as f64;
         }
         self.outputs
             .iter()
@@ -231,11 +230,17 @@ fn build_factored(net: &mut Network, ff: &FactoredForm, fanins: &[GateId]) -> Ga
             }
         }
         FactoredForm::And(parts) => {
-            let gates: Vec<GateId> = parts.iter().map(|p| build_factored(net, p, fanins)).collect();
+            let gates: Vec<GateId> = parts
+                .iter()
+                .map(|p| build_factored(net, p, fanins))
+                .collect();
             net.add_gate(GateKind::And, gates)
         }
         FactoredForm::Or(parts) => {
-            let gates: Vec<GateId> = parts.iter().map(|p| build_factored(net, p, fanins)).collect();
+            let gates: Vec<GateId> = parts
+                .iter()
+                .map(|p| build_factored(net, p, fanins))
+                .collect();
             net.add_gate(GateKind::Or, gates)
         }
     }
@@ -282,15 +287,18 @@ mod tests {
     fn metrics_are_positive_and_consistent() {
         let d = tiny_design();
         assert_eq!(d.num_cells(), 2);
-        let expected_area = d.library.cells[d.instances[0].cell].area
-            + d.library.cells[d.instances[1].cell].area;
+        let expected_area =
+            d.library.cells[d.instances[0].cell].area + d.library.cells[d.instances[1].cell].area;
         assert!((d.area() - expected_area).abs() < 1e-12);
         // Critical path: INV then MAJ3 with unit fanouts.
         let inv = &d.library.cells[d.instances[0].cell];
         let maj = &d.library.cells[d.instances[1].cell];
-        let expect =
-            inv.delay + d.library.fanout_delay + maj.delay + d.library.fanout_delay;
-        assert!((d.delay() - expect).abs() < 1e-9, "{} vs {expect}", d.delay());
+        let expect = inv.delay + d.library.fanout_delay + maj.delay + d.library.fanout_delay;
+        assert!(
+            (d.delay() - expect).abs() < 1e-9,
+            "{} vs {expect}",
+            d.delay()
+        );
         assert!(d.power() > 0.0);
     }
 
@@ -300,9 +308,9 @@ mod tests {
         let net = d.to_network();
         for bits in 0..8u32 {
             let assign = [(bits & 1) == 1, bits & 2 == 2, bits & 4 == 4];
-            let expect = (assign[0] && assign[1])
-                || (assign[0] && !assign[2])
-                || (assign[1] && !assign[2]);
+            #[allow(clippy::nonminimal_bool)] // MAJ(a, b, !c) spelled as a sum of pairs
+            let expect =
+                (assign[0] && assign[1]) || (assign[0] && !assign[2]) || (assign[1] && !assign[2]);
             assert_eq!(net.eval(&assign), vec![expect], "bits {bits:03b}");
         }
     }

@@ -1,1 +1,51 @@
-//! (under construction)
+//! Technology mapping onto a 22nm-style standard-cell library (paper §V).
+//!
+//! The DAC'14 MIG paper judges its optimizers by *mapped* metrics: area,
+//! critical-path delay and power of a standard-cell netlist on a 22nm
+//! library containing first-class majority cells. This crate supplies
+//! that measurement layer:
+//!
+//! * [`library`] — the [`CellLibrary`] model with the paper's
+//!   {INV, NAND2, NOR2, XOR2, XNOR2, MAJ3, MIN3} characterization
+//!   ([`CellLibrary::cmos22`]) and a majority-free control library
+//!   ([`CellLibrary::cmos22_no_maj`]) for the MAJ-vs-NAND/NOR
+//!   comparison.
+//! * [`mapper`] — the cut-based technology mapper: NPN Boolean matching
+//!   of k≤4 priority cuts against the library, phase-aware area-flow
+//!   covering, exact-area refinement and required-time delay recovery
+//!   ([`map_mig`]); plus [`TechMapper`], which packages a library behind
+//!   `mig_core`'s `TechModel` trait so optimization flows can use
+//!   mapped cost as their objective.
+//! * [`design`] — the [`MappedDesign`] cell netlist with its
+//!   area/delay/power estimators and a [`MappedDesign::to_network`]
+//!   export for equivalence checking against the unmapped graph.
+//!
+//! # Example
+//!
+//! ```
+//! use mig_core::Mig;
+//! use mig_techmap::{map_mig, CellLibrary, MapConfig};
+//!
+//! // Full adder carry = MAJ(a, b, cin): one cell on the MAJ library.
+//! let mut mig = Mig::new("carry");
+//! let a = mig.add_input("a");
+//! let b = mig.add_input("b");
+//! let cin = mig.add_input("cin");
+//! let carry = mig.maj(a, b, cin);
+//! mig.add_output("cout", carry);
+//!
+//! let lib = CellLibrary::cmos22();
+//! let design = map_mig(&mig, &lib, &MapConfig::default());
+//! assert_eq!(design.num_cells(), 1);
+//! assert!(design.area() > 0.0 && design.delay() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod design;
+pub mod library;
+pub mod mapper;
+
+pub use design::{Instance, MappedDesign, NetId};
+pub use library::{Cell, CellLibrary, KNOWN_LIBRARIES};
+pub use mapper::{map_mig, MapConfig, MapGoal, TechMapper};

@@ -44,6 +44,9 @@ pub struct CellLibrary {
     pub fanout_delay: f64,
 }
 
+/// The stock library names [`CellLibrary::by_name`] accepts.
+pub const KNOWN_LIBRARIES: [&str; 2] = ["cmos22", "cmos22_no_maj"];
+
 fn tt1(f: impl Fn(bool) -> bool) -> TruthTable {
     let mut t = TruthTable::zeros(1);
     for i in 0..2usize {
@@ -121,6 +124,7 @@ impl CellLibrary {
             Cell {
                 name: "MAJ3",
                 num_inputs: 3,
+                #[allow(clippy::nonminimal_bool)] // the textbook MAJ form
                 function: tt3(|a, b, c| (a && b) || (a && c) || (b && c)),
                 area: 0.882,
                 delay: 0.033,
@@ -130,6 +134,7 @@ impl CellLibrary {
             Cell {
                 name: "MIN3",
                 num_inputs: 3,
+                #[allow(clippy::nonminimal_bool)] // the textbook MAJ form
                 function: tt3(|a, b, c| !((a && b) || (a && c) || (b && c))),
                 area: 0.833,
                 delay: 0.031,
@@ -153,6 +158,17 @@ impl CellLibrary {
         lib.name = "cmos22-nomaj";
         lib.cells.retain(|c| c.num_inputs <= 2);
         lib
+    }
+
+    /// Looks a stock library up by name (see [`KNOWN_LIBRARIES`]).
+    /// Accepts both the CLI spelling `cmos22_no_maj` and the library's
+    /// own display name `cmos22-nomaj`.
+    pub fn by_name(name: &str) -> Option<CellLibrary> {
+        match name {
+            "cmos22" => Some(Self::cmos22()),
+            "cmos22_no_maj" | "cmos22-nomaj" => Some(Self::cmos22_no_maj()),
+            _ => None,
+        }
     }
 
     /// Looks a cell up by name.

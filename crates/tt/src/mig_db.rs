@@ -63,6 +63,51 @@ impl Npn4Transform {
             output_flip: false,
         }
     }
+
+    /// The inverse transform: `npn4_apply(npn4_apply(tt, t), t.invert())`
+    /// is `tt` for every table (and symmetrically with the order
+    /// swapped).
+    pub fn invert(&self) -> Self {
+        // apply(f, T)[y] = of ⊕ f[P(y) ^ ifl] with (P y)[perm[j]] = y[j],
+        // so the inverse uses the inverse permutation and carries the
+        // flips through it: P⁻¹(x ^ ifl) = P⁻¹(x) ^ P⁻¹(ifl).
+        let mut perm = [0u8; 4];
+        let mut input_flips = 0u8;
+        for (j, &p) in self.perm.iter().enumerate() {
+            perm[p as usize] = j as u8;
+            if (self.input_flips >> p) & 1 == 1 {
+                input_flips |= 1 << j;
+            }
+        }
+        Npn4Transform {
+            perm,
+            input_flips,
+            output_flip: self.output_flip,
+        }
+    }
+
+    /// Sequential composition: the transform that applies `self` first
+    /// and `next` second — `npn4_apply(tt, &a.then(&b))` equals
+    /// `npn4_apply(npn4_apply(tt, &a), &b)`.
+    pub fn then(&self, next: &Npn4Transform) -> Self {
+        // Composing apply(·, self) then apply(·, next): the index chain
+        // is f[P₁(P₂(y) ^ ifl₂) ^ ifl₁] = f[P₁(P₂(y)) ^ P₁(ifl₂) ^ ifl₁].
+        let mut perm = [0u8; 4];
+        let mut input_flips = self.input_flips;
+        for (j, &p2) in next.perm.iter().enumerate() {
+            perm[j] = self.perm[p2 as usize];
+        }
+        for v in 0..4u8 {
+            if (next.input_flips >> v) & 1 == 1 {
+                input_flips ^= 1 << self.perm[v as usize];
+            }
+        }
+        Npn4Transform {
+            perm,
+            input_flips,
+            output_flip: self.output_flip ^ next.output_flip,
+        }
+    }
 }
 
 /// Applies `t` to a 4-variable truth table, producing the transformed
@@ -544,6 +589,39 @@ mod tests {
         assert_eq!(reps.len(), NUM_NPN4_CLASSES);
         // Ascending and unique by construction.
         assert!(reps.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn invert_and_then_compose_correctly() {
+        // invert() must undo any transform in either order, and then()
+        // must match sequential application — over a PRNG sample of
+        // tables against a PRNG sample of the 768-transform group.
+        let mut x = 0xD1B5_4A32_D192_ED03u64;
+        let rand_t = |x: &mut u64| {
+            *x ^= *x << 13;
+            *x ^= *x >> 7;
+            *x ^= *x << 17;
+            let perms = perms4();
+            Npn4Transform {
+                perm: perms[(*x % 24) as usize],
+                input_flips: ((*x >> 8) & 15) as u8,
+                output_flip: (*x >> 16) & 1 == 1,
+            }
+        };
+        for _ in 0..50 {
+            let a = rand_t(&mut x);
+            let b = rand_t(&mut x);
+            let tt = ((x >> 20) & 0xFFFF) as u16;
+            assert_eq!(npn4_apply(npn4_apply(tt, &a), &a.invert()), tt);
+            assert_eq!(npn4_apply(npn4_apply(tt, &a.invert()), &a), tt);
+            assert_eq!(
+                npn4_apply(tt, &a.then(&b)),
+                npn4_apply(npn4_apply(tt, &a), &b)
+            );
+        }
+        let id = Npn4Transform::identity();
+        assert_eq!(id.invert(), id);
+        assert_eq!(id.then(&id), id);
     }
 
     #[test]

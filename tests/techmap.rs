@@ -1,0 +1,58 @@
+//! Acceptance gate for the cut-based technology mapper: every MCNC
+//! benchmark maps onto both stock libraries, the mapped cell netlist
+//! round-trips through `MappedDesign::to_network()` equivalent to the
+//! unmapped MIG, and the MAJ-capable library never loses to the
+//! majority-free control on suite mapped area.
+
+use mig_suite::benchgen::MCNC_NAMES;
+use mig_suite::mig::Mig;
+use mig_suite::techmap::{map_mig, CellLibrary, MapConfig};
+
+#[test]
+fn every_benchmark_maps_and_verifies_on_both_libraries() {
+    let libs = [CellLibrary::cmos22(), CellLibrary::cmos22_no_maj()];
+    let mut area = [0.0f64; 2];
+    for name in MCNC_NAMES {
+        let net = mig_suite::benchgen::generate(name).expect("known benchmark");
+        let mig = Mig::from_network(&net).cleanup();
+        let reference = mig.to_network();
+        for (i, lib) in libs.iter().enumerate() {
+            let design = map_mig(&mig, lib, &MapConfig::default());
+            assert!(design.num_cells() > 0, "{name}/{}: empty mapping", lib.name);
+            assert!(
+                mig_suite::sim::equivalent(&reference, &design.to_network(), 4),
+                "{name}/{}: mapped netlist is not equivalent",
+                lib.name
+            );
+            area[i] += design.area();
+        }
+    }
+    assert!(
+        area[0] < area[1],
+        "cmos22 must beat cmos22-nomaj on suite mapped area ({:.3} vs {:.3} µm²)",
+        area[0],
+        area[1]
+    );
+}
+
+#[test]
+fn delay_mapping_verifies_and_is_no_slower_per_benchmark() {
+    let lib = CellLibrary::cmos22();
+    for name in ["my_adder", "alu4", "count", "b9"] {
+        let net = mig_suite::benchgen::generate(name).expect("known benchmark");
+        let mig = Mig::from_network(&net).cleanup();
+        let reference = mig.to_network();
+        let by_area = map_mig(&mig, &lib, &MapConfig::default());
+        let by_delay = map_mig(&mig, &lib, &MapConfig::delay());
+        assert!(
+            mig_suite::sim::equivalent(&reference, &by_delay.to_network(), 4),
+            "{name}: delay-mapped netlist is not equivalent"
+        );
+        assert!(
+            by_delay.delay() <= by_area.delay() + 1e-9,
+            "{name}: delay mapping slower than area mapping ({} vs {})",
+            by_delay.delay(),
+            by_area.delay()
+        );
+    }
+}
