@@ -17,7 +17,10 @@
 //! passes included — serialize naturally; v5 technology-maps every
 //! optimized result onto both stock libraries and adds the per-benchmark
 //! `mapped`/`mapped_nomaj` objects plus the totals' mapped-area sums —
-//! every v4 field serializes byte-identically):
+//! every v4 field serializes byte-identically. A pass entry additionally
+//! carries an `"outcome"` key when — and only when — the pass manager
+//! degraded it (`rolled_back` / `timed_out` / `skipped`), so a healthy
+//! run's JSON is byte-for-byte the classic v5 document):
 //!
 //! ```json
 //! {
@@ -69,8 +72,9 @@
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use mig_core::{Flow, Mig, OptContext, RewriteConfig};
+use mig_core::{Budget, Flow, Mig, OptContext, RewriteConfig, SimSpotCheck};
 use mig_techmap::{map_mig, CellLibrary, MapConfig};
 
 /// The canonical default flow: the v3 harness's fixed size → rewrite →
@@ -105,6 +109,20 @@ pub struct BenchConfig {
     pub jobs: usize,
     /// Flow script to run (`None` = [`DEFAULT_FLOW`]).
     pub flow: Option<String>,
+    /// Per-benchmark wall-clock deadline in milliseconds (`None` =
+    /// unlimited): once exhausted, remaining passes of that circuit's
+    /// flow are skipped and recorded as such.
+    pub timeout_ms: Option<u64>,
+    /// Per-pass wall-clock limit in milliseconds (`None` = unlimited):
+    /// a pass running longer is rolled back and recorded as timed out.
+    pub pass_timeout_ms: Option<u64>,
+    /// Node-count growth cap (`None` = unlimited): a pass growing the
+    /// graph beyond the cap is rolled back.
+    pub max_nodes: Option<usize>,
+    /// Simulation spot check after every pass: a pass whose result
+    /// fails a randomized equivalence probe against its own input is
+    /// rolled back instead of poisoning the rest of the flow.
+    pub selfcheck: bool,
 }
 
 impl BenchConfig {
@@ -120,6 +138,10 @@ impl BenchConfig {
             rounds: 8,
             jobs: 0,
             flow: None,
+            timeout_ms: None,
+            pass_timeout_ms: None,
+            max_nodes: None,
+            selfcheck: false,
         }
     }
 
@@ -132,6 +154,20 @@ impl BenchConfig {
             rounds: 4,
             jobs: 0,
             flow: None,
+            timeout_ms: None,
+            pass_timeout_ms: None,
+            max_nodes: None,
+            selfcheck: false,
+        }
+    }
+
+    /// The [`Budget`] this configuration asks the pass manager to
+    /// enforce per benchmark.
+    fn budget(&self) -> Budget {
+        Budget {
+            total_ms: self.timeout_ms,
+            pass_ms: self.pass_timeout_ms,
+            max_nodes: self.max_nodes,
         }
     }
 }
@@ -191,6 +227,9 @@ pub struct BenchRecord {
     pub mapped: MappedRecord,
     /// Mapped cost on the majority-free control library.
     pub mapped_nomaj: MappedRecord,
+    /// Number of passes that did not contribute — rolled back, timed
+    /// out, or skipped by the budget (0 on a healthy run).
+    pub degraded: usize,
     /// Wall-clock time over all passes (excludes verify and mapping).
     pub total_millis: f64,
 }
@@ -234,24 +273,49 @@ impl BenchReport {
     pub fn mapped_nomaj_area(&self) -> f64 {
         self.benchmarks.iter().map(|b| b.mapped_nomaj.area).sum()
     }
+
+    /// Total number of degraded (rolled-back / timed-out / skipped)
+    /// pass executions across the suite.
+    pub fn degraded_passes(&self) -> usize {
+        self.benchmarks.iter().map(|b| b.degraded).sum()
+    }
+
+    /// True when any pass anywhere in the suite was degraded — the run
+    /// still completed and verified, but not every pass contributed.
+    pub fn any_degraded(&self) -> bool {
+        self.degraded_passes() > 0
+    }
 }
 
 /// Maps one optimized MIG onto `lib` and verifies the cell netlist
-/// against the import network.
+/// against the import network. A panicking mapper forfeits only this
+/// record (reported as a zero-cell non-equivalent mapping) instead of
+/// aborting the whole suite.
 fn map_record(
     cur: &Mig,
     net: &mig_netlist::Network,
     lib: &CellLibrary,
     rounds: usize,
 ) -> MappedRecord {
-    let design = map_mig(cur, lib, &MapConfig::default());
-    MappedRecord {
-        library: lib.name.to_string(),
-        cells: design.num_cells(),
-        area: design.area(),
-        delay: design.delay(),
-        power: design.power(),
-        equiv: mig_sim::equivalent(net, &design.to_network(), rounds),
+    match catch_unwind(AssertUnwindSafe(|| {
+        map_mig(cur, lib, &MapConfig::default())
+    })) {
+        Ok(design) => MappedRecord {
+            library: lib.name.to_string(),
+            cells: design.num_cells(),
+            area: design.area(),
+            delay: design.delay(),
+            power: design.power(),
+            equiv: mig_sim::equivalent(net, &design.to_network(), rounds),
+        },
+        Err(_) => MappedRecord {
+            library: lib.name.to_string(),
+            cells: 0,
+            area: 0.0,
+            delay: 0.0,
+            power: 0.0,
+            equiv: false,
+        },
     }
 }
 
@@ -285,6 +349,10 @@ pub fn run_suite(config: &BenchConfig) -> BenchReport {
     }
     .resolved_jobs();
     let mut ctx = OptContext::with_jobs(config.jobs);
+    ctx.set_budget(config.budget());
+    if config.selfcheck {
+        ctx.set_spot_check(Box::new(SimSpotCheck::new(rounds)));
+    }
     let mut benchmarks = Vec::new();
     for name in &names {
         let net = mig_benchgen::generate(name)
@@ -298,6 +366,7 @@ pub fn run_suite(config: &BenchConfig) -> BenchReport {
             .filter(|r| matches!(r.pass.as_str(), "size" | "rewrite" | "depth_rewrite"))
             .all(|r| r.after.size <= r.before.size);
         let total_millis = passes.iter().map(|p| p.millis).sum();
+        let degraded = passes.iter().filter(|r| r.outcome.degraded()).count();
         let mapped = map_record(&cur, &net, &CellLibrary::cmos22(), rounds);
         let mapped_nomaj = map_record(&cur, &net, &CellLibrary::cmos22_no_maj(), rounds);
         benchmarks.push(BenchRecord {
@@ -310,6 +379,7 @@ pub fn run_suite(config: &BenchConfig) -> BenchReport {
             size_ok,
             mapped,
             mapped_nomaj,
+            degraded,
             total_millis,
         });
     }
@@ -352,9 +422,16 @@ pub fn to_json(report: &BenchReport) -> String {
             let _ = write!(
                 s,
                 "        {{\"pass\": \"{}\", \"size\": {}, \"depth\": {}, \
-                 \"activity\": {:.3}, \"millis\": {:.2}}}",
+                 \"activity\": {:.3}, \"millis\": {:.2}",
                 p.pass, p.after.size, p.after.depth, p.after.activity, p.millis
             );
+            // Emitted only for degraded passes, so a healthy run's JSON
+            // is byte-identical to the pre-resilience v5 schema (the
+            // committed trajectory never needs regenerating).
+            if p.outcome.degraded() {
+                let _ = write!(s, ", \"outcome\": \"{}\"", p.outcome.name());
+            }
+            s.push('}');
             s.push_str(if j + 1 < b.passes.len() { ",\n" } else { "\n" });
         }
         s.push_str("      ],\n");
@@ -479,6 +556,13 @@ pub fn render_table(report: &BenchReport) -> String {
             "FAILURES PRESENT"
         }
     );
+    if report.any_degraded() {
+        let _ = writeln!(
+            s,
+            "degraded: {} pass execution(s) rolled back, timed out or skipped",
+            report.degraded_passes()
+        );
+    }
     s
 }
 

@@ -50,6 +50,8 @@
 
 mod algebra;
 mod convert;
+#[cfg(feature = "faultpoints")]
+pub mod faultpoint;
 mod mig;
 pub mod opt;
 pub(crate) mod scratch;
@@ -60,8 +62,42 @@ pub(crate) mod strash;
 pub use crate::mig::Mig;
 pub use opt::{
     enumerate_cuts, optimize_activity, optimize_depth, optimize_rewrite, optimize_size,
-    ActivityOptConfig, ActivityPass, Cost, CutSet, DepthOptConfig, DepthPass, EnumeratedCut, Flow,
-    FlowStep, MapPass, MappedMetrics, Objective, OptContext, Pass, PassKind, PassMetrics,
-    PassReport, Repeat, RewriteConfig, RewritePass, SizeOptConfig, SizePass, TechModel,
+    ActivityOptConfig, ActivityPass, Budget, Cost, CutSet, DepthOptConfig, DepthPass,
+    EnumeratedCut, Flow, FlowStep, MapPass, MappedMetrics, Objective, OptContext, Pass, PassKind,
+    PassMetrics, PassOutcome, PassReport, Repeat, RewriteConfig, RewritePass, SimSpotCheck,
+    SizeOptConfig, SizePass, SpotCheck, TechModel,
 };
 pub use signal::{NodeId, Signal};
+
+/// Record an arrival at a named fault site.
+///
+/// Expands to a call into `faultpoint::hit` when the **expanding**
+/// crate is compiled with its `faultpoints` feature (which forwards to
+/// `mig_core/faultpoints`), and to nothing otherwise — the default
+/// build contains no fault-point code.
+#[macro_export]
+macro_rules! faultpoint {
+    ($site:expr) => {
+        #[cfg(feature = "faultpoints")]
+        $crate::faultpoint::hit($site);
+    };
+}
+
+/// Pass a `u16` through a named corruption fault site.
+///
+/// Evaluates to `faultpoint::corrupt_u16($site, $value)` when the
+/// expanding crate enables its `faultpoints` feature, and to `$value`
+/// unchanged otherwise.
+#[macro_export]
+macro_rules! faultpoint_corrupt {
+    ($site:expr, $value:expr) => {{
+        #[cfg(feature = "faultpoints")]
+        {
+            $crate::faultpoint::corrupt_u16($site, $value)
+        }
+        #[cfg(not(feature = "faultpoints"))]
+        {
+            $value
+        }
+    }};
+}

@@ -22,8 +22,9 @@ pub mod size;
 pub use activity::{optimize_activity, ActivityOptConfig};
 pub use depth::{optimize_depth, DepthOptConfig};
 pub use pipeline::{
-    ActivityPass, DepthPass, Flow, FlowStep, MapPass, MappedMetrics, OptContext, Pass, PassKind,
-    PassMetrics, PassReport, Repeat, RewritePass, SizePass, TechModel,
+    ActivityPass, Budget, DepthPass, Flow, FlowStep, MapPass, MappedMetrics, OptContext, Pass,
+    PassKind, PassMetrics, PassOutcome, PassReport, Repeat, RewritePass, SimSpotCheck, SizePass,
+    SpotCheck, TechModel,
 };
 pub use rewrite::{enumerate_cuts, optimize_rewrite, CutSet, EnumeratedCut, RewriteConfig};
 pub use size::{optimize_size, SizeOptConfig};
@@ -157,7 +158,7 @@ pub struct Cost {
 /// The two structural objectives are the paper's: node count and logic
 /// depth. The two *mapped* objectives score a graph by its
 /// technology-mapped cost instead ([`MappedMetrics`] measured through
-/// the context's [`TechModel`](pipeline::TechModel)); passes that only
+/// the context's [`TechModel`]); passes that only
 /// understand structural metrics fall back to the
 /// [`structural`](Objective::structural) proxy, which is also what
 /// [`Objective::of`]/[`Objective::cost`] report when no mapped
@@ -196,7 +197,7 @@ impl Objective {
 
     /// Graph-level cost of `mig` under this objective (the structural
     /// proxy for the mapped objectives — measuring true mapped cost
-    /// needs a [`TechModel`](pipeline::TechModel), see
+    /// needs a [`TechModel`], see
     /// [`Objective::mapped_cost`]).
     pub fn of(self, mig: &Mig) -> Cost {
         self.cost(mig.size(), mig.depth())

@@ -62,7 +62,8 @@
 //! ```
 
 use std::fmt;
-use std::time::Instant;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 use super::activity::{optimize_activity_with, ActivityOptConfig};
 use super::depth::{optimize_depth_with, DepthOptConfig};
@@ -76,6 +77,130 @@ use crate::Mig;
 /// but never more than this many times (every pass also has an internal
 /// fixpoint loop, so the cap is a backstop, not a tuning knob).
 pub const CONVERGE_CAP: usize = 8;
+
+/// Resource limits for one pipeline run, enforced by
+/// [`OptContext::run_pass`] around every pass.
+///
+/// All limits default to "unlimited". A breached limit never aborts the
+/// process or invalidates the netlist: the pass manager restores the
+/// pre-pass checkpoint (or skips the pass outright) and records the
+/// degraded outcome in the ledger, so the run still ends with a valid
+/// graph no worse than its input.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Wall-clock deadline for the whole run, in milliseconds, measured
+    /// from [`OptContext::begin_run`] (re-anchored by every
+    /// [`Flow::run`]). Once exhausted, remaining passes are
+    /// [`Skipped`](PassOutcome::Skipped).
+    pub total_ms: Option<u64>,
+    /// Per-pass timeout in milliseconds. A pass that overruns it is
+    /// rolled back and recorded as [`TimedOut`](PassOutcome::TimedOut).
+    /// Enforcement is post-hoc — the pass finishes, then its result is
+    /// discarded — because passes are pure functions without an internal
+    /// cancellation protocol; the whole-run deadline still bounds the
+    /// damage of one slow pass to the passes after it.
+    pub pass_ms: Option<u64>,
+    /// Node-count cap: a pass whose output *grows* past this many
+    /// majority nodes is rolled back (an input already over the cap is
+    /// allowed to shrink or stay put — the cap restrains growth, it
+    /// does not make oversized inputs unoptimizable).
+    pub max_nodes: Option<usize>,
+}
+
+impl Budget {
+    /// A budget with every limit disabled (the default).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+}
+
+/// How one ledgered pass execution ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PassOutcome {
+    /// The pass ran to completion and its result was kept.
+    Completed,
+    /// The pass overran [`Budget::pass_ms`]; its result was discarded
+    /// and the pre-pass checkpoint restored.
+    TimedOut,
+    /// The pass panicked, breached [`Budget::max_nodes`], or failed the
+    /// post-pass [`SpotCheck`]; the pre-pass checkpoint was restored.
+    RolledBack,
+    /// The pass never ran: the [`Budget::total_ms`] deadline was
+    /// already exhausted when its turn came.
+    Skipped,
+}
+
+impl PassOutcome {
+    /// Stable lower-snake-case name (used in the bench JSON schema).
+    pub fn name(self) -> &'static str {
+        match self {
+            PassOutcome::Completed => "completed",
+            PassOutcome::TimedOut => "timed_out",
+            PassOutcome::RolledBack => "rolled_back",
+            PassOutcome::Skipped => "skipped",
+        }
+    }
+
+    /// Whether this outcome degrades the run (anything but
+    /// [`Completed`](PassOutcome::Completed)).
+    pub fn degraded(self) -> bool {
+        !matches!(self, PassOutcome::Completed)
+    }
+}
+
+impl fmt::Display for PassOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A post-pass sanity check the pass manager runs before accepting a
+/// pass's result: `check` compares the candidate against the pre-pass
+/// checkpoint and a `false` verdict triggers rollback.
+///
+/// Like [`TechModel`], the trait lives here so heavier simulation
+/// back-ends (e.g. the word-parallel batch simulator in `mig_sim`) can
+/// be *installed into* an [`OptContext`] from above without a crate
+/// cycle; [`SimSpotCheck`] is the built-in implementation.
+pub trait SpotCheck: std::fmt::Debug {
+    /// Checker name for ledger notes and reports.
+    fn name(&self) -> &str;
+
+    /// Whether `candidate` is an acceptable replacement for
+    /// `reference` (normally: functionally equivalent). Must be
+    /// deterministic and read-only.
+    fn check(&self, reference: &Mig, candidate: &Mig) -> bool;
+}
+
+/// The built-in [`SpotCheck`]: word-parallel simulation via
+/// [`Mig::equiv`] — exhaustive up to 16 inputs, `rounds` random
+/// 64-pattern words above that.
+#[derive(Debug, Clone, Copy)]
+pub struct SimSpotCheck {
+    /// Random simulation rounds for graphs with more than 16 inputs.
+    pub rounds: usize,
+}
+
+impl SimSpotCheck {
+    /// A spot check simulating `rounds` random words (min 1).
+    pub fn new(rounds: usize) -> Self {
+        SimSpotCheck {
+            rounds: rounds.max(1),
+        }
+    }
+}
+
+impl SpotCheck for SimSpotCheck {
+    fn name(&self) -> &str {
+        "sim"
+    }
+
+    fn check(&self, reference: &Mig, candidate: &Mig) -> bool {
+        reference.num_inputs() == candidate.num_inputs()
+            && reference.num_outputs() == candidate.num_outputs()
+            && reference.equiv(candidate, self.rounds)
+    }
+}
 
 /// Technology-mapped cost of one MIG: what a [`TechModel`] measures.
 ///
@@ -157,6 +282,14 @@ pub struct PassReport {
     pub before: PassMetrics,
     /// Metrics of the graph the pass returned.
     pub after: PassMetrics,
+    /// How the execution ended. Anything but
+    /// [`Completed`](PassOutcome::Completed) means `after` describes
+    /// the restored checkpoint (== the pre-pass graph), not the pass's
+    /// own product.
+    pub outcome: PassOutcome,
+    /// Human-readable detail for degraded outcomes (panic message,
+    /// breached limit, failed check); `None` for clean completions.
+    pub note: Option<String>,
 }
 
 /// Shared state of one optimization pipeline.
@@ -184,6 +317,14 @@ pub struct OptContext {
     /// carry [`PassMetrics::mapped`] and the `map_area` / `map_delay`
     /// recovery passes become active (they are no-ops without it).
     pub(crate) tech: Option<Box<dyn TechModel>>,
+    /// Resource limits enforced around every pass.
+    budget: Budget,
+    /// Anchor of the [`Budget::total_ms`] deadline; set by
+    /// [`begin_run`](OptContext::begin_run) (every [`Flow::run`] calls
+    /// it) or lazily by the first [`run_pass`](OptContext::run_pass).
+    run_start: Option<Instant>,
+    /// Optional post-pass acceptance check; failures trigger rollback.
+    spot_check: Option<Box<dyn SpotCheck>>,
 }
 
 impl OptContext {
@@ -247,6 +388,42 @@ impl OptContext {
         self.tech.as_deref()
     }
 
+    /// Sets the resource budget enforced around every subsequent pass.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// The current resource budget.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// Re-anchors the [`Budget::total_ms`] wall-clock deadline at "now".
+    /// [`Flow::run`] calls this on entry so one context can serve many
+    /// runs, each with a fresh deadline; call it yourself when driving
+    /// [`run_pass`](OptContext::run_pass) manually under a budget.
+    pub fn begin_run(&mut self) {
+        self.run_start = Some(Instant::now());
+    }
+
+    /// Installs a post-pass acceptance check: after every pass, `check`
+    /// compares the result against the pre-pass checkpoint, and on a
+    /// `false` verdict the checkpoint is restored and the pass recorded
+    /// as [`RolledBack`](PassOutcome::RolledBack).
+    pub fn set_spot_check(&mut self, check: Box<dyn SpotCheck>) {
+        self.spot_check = Some(check);
+    }
+
+    /// Removes the post-pass acceptance check, returning it.
+    pub fn clear_spot_check(&mut self) -> Option<Box<dyn SpotCheck>> {
+        self.spot_check.take()
+    }
+
+    /// The installed post-pass acceptance check, if any.
+    pub fn spot_check(&self) -> Option<&dyn SpotCheck> {
+        self.spot_check.as_deref()
+    }
+
     /// Measures `mig`, reusing the previous measurement when the graph
     /// state (identified by its mutation stamp) has not changed since.
     fn metrics_of(&mut self, mig: &Mig) -> PassMetrics {
@@ -258,30 +435,145 @@ impl OptContext {
         }
         let mut m = PassMetrics::of(mig);
         if let Some(tech) = &self.tech {
-            m.mapped = Some(tech.measure(mig));
+            // A crashing cost model degrades the measurement to
+            // "unmapped", never the process: mapped cost is advisory.
+            m.mapped = catch_unwind(AssertUnwindSafe(|| tech.measure(mig))).ok();
         }
         self.last_metrics = Some((stamp, m));
         m
     }
 
+    /// Drops state that may describe a graph the pipeline just threw
+    /// away: the incremental rewrite cache (a failed pass can leave it
+    /// half-updated for an arena that no longer exists) and the metrics
+    /// memo. Called on every rollback; the next sweep rebuilds both
+    /// from the restored graph.
+    fn recover_after_failure(&mut self) {
+        self.rewrite.invalidate();
+        self.last_metrics = None;
+    }
+
     /// Runs one pass with ledger bookkeeping: metrics are captured on
     /// both sides of a timed window that contains only the pass itself
     /// (the `before` side is free when the graph was measured as the
-    /// previous pass's `after`).
+    /// previous pass's `after`; the checkpoint clone is also outside the
+    /// window, so `millis` stays comparable with unbudgeted runs).
+    ///
+    /// This is also the pipeline's failure boundary. Before the pass
+    /// runs, the input is checkpointed (a cheap arena clone); the pass
+    /// executes under [`catch_unwind`], and on a panic, a breached
+    /// [`Budget`] limit, or a failed [`SpotCheck`] verdict the
+    /// checkpoint is restored, the caches are invalidated, and the
+    /// degraded [`PassOutcome`] is ledgered — the caller always gets
+    /// back a valid graph no worse than its input, and a flow continues
+    /// with its remaining passes.
     pub fn run_pass(&mut self, pass: &dyn Pass, mig: Mig) -> Mig {
         let before = self.metrics_of(&mig);
+        let run_start = *self.run_start.get_or_insert_with(Instant::now);
+        if let Some(total) = self.budget.total_ms {
+            if run_start.elapsed() >= Duration::from_millis(total) {
+                self.ledger.push(PassReport {
+                    pass: pass.name().to_string(),
+                    millis: 0.0,
+                    before,
+                    after: before,
+                    outcome: PassOutcome::Skipped,
+                    note: Some(format!("run deadline of {total} ms already exhausted")),
+                });
+                return mig;
+            }
+        }
+        let snapshot = mig.clone();
         let start = Instant::now();
-        let out = pass.run(self, mig);
+        let result = catch_unwind(AssertUnwindSafe(|| pass.run(self, mig)));
         let millis = start.elapsed().as_secs_f64() * 1e3;
+        let (out, outcome, note) = match result {
+            Err(payload) => {
+                self.recover_after_failure();
+                let detail = panic_message(payload.as_ref());
+                (
+                    snapshot,
+                    PassOutcome::RolledBack,
+                    Some(format!("pass panicked ({detail}); checkpoint restored")),
+                )
+            }
+            Ok(out) => self.admit(snapshot, out, millis),
+        };
         let after = self.metrics_of(&out);
         self.ledger.push(PassReport {
             pass: pass.name().to_string(),
             millis,
             before,
             after,
+            outcome,
+            note,
         });
         out
     }
+
+    /// Budget and spot-check gate for a pass result that came back
+    /// normally: returns the accepted graph (result or restored
+    /// checkpoint) with its ledger outcome.
+    fn admit(
+        &mut self,
+        snapshot: Mig,
+        out: Mig,
+        millis: f64,
+    ) -> (Mig, PassOutcome, Option<String>) {
+        if let Some(cap) = self.budget.max_nodes {
+            if out.size() > cap && out.size() > snapshot.size() {
+                let grown = out.size();
+                self.recover_after_failure();
+                self.bufs.recycle(out);
+                return (
+                    snapshot,
+                    PassOutcome::RolledBack,
+                    Some(format!(
+                        "result grew to {grown} nodes, over the {cap}-node cap; checkpoint restored"
+                    )),
+                );
+            }
+        }
+        if let Some(limit) = self.budget.pass_ms {
+            if millis > limit as f64 {
+                self.recover_after_failure();
+                self.bufs.recycle(out);
+                return (
+                    snapshot,
+                    PassOutcome::TimedOut,
+                    Some(format!(
+                        "pass took {millis:.1} ms, over its {limit} ms timeout; checkpoint restored"
+                    )),
+                );
+            }
+        }
+        if let Some(check) = &self.spot_check {
+            let verdict = catch_unwind(AssertUnwindSafe(|| check.check(&snapshot, &out)));
+            if !verdict.unwrap_or(false) {
+                let name = check.name().to_string();
+                self.recover_after_failure();
+                self.bufs.recycle(out);
+                return (
+                    snapshot,
+                    PassOutcome::RolledBack,
+                    Some(format!(
+                        "{name} spot check rejected the result; checkpoint restored"
+                    )),
+                );
+            }
+        }
+        self.bufs.recycle(snapshot);
+        (out, PassOutcome::Completed, None)
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
 }
 
 /// One optimization pass, as the pass manager sees it.
@@ -493,11 +785,26 @@ impl Pass for MapPass {
     fn run(&self, ctx: &mut OptContext, mig: Mig) -> Mig {
         // Take the model out so the inner structural passes (driven
         // directly, off-ledger) don't pay a mapper run per iterate
-        // measurement; it goes back before returning.
+        // measurement; it goes back before returning — including on an
+        // unwind, so a panicking inner pass (or mapper) rolled back by
+        // `run_pass` doesn't silently strip the flow's tech model.
         let Some(tech) = ctx.tech.take() else {
             return mig;
         };
         ctx.last_metrics = None;
+        let result = catch_unwind(AssertUnwindSafe(|| self.search(ctx, tech.as_ref(), mig)));
+        ctx.set_tech(tech);
+        match result {
+            Ok(best) => best,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+}
+
+impl MapPass {
+    /// The mapped-cost recovery loop proper: alternate the structural
+    /// passes and keep the best mapped cost seen.
+    fn search(&self, ctx: &mut OptContext, tech: &dyn TechModel, mig: Mig) -> Mig {
         let kinds: &[PassKind] = match self.goal.structural() {
             Objective::SizeThenDepth => &[PassKind::Size, PassKind::Rewrite],
             _ => &[PassKind::Depth, PassKind::DepthRewrite],
@@ -519,7 +826,6 @@ impl Pass for MapPass {
             }
         }
         ctx.bufs.recycle(cur);
-        ctx.set_tech(tech);
         best
     }
 }
@@ -730,6 +1036,7 @@ impl Flow {
     /// the iteration budget handed to every pass ([`PassKind::build`]);
     /// each executed pass appends one entry to the context's ledger.
     pub fn run(&self, mig: Mig, effort: usize, ctx: &mut OptContext) -> Mig {
+        ctx.begin_run();
         let mut cur = mig;
         for step in &self.steps {
             let pass = step.pass.build(effort);

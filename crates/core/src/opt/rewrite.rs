@@ -53,6 +53,7 @@
 use std::cmp::Reverse;
 use std::collections::HashMap;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use super::size::eliminate_pass;
 use super::{Cost, Objective, OptBuffers};
@@ -282,6 +283,12 @@ struct WorkerScratch {
     /// Evaluation results: `(node, count, slot list)` in ascending node
     /// order.
     out_slots: Vec<(u32, u8, [u8; MAX_NODE_CANDS])>,
+    /// Set when this worker's last parallel stint panicked (the unwind
+    /// is caught at the thread boundary): its partial results are still
+    /// well-formed — both phases push whole per-node records — so the
+    /// drain keeps the survivors and only the in-flight node and the
+    /// unvisited tail are forfeited for this sweep.
+    panicked: bool,
 }
 
 impl WorkerScratch {
@@ -380,6 +387,16 @@ impl RewriteCache {
             mig.num_inputs(),
         );
         self.key = Some((mig.rewrite_stamp(), n));
+    }
+
+    /// Forgets which graph the cut arrays describe, forcing the next
+    /// [`bind`](RewriteCache::bind) to fully reset. The pipeline calls
+    /// this when it rolls a pass back: an abandoned pass may have left
+    /// the incremental state half-updated, and the restored checkpoint
+    /// shares the old graph's mutation stamp, so the stamp key alone
+    /// cannot tell the difference.
+    pub(crate) fn invalidate(&mut self) {
+        self.key = None;
     }
 
     /// Carries the cut sets across a rebuild `old → new` described by
@@ -793,6 +810,11 @@ fn enumerate_changed(
                     rc.ncuts[idx] = n as u8;
                 }
             }
+            // Serial enumeration has no isolation boundary: a panic
+            // here propagates to the pass-level checkpoint rollback.
+            for &idx in &batch {
+                rc.dirty[idx as usize] = false;
+            }
         } else {
             let ctx = EnumCtx {
                 view,
@@ -808,23 +830,36 @@ fn enumerate_changed(
                     s.spawn(move || {
                         w.out_meta.clear();
                         w.out_cuts.clear();
-                        for &idx in nodes {
-                            let i = idx as usize;
-                            enumerate_node(ctx, i, k, max_cuts, &mut w.cand);
-                            let n = w.cand.len();
-                            let same = ctx.ncuts[i] as usize == n
-                                && ctx.cuts[i * ctx.stride..i * ctx.stride + n] == w.cand[..];
-                            w.out_meta.push((idx, n as u8, !same));
-                            if !same {
-                                w.out_cuts.extend_from_slice(&w.cand);
+                        // The worker's isolation boundary: a panic
+                        // (e.g. an injected fault) forfeits only this
+                        // worker's unfinished nodes — the per-node
+                        // records already pushed stay well-formed and
+                        // are drained normally. Left to propagate it
+                        // would abort the whole `thread::scope` join.
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            for &idx in nodes {
+                                let i = idx as usize;
+                                enumerate_node(ctx, i, k, max_cuts, &mut w.cand);
+                                let n = w.cand.len();
+                                let same = ctx.ncuts[i] as usize == n
+                                    && ctx.cuts[i * ctx.stride..i * ctx.stride + n] == w.cand[..];
+                                w.out_meta.push((idx, n as u8, !same));
+                                if !same {
+                                    w.out_cuts.extend_from_slice(&w.cand);
+                                }
                             }
-                        }
+                        }));
+                        w.panicked = result.is_err();
                     });
                 }
             });
             for w in workers.iter_mut() {
                 let mut off = 0usize;
                 for &(idx, n, changed) in &w.out_meta {
+                    // Only drained nodes count as enumerated: a
+                    // panicked worker's unvisited nodes keep their
+                    // dirty bit and re-enumerate next sweep.
+                    rc.dirty[idx as usize] = false;
                     if !changed {
                         continue;
                     }
@@ -836,9 +871,6 @@ fn enumerate_changed(
                     off += n;
                 }
             }
-        }
-        for &idx in &batch {
-            rc.dirty[idx as usize] = false;
         }
         pos = end;
     }
@@ -860,6 +892,7 @@ struct EnumCtx<'a> {
 /// cut sets of strictly earlier wavefronts, so workers can run it
 /// concurrently against one shared cut arena.
 fn enumerate_node(ctx: &EnumCtx, idx: usize, k: usize, max_cuts: usize, cand: &mut Vec<Cut>) {
+    crate::faultpoint!("rewrite.enumerate");
     let stride = ctx.stride;
     let [a, b, c] = ctx.view.children(NodeId::from_index(idx));
     let (ia, ib, ic) = (a.node().index(), b.node().index(), c.node().index());
@@ -942,8 +975,11 @@ fn evaluate(
     };
     for w in workers.iter_mut() {
         w.out_slots.clear();
+        w.panicked = false;
     }
     if jobs == 1 || n_eval < PAR_THRESHOLD {
+        // Serial evaluation: a panic propagates to the pass-level
+        // checkpoint rollback.
         eval_nodes(&ctx, &rc.eval_list, &mut workers[0]);
     } else {
         let ctx = &ctx;
@@ -951,9 +987,26 @@ fn evaluate(
         std::thread::scope(|s| {
             for (ci, w) in workers.iter_mut().enumerate() {
                 let nodes = &list[chunk_range(list.len(), jobs, ci)];
-                s.spawn(move || eval_nodes(ctx, nodes, w));
+                s.spawn(move || {
+                    // Isolation boundary: a panicking worker forfeits
+                    // its unfinished slot refreshes; records already in
+                    // `out_slots` are whole and drained normally.
+                    let result = catch_unwind(AssertUnwindSafe(|| eval_nodes(ctx, nodes, &mut *w)));
+                    w.panicked = result.is_err();
+                });
             }
         });
+        // Put the nodes a panicked worker never refreshed back on the
+        // eval list of the next sweep ("never scored" sentinel); their
+        // current slots stay valid as stale-but-safe hints meanwhile
+        // (the commit re-validates every slot against the live graph).
+        for (ci, w) in workers.iter().enumerate() {
+            if w.panicked {
+                for &idx in &rc.eval_list[chunk_range(n_eval, jobs, ci)] {
+                    rc.prev_fanout[idx as usize] = u32::MAX;
+                }
+            }
+        }
     }
     for w in workers.iter_mut() {
         for &(idx, n, slots) in &w.out_slots {
@@ -974,6 +1027,7 @@ fn evaluate(
 /// NPN canonization), not the decisions.
 fn eval_nodes(ctx: &EvalCtx, nodes: &[u32], w: &mut WorkerScratch) {
     for &idx in nodes {
+        crate::faultpoint!("rewrite.npn");
         let idx = idx as usize;
         let n_cuts = ctx.ncuts[idx] as usize;
         let mut slots = [0u8; MAX_NODE_CANDS];
@@ -1023,6 +1077,7 @@ fn commit(
     goal: Objective,
     tiebreak: bool,
 ) -> (Mig, usize) {
+    crate::faultpoint!("rewrite.commit");
     let view = old.view();
     let mut new = bufs.fresh_arena(old);
     rc.map.clear();
@@ -1065,7 +1120,15 @@ fn commit(
             if ci + 1 > rc.ncuts[idx] as usize {
                 continue; // stale slot outside the current cut set
             }
-            let cut = rc.cuts[idx * rc.stride + ci];
+            let stored = rc.cuts[idx * rc.stride + ci];
+            // Corruption fault site: flips a bit of the candidate's
+            // function, so scoring AND replay below both use the wrong
+            // table — a functionally wrong replacement the post-pass
+            // spot check must catch and roll back.
+            let cut = Cut {
+                tt: crate::faultpoint_corrupt!("rewrite.commit.tt", stored.tt),
+                ..stored
+            };
             if cut.leaves().iter().any(|&l| !rc.reach[l as usize]) {
                 continue;
             }

@@ -24,6 +24,13 @@ use crate::{NodeId, Signal};
 /// between optimization calls, so spinning up `N` workers allocates only
 /// on the very first sweep — the same recycling discipline `OptBuffers`
 /// applies to arenas.
+///
+/// Panic safety: recycling scratch from a worker whose stint was caught
+/// by `catch_unwind` is fine. Scratch values carry no cross-call
+/// invariants — result buffers are cleared at the start of every stint,
+/// memo caches hold pure-function entries, and the epoch scheme below
+/// makes a half-finished traversal mark set invisible to the next
+/// `begin`.
 #[derive(Debug, Default)]
 pub struct ScratchPool<T> {
     items: Vec<T>,

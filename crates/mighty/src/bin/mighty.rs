@@ -20,9 +20,53 @@ use std::process::ExitCode;
 
 use mig_core::Flow;
 use mig_mighty::{
-    emit_verilog, load_input, render_map_report, render_report, run_flow, run_map, run_opt,
-    OptTarget,
+    emit_verilog, load_input, render_map_report, render_report, run_flow_with, run_map_with,
+    OptTarget, RunOptions,
 };
+
+/// Exit code: success (equivalence verified, no degraded stages).
+const EXIT_OK: u8 = 0;
+/// Exit code: unexpected failure (I/O, internal error).
+const EXIT_FAILURE: u8 = 1;
+/// Exit code: usage error — unknown command, bad flag or argument.
+const EXIT_USAGE: u8 = 2;
+/// Exit code: the input could not be loaded or parsed.
+const EXIT_INPUT: u8 = 3;
+/// Exit code: an equivalence check failed (or a bench regression).
+const EXIT_EQUIV: u8 = 4;
+/// Exit code: the run completed degraded — a budget was exceeded or a
+/// pass was rolled back/skipped; the emitted netlist is still valid and
+/// equivalence-verified.
+const EXIT_DEGRADED: u8 = 5;
+
+/// An error annotated with the exit code it should produce.
+struct Failure {
+    code: u8,
+    message: String,
+}
+
+impl Failure {
+    fn usage(message: impl Into<String>) -> Self {
+        Failure {
+            code: EXIT_USAGE,
+            message: message.into(),
+        }
+    }
+
+    fn input(message: impl Into<String>) -> Self {
+        Failure {
+            code: EXIT_INPUT,
+            message: message.into(),
+        }
+    }
+
+    fn generic(message: impl Into<String>) -> Self {
+        Failure {
+            code: EXIT_FAILURE,
+            message: message.into(),
+        }
+    }
+}
 
 const USAGE: &str = "mighty — Majority-Inverter Graph optimization driver
 
@@ -73,6 +117,30 @@ USAGE:
                                         and the stock cell libraries
     mighty help                         show this message
 
+RESILIENCE (opt, map, bench):
+    --timeout-ms N                      wall-clock budget for the whole flow;
+                                        passes whose turn comes after the
+                                        deadline are skipped (recorded in the
+                                        ledger, run still completes)
+    --pass-timeout-ms N                 per-pass timeout; an overrunning pass
+                                        is rolled back to its checkpoint
+    --max-nodes N                       roll back any pass whose output grows
+                                        past N majority nodes
+    --selfcheck                         simulation spot check after every
+                                        pass; a pass whose result is not
+                                        equivalent to its input is rolled
+                                        back. A panicking pass is always
+                                        rolled back, flags or not.
+
+EXIT CODES:
+    0   success
+    1   unexpected failure
+    2   usage error (bad command, flag, or argument)
+    3   input could not be loaded or parsed
+    4   equivalence check failed (or bench regression)
+    5   degraded completion: budget exceeded or passes rolled back/skipped
+        (result still valid and equivalence-verified)
+
 INPUT is a benchmark name (see `mighty list`) or a Verilog file path.";
 
 struct Args {
@@ -86,6 +154,21 @@ struct Args {
     lib: Option<String>,
     quick: bool,
     rewrite: bool,
+    timeout_ms: Option<u64>,
+    pass_timeout_ms: Option<u64>,
+    max_nodes: Option<usize>,
+    selfcheck: bool,
+}
+
+impl Args {
+    fn run_options(&self) -> RunOptions {
+        RunOptions {
+            timeout_ms: self.timeout_ms,
+            pass_timeout_ms: self.pass_timeout_ms,
+            max_nodes: self.max_nodes,
+            selfcheck: self.selfcheck,
+        }
+    }
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -100,6 +183,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         lib: None,
         quick: false,
         rewrite: false,
+        timeout_ms: None,
+        pass_timeout_ms: None,
+        max_nodes: None,
+        selfcheck: false,
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -129,6 +216,24 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--output" | "-o" => args.output = Some(value(a)?),
             "--lib" | "-l" => args.lib = Some(value(a)?),
+            "--timeout-ms" => {
+                args.timeout_ms = Some(
+                    value(a)?
+                        .parse()
+                        .map_err(|e| format!("--timeout-ms: {e}"))?,
+                );
+            }
+            "--pass-timeout-ms" => {
+                args.pass_timeout_ms = Some(
+                    value(a)?
+                        .parse()
+                        .map_err(|e| format!("--pass-timeout-ms: {e}"))?,
+                );
+            }
+            "--max-nodes" => {
+                args.max_nodes = Some(value(a)?.parse().map_err(|e| format!("--max-nodes: {e}"))?);
+            }
+            "--selfcheck" => args.selfcheck = true,
             flag if flag.starts_with('-') && flag != "-" => {
                 return Err(format!("unknown flag `{flag}`"));
             }
@@ -138,67 +243,98 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(args)
 }
 
-fn cmd_opt(args: &Args) -> Result<bool, String> {
+fn cmd_opt(args: &Args) -> Result<u8, Failure> {
     let spec = args
         .positional
         .first()
         .map(String::as_str)
         .unwrap_or("my_adder");
-    let net = load_input(spec)?;
-    let outcome = match &args.flow {
+    let net = load_input(spec).map_err(Failure::input)?;
+    let flow = match &args.flow {
         Some(script) => {
             if args.target.is_some() || args.rewrite {
-                return Err("--flow replaces --target/--rewrite; pass one or the other".into());
+                return Err(Failure::usage(
+                    "--flow replaces --target/--rewrite; pass one or the other",
+                ));
             }
-            let flow = Flow::parse(script)?;
-            run_flow(
-                &net,
-                &flow,
-                args.effort.unwrap_or(2),
-                args.rounds.unwrap_or(32),
-                args.jobs.unwrap_or(0),
-            )
+            Flow::parse(script).map_err(Failure::usage)?
         }
-        None => run_opt(
-            &net,
-            args.target.unwrap_or(OptTarget::All),
-            args.effort.unwrap_or(2),
-            args.rounds.unwrap_or(32),
-            args.rewrite,
-            args.jobs.unwrap_or(0),
-        ),
+        None => {
+            let script =
+                mig_mighty::flow_for_target(args.target.unwrap_or(OptTarget::All), args.rewrite);
+            Flow::parse(script).expect("canned flows parse")
+        }
     };
+    let outcome = run_flow_with(
+        &net,
+        &flow,
+        args.effort.unwrap_or(2),
+        args.rounds.unwrap_or(32),
+        args.jobs.unwrap_or(0),
+        &args.run_options(),
+    );
     print!("{}", render_report(&outcome));
     if let Some(path) = &args.output {
-        emit_verilog(&outcome.optimized, path)?;
+        emit_verilog(&outcome.optimized, path).map_err(Failure::generic)?;
     }
-    Ok(outcome.mig_equiv && outcome.net_equiv)
+    if !(outcome.mig_equiv && outcome.net_equiv) {
+        Ok(EXIT_EQUIV)
+    } else if outcome.degraded {
+        Ok(EXIT_DEGRADED)
+    } else {
+        Ok(EXIT_OK)
+    }
 }
 
-fn cmd_map(args: &Args) -> Result<bool, String> {
+fn cmd_map(args: &Args) -> Result<u8, Failure> {
     let spec = args
         .positional
         .first()
         .map(String::as_str)
         .unwrap_or("my_adder");
-    let net = load_input(spec)?;
-    let flow = args.flow.as_deref().map(Flow::parse).transpose()?;
-    let outcome = run_map(
+    let net = load_input(spec).map_err(Failure::input)?;
+    let flow = args
+        .flow
+        .as_deref()
+        .map(Flow::parse)
+        .transpose()
+        .map_err(Failure::usage)?;
+    let outcome = run_map_with(
         &net,
         args.lib.as_deref().unwrap_or("cmos22"),
         flow.as_ref(),
         args.effort.unwrap_or(2),
         args.rounds.unwrap_or(32),
         args.jobs.unwrap_or(0),
-    )?;
+        &args.run_options(),
+    )
+    .map_err(|e| {
+        // A crashing mapper is a degraded completion (the optimized
+        // netlist is intact, only the mapping product is missing), not
+        // an internal error.
+        if e.contains("panicked") {
+            Failure {
+                code: EXIT_DEGRADED,
+                message: e,
+            }
+        } else {
+            Failure::usage(e)
+        }
+    })?;
     print!("{}", render_map_report(&outcome));
     if let Some(path) = &args.output {
-        emit_verilog(&outcome.design.to_network(), path)?;
+        emit_verilog(&outcome.design.to_network(), path).map_err(Failure::generic)?;
     }
-    Ok(outcome.mig_equiv && outcome.map_equiv)
+    if !(outcome.mig_equiv && outcome.map_equiv) {
+        Ok(EXIT_EQUIV)
+    } else if outcome.degraded {
+        Ok(EXIT_DEGRADED)
+    } else {
+        Ok(EXIT_OK)
+    }
 }
 
-fn cmd_bench(args: &Args) -> Result<bool, String> {
+fn cmd_bench(args: &Args) -> Result<u8, Failure> {
     let mut config = if args.quick {
         mig_bench::BenchConfig::quick()
     } else {
@@ -206,12 +342,15 @@ fn cmd_bench(args: &Args) -> Result<bool, String> {
     };
     for name in &args.positional {
         if !mig_benchgen::MCNC_NAMES.contains(&name.as_str()) {
-            return Err(format!("unknown benchmark `{name}` (see `mighty list`)"));
+            return Err(Failure::usage(format!(
+                "unknown benchmark `{name}` (see `mighty list`)"
+            )));
         }
     }
     config.names = args.positional.clone();
     if let Some(script) = &args.flow {
-        Flow::parse(script)?; // validate up front for a clean CLI error
+        // Validate up front for a clean CLI error.
+        Flow::parse(script).map_err(Failure::usage)?;
         config.flow = Some(script.clone());
     }
     if let Some(effort) = args.effort {
@@ -223,6 +362,10 @@ fn cmd_bench(args: &Args) -> Result<bool, String> {
     if let Some(jobs) = args.jobs {
         config.jobs = jobs;
     }
+    config.timeout_ms = args.timeout_ms;
+    config.pass_timeout_ms = args.pass_timeout_ms;
+    config.max_nodes = args.max_nodes;
+    config.selfcheck = args.selfcheck;
     let report = mig_bench::run_suite(&config);
     print!("{}", mig_bench::render_table(&report));
     let path = args.output.as_deref().unwrap_or("BENCH_opt.json");
@@ -230,86 +373,98 @@ fn cmd_bench(args: &Args) -> Result<bool, String> {
     if path == "-" {
         print!("{json}");
     } else {
-        std::fs::write(path, json).map_err(|e| format!("writing `{path}`: {e}"))?;
+        std::fs::write(path, json)
+            .map_err(|e| Failure::generic(format!("writing `{path}`: {e}")))?;
         println!("wrote {path}");
     }
-    Ok(report.all_ok())
+    if !report.all_ok() {
+        Ok(EXIT_EQUIV)
+    } else if report.any_degraded() {
+        Ok(EXIT_DEGRADED)
+    } else {
+        Ok(EXIT_OK)
+    }
 }
 
-fn cmd_stats(args: &Args) -> Result<(), String> {
+fn cmd_stats(args: &Args) -> Result<u8, Failure> {
     let specs: Vec<&str> = if args.positional.is_empty() {
         vec!["my_adder"]
     } else {
         args.positional.iter().map(String::as_str).collect()
     };
     for spec in specs {
-        let net = load_input(spec)?;
+        let net = load_input(spec).map_err(Failure::input)?;
         println!("{}", net.stats());
     }
-    Ok(())
+    Ok(EXIT_OK)
 }
 
-fn cmd_gen(args: &Args) -> Result<(), String> {
+fn cmd_gen(args: &Args) -> Result<u8, Failure> {
     let name = args
         .positional
         .first()
-        .ok_or("gen requires a benchmark name (see `mighty list`)")?;
+        .ok_or_else(|| Failure::usage("gen requires a benchmark name (see `mighty list`)"))?;
     let net = mig_benchgen::generate(name)
-        .ok_or_else(|| format!("unknown benchmark `{name}` (see `mighty list`)"))?;
-    emit_verilog(&net, args.output.as_deref().unwrap_or("-"))
+        .ok_or_else(|| Failure::usage(format!("unknown benchmark `{name}` (see `mighty list`)")))?;
+    emit_verilog(&net, args.output.as_deref().unwrap_or("-")).map_err(Failure::generic)?;
+    Ok(EXIT_OK)
 }
 
-fn cmd_equiv(args: &Args) -> Result<bool, String> {
+fn cmd_equiv(args: &Args) -> Result<u8, Failure> {
     let [a, b] = args.positional.as_slice() else {
-        return Err("equiv requires exactly two inputs".into());
+        return Err(Failure::usage("equiv requires exactly two inputs"));
     };
-    let na = load_input(a)?;
-    let nb = load_input(b)?;
+    let na = load_input(a).map_err(Failure::input)?;
+    let nb = load_input(b).map_err(Failure::input)?;
     if na.num_inputs() != nb.num_inputs() || na.num_outputs() != nb.num_outputs() {
         println!("NOT EQUIVALENT (interface mismatch)");
-        return Ok(false);
+        return Ok(EXIT_EQUIV);
     }
     let ok = mig_sim::equivalent(&na, &nb, args.rounds.unwrap_or(32));
     println!("{}", if ok { "EQUIVALENT" } else { "NOT EQUIVALENT" });
-    Ok(ok)
+    Ok(if ok { EXIT_OK } else { EXIT_EQUIV })
 }
 
-fn run() -> Result<bool, String> {
+fn run() -> Result<u8, Failure> {
+    #[cfg(feature = "faultpoints")]
+    mig_core::faultpoint::configure_from_env()
+        .map_err(|e| Failure::usage(format!("{}: {e}", mig_core::faultpoint::ENV_VAR)))?;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
         println!("{USAGE}");
-        return Ok(true);
+        return Ok(EXIT_OK);
     };
-    let args = parse_args(rest)?;
+    let args = parse_args(rest).map_err(Failure::usage)?;
     match cmd.as_str() {
         "opt" => cmd_opt(&args),
         "map" => cmd_map(&args),
         "bench" => cmd_bench(&args),
-        "stats" => cmd_stats(&args).map(|()| true),
-        "gen" => cmd_gen(&args).map(|()| true),
+        "stats" => cmd_stats(&args),
+        "gen" => cmd_gen(&args),
         "equiv" => cmd_equiv(&args),
         "list" => {
             for name in mig_benchgen::MCNC_NAMES {
                 println!("{name}");
             }
             println!("libraries: {}", mig_techmap::KNOWN_LIBRARIES.join(", "));
-            Ok(true)
+            Ok(EXIT_OK)
         }
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
-            Ok(true)
+            Ok(EXIT_OK)
         }
-        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+        other => Err(Failure::usage(format!(
+            "unknown command `{other}`\n\n{USAGE}"
+        ))),
     }
 }
 
 fn main() -> ExitCode {
     match run() {
-        Ok(true) => ExitCode::SUCCESS,
-        Ok(false) => ExitCode::FAILURE,
-        Err(msg) => {
-            eprintln!("mighty: {msg}");
-            ExitCode::FAILURE
+        Ok(code) => ExitCode::from(code),
+        Err(f) => {
+            eprintln!("mighty: {}", f.message);
+            ExitCode::from(f.code)
         }
     }
 }

@@ -36,9 +36,10 @@
 //! ```
 
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
-use mig_core::{Flow, MappedMetrics, Mig, OptContext};
+use mig_core::{Budget, Flow, MappedMetrics, Mig, OptContext, SpotCheck};
 use mig_netlist::{parse_verilog, write_verilog, Network};
 use mig_techmap::{map_mig, CellLibrary, MapConfig, MappedDesign, TechMapper, KNOWN_LIBRARIES};
 
@@ -112,6 +113,71 @@ pub use mig_core::PassMetrics as Snapshot;
 /// the graph.
 pub use mig_core::PassReport as StageReport;
 
+/// Resilience knobs of one driver run, surfaced by the CLI as
+/// `--timeout-ms`, `--pass-timeout-ms`, `--max-nodes` and `--selfcheck`.
+/// The default is fully permissive (no budget, no spot check) — exactly
+/// the historical behavior.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Wall-clock budget for the whole flow, in milliseconds; passes
+    /// whose turn comes after the deadline are skipped (ledgered, not
+    /// lost).
+    pub timeout_ms: Option<u64>,
+    /// Per-pass timeout in milliseconds; an overrunning pass is rolled
+    /// back to its pre-pass checkpoint.
+    pub pass_timeout_ms: Option<u64>,
+    /// Node-count cap; a pass whose output grows past it is rolled
+    /// back.
+    pub max_nodes: Option<usize>,
+    /// Run the network-level simulation spot check ([`NetSpotCheck`])
+    /// after every pass, rolling back any pass whose result fails it.
+    pub selfcheck: bool,
+}
+
+impl RunOptions {
+    fn budget(&self) -> Budget {
+        Budget {
+            total_ms: self.timeout_ms,
+            pass_ms: self.pass_timeout_ms,
+            max_nodes: self.max_nodes,
+        }
+    }
+
+    /// Installs these options on a pass-manager context.
+    fn apply(&self, ctx: &mut OptContext, rounds: usize) {
+        ctx.set_budget(self.budget());
+        if self.selfcheck {
+            ctx.set_spot_check(Box::new(NetSpotCheck { rounds }));
+        }
+    }
+}
+
+/// The `--selfcheck` verifier: a [`mig_core::SpotCheck`] that exports
+/// both graphs to networks and compares them with [`mig_sim`]'s
+/// batched simulation (exhaustive up to 16 inputs, `rounds` seeded
+/// random 64-pattern words above). Heavier than the in-core
+/// [`mig_core::SimSpotCheck`], but it exercises the exact
+/// export-and-simulate path the final verdicts use.
+#[derive(Debug, Clone, Copy)]
+pub struct NetSpotCheck {
+    /// Random simulation rounds for graphs with more than 16 inputs.
+    pub rounds: usize,
+}
+
+impl SpotCheck for NetSpotCheck {
+    fn name(&self) -> &str {
+        "mig_sim"
+    }
+
+    fn check(&self, reference: &Mig, candidate: &Mig) -> bool {
+        let a = reference.to_network();
+        let b = candidate.to_network();
+        a.num_inputs() == b.num_inputs()
+            && a.num_outputs() == b.num_outputs()
+            && mig_sim::equivalent(&a, &b, self.rounds.max(1))
+    }
+}
+
 /// Everything `mighty opt` produces: per-pass metrics and timings, the
 /// equivalence verdicts, and the optimized network ready to be written
 /// back out.
@@ -138,6 +204,10 @@ pub struct OptOutcome {
     pub optimized: Network,
     /// Wall-clock optimization time in milliseconds (excludes I/O).
     pub millis: u128,
+    /// Whether any stage ended degraded (skipped, timed out, or rolled
+    /// back) — the result is still valid and verified, but some passes
+    /// did not contribute.
+    pub degraded: bool,
 }
 
 /// Resolves a CLI input spec: a known benchmark name from
@@ -182,6 +252,7 @@ pub fn run_opt(
 /// result: import → cleanup → every pass of `flow` through one shared
 /// [`OptContext`] → MIG- and netlist-level equivalence checks. The
 /// per-pass wall times and metrics land in [`OptOutcome::stages`].
+/// Equivalent to [`run_flow_with`] under default [`RunOptions`].
 pub fn run_flow(
     net: &Network,
     flow: &Flow,
@@ -189,10 +260,28 @@ pub fn run_flow(
     rounds: usize,
     jobs: usize,
 ) -> OptOutcome {
+    run_flow_with(net, flow, effort, rounds, jobs, &RunOptions::default())
+}
+
+/// [`run_flow`] with resilience options: the [`RunOptions`] budget and
+/// optional post-pass spot check are installed on the context, so a
+/// panicking, overrunning, or wrong-result pass degrades the run
+/// ([`OptOutcome::degraded`], per-stage [`StageReport::outcome`])
+/// instead of killing it — the returned network is always valid and
+/// still goes through both final equivalence checks.
+pub fn run_flow_with(
+    net: &Network,
+    flow: &Flow,
+    effort: usize,
+    rounds: usize,
+    jobs: usize,
+    opts: &RunOptions,
+) -> OptOutcome {
     let rounds = rounds.max(1);
     let mig = Mig::from_network(net);
     let before = Snapshot::of(&mig);
     let mut ctx = OptContext::with_jobs(jobs);
+    opts.apply(&mut ctx, rounds);
 
     let start = Instant::now();
     let mut stages: Vec<StageReport> = Vec::new();
@@ -205,6 +294,8 @@ pub fn run_flow(
             millis: cleanup_millis,
             before,
             after: Snapshot::of(&cleaned),
+            outcome: mig_core::PassOutcome::Completed,
+            note: None,
         });
     }
     let cur = flow.run(cleaned, effort, &mut ctx);
@@ -215,6 +306,7 @@ pub fn run_flow(
     let mig_equiv = cur.equiv(&mig, rounds);
     let optimized = cur.to_network();
     let net_equiv = mig_sim::equivalent(net, &optimized, rounds);
+    let degraded = stages.iter().any(|s| s.outcome.degraded());
 
     OptOutcome {
         name: net.name().to_string(),
@@ -226,6 +318,7 @@ pub fn run_flow(
         net_equiv,
         optimized,
         millis,
+        degraded,
     }
 }
 
@@ -257,6 +350,9 @@ pub struct MapOutcome {
     pub map_equiv: bool,
     /// Wall-clock optimize+map time in milliseconds (excludes I/O).
     pub millis: u128,
+    /// Whether any stage ended degraded (skipped, timed out, or rolled
+    /// back).
+    pub degraded: bool,
 }
 
 /// Resolves a `--lib` argument to a stock [`CellLibrary`], with an
@@ -282,12 +378,36 @@ pub fn run_map(
     rounds: usize,
     jobs: usize,
 ) -> Result<MapOutcome, String> {
+    run_map_with(
+        net,
+        library,
+        flow,
+        effort,
+        rounds,
+        jobs,
+        &RunOptions::default(),
+    )
+}
+
+/// [`run_map`] with resilience options (see [`run_flow_with`]). The
+/// final mapping itself runs behind a panic boundary: a crashing mapper
+/// yields an `Err` describing the fault, never a process abort.
+pub fn run_map_with(
+    net: &Network,
+    library: &str,
+    flow: Option<&Flow>,
+    effort: usize,
+    rounds: usize,
+    jobs: usize,
+    opts: &RunOptions,
+) -> Result<MapOutcome, String> {
     let lib = resolve_library(library)?;
     let rounds = rounds.max(1);
     let mig = Mig::from_network(net);
     let before = Snapshot::of(&mig);
     let mut ctx = OptContext::with_jobs(jobs);
     ctx.set_tech(Box::new(TechMapper::new(lib.clone())));
+    opts.apply(&mut ctx, rounds);
 
     let start = Instant::now();
     let mut stages: Vec<StageReport> = Vec::new();
@@ -300,6 +420,8 @@ pub fn run_map(
             millis: cleanup_millis,
             before,
             after: Snapshot::of(&cleaned),
+            outcome: mig_core::PassOutcome::Completed,
+            note: None,
         });
     }
     let cur = match flow {
@@ -307,7 +429,10 @@ pub fn run_map(
         None => cleaned,
     };
     stages.extend(ctx.take_ledger());
-    let design = map_mig(&cur, &lib, &MapConfig::default());
+    let design = catch_unwind(AssertUnwindSafe(|| {
+        map_mig(&cur, &lib, &MapConfig::default())
+    }))
+    .map_err(|_| format!("technology mapping onto `{}` panicked", lib.name))?;
     let millis = start.elapsed().as_millis();
 
     let mapped = MappedMetrics {
@@ -319,6 +444,7 @@ pub fn run_map(
     let after = Snapshot::of(&cur);
     let mig_equiv = cur.equiv(&mig, rounds);
     let map_equiv = mig_sim::equivalent(net, &design.to_network(), rounds);
+    let degraded = stages.iter().any(|s| s.outcome.degraded());
     Ok(MapOutcome {
         name: net.name().to_string(),
         library: lib.name.to_string(),
@@ -331,6 +457,7 @@ pub fn run_map(
         mig_equiv,
         map_equiv,
         millis,
+        degraded,
     })
 }
 
@@ -376,7 +503,7 @@ pub fn render_report(o: &OptOutcome) -> String {
         let dsize = stage.after.size as i64 - stage.before.size as i64;
         let ddepth = i64::from(stage.after.depth) - i64::from(stage.before.depth);
         s.push_str(&format!(
-            "{:<24} {:>8} {:>+7} {:>7} {:>+7} {:>12.3} {:>9.1}\n",
+            "{:<24} {:>8} {:>+7} {:>7} {:>+7} {:>12.3} {:>9.1}{}\n",
             pass_label(&stage.pass),
             stage.after.size,
             dsize,
@@ -384,6 +511,7 @@ pub fn render_report(o: &OptOutcome) -> String {
             ddepth,
             stage.after.activity,
             stage.millis,
+            outcome_marker(stage),
         ));
     }
     s.push_str(&format!(
@@ -395,12 +523,45 @@ pub fn render_report(o: &OptOutcome) -> String {
         "",
         pct(o.before.activity, o.after.activity),
     ));
+    push_degraded_summary(&mut s, &o.stages);
     s.push_str(&format!(
         "equivalence: MIG {} · netlist (mig_sim) {}\n",
         if o.mig_equiv { "PASS" } else { "FAIL" },
         if o.net_equiv { "PASS" } else { "FAIL" },
     ));
     s
+}
+
+/// The per-stage degraded-outcome marker (` [rolled_back]` etc.; empty
+/// for clean completions).
+fn outcome_marker(stage: &StageReport) -> String {
+    if stage.outcome.degraded() {
+        format!("  [{}]", stage.outcome)
+    } else {
+        String::new()
+    }
+}
+
+/// Appends the `degraded:` summary block — one line per degraded stage
+/// with its ledger note — or nothing when every stage completed.
+fn push_degraded_summary(s: &mut String, stages: &[StageReport]) {
+    let degraded: Vec<&StageReport> = stages.iter().filter(|st| st.outcome.degraded()).collect();
+    if degraded.is_empty() {
+        return;
+    }
+    s.push_str(&format!(
+        "degraded: {} of {} stages did not contribute\n",
+        degraded.len(),
+        stages.len()
+    ));
+    for st in degraded {
+        s.push_str(&format!(
+            "  {} [{}]: {}\n",
+            st.pass,
+            st.outcome,
+            st.note.as_deref().unwrap_or("no detail recorded"),
+        ));
+    }
 }
 
 /// Renders the `mighty map` report: the optimization trail (when a
@@ -425,15 +586,17 @@ pub fn render_map_report(o: &MapOutcome) -> String {
         ));
         for stage in &o.stages {
             s.push_str(&format!(
-                "{:<24} {:>8} {:>7} {:>12.3} {:>9.1}\n",
+                "{:<24} {:>8} {:>7} {:>12.3} {:>9.1}{}\n",
                 pass_label(&stage.pass),
                 stage.after.size,
                 stage.after.depth,
                 stage.after.activity,
                 stage.millis,
+                outcome_marker(stage),
             ));
         }
     }
+    push_degraded_summary(&mut s, &o.stages);
     s.push_str(&format!(
         "mapped:  {} cells · area {:.3} µm² · delay {:.4} ns · power {:.3} µW\n",
         o.mapped.cells, o.mapped.area, o.mapped.delay, o.mapped.power

@@ -10,29 +10,44 @@ use std::fmt;
 pub struct VerilogError {
     message: String,
     line: usize,
+    column: usize,
 }
 
 impl VerilogError {
-    fn new(message: impl Into<String>, line: usize) -> Self {
+    fn new(message: impl Into<String>, line: usize, column: usize) -> Self {
         VerilogError {
             message: message.into(),
             line,
+            column,
         }
     }
 
-    /// 1-based source line where the error was detected.
+    /// 1-based source line where the error was detected. `0` for errors
+    /// without a source location (elaboration-stage errors such as
+    /// combinational cycles, which concern a whole net rather than a
+    /// token).
     pub fn line(&self) -> usize {
         self.line
+    }
+
+    /// 1-based source column (in characters) where the error was
+    /// detected; `0` when the error has no source location.
+    pub fn column(&self) -> usize {
+        self.column
     }
 }
 
 impl fmt::Display for VerilogError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "verilog parse error at line {}: {}",
-            self.line, self.message
-        )
+        if self.line == 0 {
+            write!(f, "verilog parse error: {}", self.message)
+        } else {
+            write!(
+                f,
+                "verilog parse error at line {}, column {}: {}",
+                self.line, self.column, self.message
+            )
+        }
     }
 }
 
@@ -54,85 +69,124 @@ enum Token {
 }
 
 struct Lexer {
-    tokens: Vec<(Token, usize)>,
+    tokens: Vec<(Token, usize, usize)>,
     pos: usize,
 }
 
 fn lex(text: &str) -> Result<Lexer, VerilogError> {
     let mut tokens = Vec::new();
-    let bytes: Vec<char> = text.chars().collect();
+    // Lexing operates on the decoded character sequence only — never on
+    // byte slices of `text` — so multi-byte characters (in comments,
+    // escaped identifiers, or corrupted input) can never desynchronize
+    // the cursor from a UTF-8 boundary.
+    let chars: Vec<char> = text.chars().collect();
     let mut i = 0;
     let mut line = 1;
-    while i < bytes.len() {
-        let c = bytes[i];
+    // 1-based column of `chars[i]`, counted in characters.
+    let mut col = 1;
+    while i < chars.len() {
+        let c = chars[i];
         match c {
             '\n' => {
                 line += 1;
+                col = 1;
                 i += 1;
             }
-            c if c.is_whitespace() => i += 1,
-            '/' if bytes.get(i + 1) == Some(&'/') => {
-                while i < bytes.len() && bytes[i] != '\n' {
+            c if c.is_whitespace() => {
+                col += 1;
+                i += 1;
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
                     i += 1;
+                    col += 1;
                 }
             }
-            '/' if bytes.get(i + 1) == Some(&'*') => {
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let (start_line, start_col) = (line, col);
                 i += 2;
-                while i + 1 < bytes.len() && !(bytes[i] == '*' && bytes[i + 1] == '/') {
-                    if bytes[i] == '\n' {
+                col += 2;
+                while i + 1 < chars.len() && !(chars[i] == '*' && chars[i + 1] == '/') {
+                    if chars[i] == '\n' {
                         line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
                     }
                     i += 1;
                 }
-                if i + 1 >= bytes.len() {
-                    return Err(VerilogError::new("unterminated block comment", line));
+                if i + 1 >= chars.len() {
+                    return Err(VerilogError::new(
+                        "unterminated block comment",
+                        start_line,
+                        start_col,
+                    ));
                 }
                 i += 2;
+                col += 2;
             }
-            '~' if bytes.get(i + 1) == Some(&'^') => {
-                tokens.push((Token::Xnor, line));
+            '~' if chars.get(i + 1) == Some(&'^') => {
+                tokens.push((Token::Xnor, line, col));
                 i += 2;
+                col += 2;
             }
-            '^' if bytes.get(i + 1) == Some(&'~') => {
-                tokens.push((Token::Xnor, line));
+            '^' if chars.get(i + 1) == Some(&'~') => {
+                tokens.push((Token::Xnor, line, col));
                 i += 2;
+                col += 2;
             }
             '(' | ')' | ';' | ',' | '=' | '&' | '|' | '^' | '~' | '?' | ':' => {
-                tokens.push((Token::Punct(c), line));
+                tokens.push((Token::Punct(c), line, col));
                 i += 1;
+                col += 1;
             }
-            '1' if text[i..].starts_with("1'b0") => {
-                tokens.push((Token::Const(false), line));
+            '1' if chars.get(i + 1) == Some(&'\'') => {
+                // Sized binary constant: exactly `1'b0` or `1'b1`.
+                let value = match (chars.get(i + 2), chars.get(i + 3)) {
+                    (Some(&'b'), Some(&'0')) => false,
+                    (Some(&'b'), Some(&'1')) => true,
+                    _ => {
+                        return Err(VerilogError::new(
+                            "malformed sized constant (expected 1'b0 or 1'b1)",
+                            line,
+                            col,
+                        ));
+                    }
+                };
+                tokens.push((Token::Const(value), line, col));
                 i += 4;
-            }
-            '1' if text[i..].starts_with("1'b1") => {
-                tokens.push((Token::Const(true), line));
-                i += 4;
+                col += 4;
             }
             '0' => {
-                tokens.push((Token::Const(false), line));
+                tokens.push((Token::Const(false), line, col));
                 i += 1;
+                col += 1;
             }
             '1' => {
-                tokens.push((Token::Const(true), line));
+                tokens.push((Token::Const(true), line, col));
                 i += 1;
+                col += 1;
             }
             c if c.is_ascii_alphabetic() || c == '_' || c == '\\' => {
                 let start = i;
+                let start_col = col;
                 if c == '\\' {
                     // Escaped identifier: up to whitespace.
                     i += 1;
-                    while i < bytes.len() && !bytes[i].is_whitespace() {
+                    col += 1;
+                    while i < chars.len() && !chars[i].is_whitespace() {
                         i += 1;
+                        col += 1;
                     }
                 } else {
-                    while i < bytes.len()
-                        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_' || bytes[i] == '$')
+                    while i < chars.len()
+                        && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '$')
                     {
                         i += 1;
+                        col += 1;
                     }
                 }
-                let word: String = bytes[start..i].iter().collect();
+                let word: String = chars[start..i].iter().collect();
                 let tok = match word.as_str() {
                     "module" => Token::Module,
                     "input" => Token::Input,
@@ -142,12 +196,13 @@ fn lex(text: &str) -> Result<Lexer, VerilogError> {
                     "endmodule" => Token::EndModule,
                     _ => Token::Ident(word),
                 };
-                tokens.push((tok, line));
+                tokens.push((tok, line, start_col));
             }
             other => {
                 return Err(VerilogError::new(
                     format!("unexpected character '{other}'"),
                     line,
+                    col,
                 ));
             }
         }
@@ -157,42 +212,47 @@ fn lex(text: &str) -> Result<Lexer, VerilogError> {
 
 impl Lexer {
     fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos).map(|(t, _)| t)
+        self.tokens.get(self.pos).map(|(t, _, _)| t)
     }
 
-    fn line(&self) -> usize {
+    /// (line, column) of the token at the cursor — or of the last token
+    /// when the cursor is at end of input, so "unexpected end of file"
+    /// errors point at the last thing actually seen.
+    fn loc(&self) -> (usize, usize) {
         self.tokens
             .get(self.pos.min(self.tokens.len().saturating_sub(1)))
-            .map_or(0, |&(_, l)| l)
+            .map_or((0, 0), |&(_, l, c)| (l, c))
     }
 
     fn next(&mut self) -> Option<Token> {
-        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        let t = self.tokens.get(self.pos).map(|(t, _, _)| t.clone());
         self.pos += 1;
         t
     }
 
     fn expect(&mut self, want: &Token) -> Result<(), VerilogError> {
-        let line = self.line();
+        let (line, col) = self.loc();
         match self.next() {
             Some(ref t) if t == want => Ok(()),
             Some(t) => Err(VerilogError::new(
                 format!("expected {want:?}, found {t:?}"),
                 line,
+                col,
             )),
-            None => Err(VerilogError::new("unexpected end of file", line)),
+            None => Err(VerilogError::new("unexpected end of file", line, col)),
         }
     }
 
     fn expect_ident(&mut self) -> Result<String, VerilogError> {
-        let line = self.line();
+        let (line, col) = self.loc();
         match self.next() {
             Some(Token::Ident(name)) => Ok(name),
             Some(t) => Err(VerilogError::new(
                 format!("expected identifier, found {t:?}"),
                 line,
+                col,
             )),
-            None => Err(VerilogError::new("unexpected end of file", line)),
+            None => Err(VerilogError::new("unexpected end of file", line, col)),
         }
     }
 }
@@ -273,7 +333,7 @@ fn parse_unary(lx: &mut Lexer) -> Result<Expr, VerilogError> {
 }
 
 fn parse_primary(lx: &mut Lexer) -> Result<Expr, VerilogError> {
-    let line = lx.line();
+    let (line, col) = lx.loc();
     match lx.next() {
         Some(Token::Punct('(')) => {
             let e = parse_expr(lx)?;
@@ -295,8 +355,9 @@ fn parse_primary(lx: &mut Lexer) -> Result<Expr, VerilogError> {
         Some(t) => Err(VerilogError::new(
             format!("expected expression, found {t:?}"),
             line,
+            col,
         )),
-        None => Err(VerilogError::new("unexpected end of file", line)),
+        None => Err(VerilogError::new("unexpected end of file", line, col)),
     }
 }
 
@@ -372,7 +433,7 @@ pub fn parse_verilog(text: &str) -> Result<Network, VerilogError> {
     let mut assign_order: Vec<String> = Vec::new();
 
     loop {
-        let line = lx.line();
+        let (line, col) = lx.loc();
         match lx.next() {
             Some(Token::Input) | Some(Token::Output) | Some(Token::Wire) => {
                 let class = match lx.tokens[lx.pos - 1].0 {
@@ -386,6 +447,7 @@ pub fn parse_verilog(text: &str) -> Result<Network, VerilogError> {
                         return Err(VerilogError::new(
                             format!("net '{name}' declared twice"),
                             line,
+                            col,
                         ));
                     }
                     match class {
@@ -411,12 +473,14 @@ pub fn parse_verilog(text: &str) -> Result<Network, VerilogError> {
                         return Err(VerilogError::new(
                             format!("assignment to undeclared net '{target}'"),
                             line,
+                            col,
                         ))
                     }
                     Some(NetClass::Input) => {
                         return Err(VerilogError::new(
                             format!("assignment to input '{target}'"),
                             line,
+                            col,
                         ))
                     }
                     Some(_) => {}
@@ -425,6 +489,7 @@ pub fn parse_verilog(text: &str) -> Result<Network, VerilogError> {
                     return Err(VerilogError::new(
                         format!("net '{target}' driven twice"),
                         line,
+                        col,
                     ));
                 }
                 assign_order.push(target);
@@ -434,9 +499,10 @@ pub fn parse_verilog(text: &str) -> Result<Network, VerilogError> {
                 return Err(VerilogError::new(
                     format!("expected declaration or assign, found {t:?}"),
                     line,
+                    col,
                 ))
             }
-            None => return Err(VerilogError::new("missing endmodule", line)),
+            None => return Err(VerilogError::new("missing endmodule", line, col)),
         }
     }
 
@@ -464,11 +530,13 @@ pub fn parse_verilog(text: &str) -> Result<Network, VerilogError> {
             return Err(VerilogError::new(
                 format!("combinational cycle through net '{name}'"),
                 0,
+                0,
             ));
         }
         let Some(expr) = ctx.assigns.get(name) else {
             return Err(VerilogError::new(
                 format!("net '{name}' is never driven"),
+                0,
                 0,
             ));
         };
@@ -628,6 +696,92 @@ mod tests {
         let src = "module t(a,y);\ninput a;\noutput y;\nassign y = a @ a;\nendmodule";
         let err = parse_verilog(src).unwrap_err();
         assert_eq!(err.line(), 4);
+        assert_eq!(err.column(), 14, "{err}");
+        assert!(err.to_string().contains("line 4, column 14"), "{err}");
+    }
+
+    #[test]
+    fn error_reports_column_after_multibyte_text() {
+        // Columns count characters, not bytes: the two-byte 'é' in the
+        // comment before the bad token must advance the column by one
+        // (byte-counting would report 24).
+        let src = "module t(a,y); input a; output y;\nassign y = a; /* é */ @\nendmodule";
+        let err = parse_verilog(src).unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert_eq!(err.column(), 23, "{err}");
+    }
+
+    #[test]
+    fn multibyte_comment_does_not_desync_the_lexer() {
+        // Regression: the lexer used to index the source *bytes* with a
+        // *character* count, so any multi-byte character shifted every
+        // later lookahead — `1'b1` after a non-ASCII comment could slice
+        // mid-UTF-8-boundary and panic.
+        let src = "module t(a,y); /* café ☕ */ input a; output y;\n\
+                   assign y = a & 1'b1; // done ✓\nendmodule";
+        let net = parse_verilog(src).expect("parses despite multibyte comments");
+        assert_eq!(net.eval(&[true]), vec![true]);
+        assert_eq!(net.eval(&[false]), vec![false]);
+    }
+
+    #[test]
+    fn malformed_sized_constant_is_an_error_not_a_panic() {
+        for bad in ["1'b", "1'bx", "1'", "1'c1"] {
+            let src = format!("module t(a,y); input a; output y; assign y = a & {bad}; endmodule");
+            let err = parse_verilog(&src).unwrap_err();
+            assert_eq!(err.line(), 1, "{bad}: {err}");
+        }
+    }
+
+    /// A small but representative module exercising every token kind.
+    const CORPUS: &str = "module top(a, b, s, y, z); // ports\n\
+                          input a, b, s;\n\
+                          output y, z;\n\
+                          wire w1, w2; /* internal ± nets */\n\
+                          assign w1 = maj(a, b, 1'b0);\n\
+                          assign w2 = s ? a : ~b;\n\
+                          assign y = w1 ^ w2 | a & 1'b1;\n\
+                          assign z = w1 ~^ w2;\n\
+                          endmodule\n";
+
+    #[test]
+    fn truncated_verilog_never_panics() {
+        // Property: every byte-level truncation of a valid module either
+        // parses or reports a clean error — the parser must never panic,
+        // even when the cut lands inside a multi-byte character (the
+        // lossy decode turns it into U+FFFD).
+        assert!(parse_verilog(CORPUS).is_ok());
+        for cut in 0..CORPUS.len() {
+            let text = String::from_utf8_lossy(&CORPUS.as_bytes()[..cut]);
+            let _ = parse_verilog(&text);
+        }
+    }
+
+    #[test]
+    fn corrupted_verilog_never_panics() {
+        // Property: deterministic single-byte corruptions (overwrites,
+        // deletions, insertions, all SplitMix64-seeded) produce Ok or a
+        // clean Err, never a panic or a bogus location (line/column must
+        // stay within the text).
+        let mut rng = crate::SplitMix64::seed_from_u64(0xB0B0_CAFE);
+        let bytes = CORPUS.as_bytes();
+        for _ in 0..500 {
+            let at = (rng.next_u64() as usize) % bytes.len();
+            let val = (rng.next_u64() & 0xFF) as u8;
+            let mut mutated = bytes.to_vec();
+            match rng.next_u64() % 3 {
+                0 => mutated[at] = val,
+                1 => {
+                    mutated.remove(at);
+                }
+                _ => mutated.insert(at, val),
+            }
+            let text = String::from_utf8_lossy(&mutated);
+            if let Err(e) = parse_verilog(&text) {
+                let lines = text.lines().count() + 1;
+                assert!(e.line() <= lines, "line {} of {lines}: {e}", e.line());
+            }
+        }
     }
 
     #[test]

@@ -74,10 +74,22 @@ pub fn equivalent_exhaustive(a: &Network, b: &Network) -> bool {
 ///
 /// Panics if interfaces differ.
 pub fn equivalent_random(a: &Network, b: &Network, rounds: usize) -> bool {
+    equivalent_seeded(a, b, rounds, 0x5EED_CAFE)
+}
+
+/// [`equivalent_random`] with a caller-chosen SplitMix64 seed, so
+/// repeated spot checks of the same pair (e.g. the pass manager's
+/// post-pass `--selfcheck`) can draw fresh pattern sets instead of
+/// re-testing the identical 64 × `rounds` vectors.
+///
+/// # Panics
+///
+/// Panics if interfaces differ.
+pub fn equivalent_seeded(a: &Network, b: &Network, rounds: usize, seed: u64) -> bool {
     assert_eq!(a.num_inputs(), b.num_inputs(), "input counts differ");
     assert_eq!(a.num_outputs(), b.num_outputs(), "output counts differ");
     let n = a.num_inputs();
-    let mut rng = SplitMix64::seed_from_u64(0x5EED_CAFE);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut buf = vec![0u64; n * BATCH_WORDS];
     let mut done = 0usize;
     while done < rounds {

@@ -28,7 +28,9 @@ mod equiv;
 mod simulate;
 
 pub use activity::{empirical_activity, signal_probabilities, switching_activity};
-pub use equiv::{equivalent, equivalent_exhaustive, equivalent_random, output_truth_tables};
+pub use equiv::{
+    equivalent, equivalent_exhaustive, equivalent_random, equivalent_seeded, output_truth_tables,
+};
 pub use simulate::{simulate, simulate_all, simulate_batch};
 
 // Re-exported for doc examples and downstream convenience.

@@ -1098,6 +1098,7 @@ impl<'a> Cover<'a> {
 /// assert!(nomaj.area() > design.area(), "no MAJ cell → NAND/INV tree");
 /// ```
 pub fn map_mig(mig: &Mig, library: &CellLibrary, config: &MapConfig) -> MappedDesign {
+    mig_core::faultpoint!("techmap.map");
     let cuts = enumerate_cuts(mig, config.cut_size, config.max_cuts);
     let mut matcher = Matcher::new(library);
     let mut cover = Cover::new(mig, library, config.goal);
