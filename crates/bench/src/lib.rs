@@ -8,7 +8,7 @@
 //! successive PRs accumulate a performance trajectory (compare the
 //! committed file against a fresh run to spot regressions).
 //!
-//! The schema (`mig-bench/v5`, documented in `DESIGN.md` §7/§10; v2
+//! The schema (`mig-bench/v6`, documented in `DESIGN.md` §7/§10; v2
 //! added the cut-based Boolean `rewrite` pass between `size` and
 //! `depth`; v3 added the top-level `threads` field recording the rewrite
 //! engine's resolved evaluate-phase worker count; v4 added the top-level
@@ -16,18 +16,24 @@
 //! array from the pass-manager ledger, so arbitrary flows — repeated
 //! passes included — serialize naturally; v5 technology-maps every
 //! optimized result onto both stock libraries and adds the per-benchmark
-//! `mapped`/`mapped_nomaj` objects plus the totals' mapped-area sums —
-//! every v4 field serializes byte-identically. A pass entry additionally
-//! carries an `"outcome"` key when — and only when — the pass manager
-//! degraded it (`rolled_back` / `timed_out` / `skipped`), so a healthy
-//! run's JSON is byte-for-byte the classic v5 document):
+//! `mapped`/`mapped_nomaj` objects plus the totals' mapped-area sums;
+//! v6 additionally runs the equality-saturation head-to-head — the
+//! committed [`ESAT_FLOW`] against the strongest esat-free reference
+//! [`ESAT_REF_FLOW`] — and records the per-benchmark `esat` object plus
+//! the totals' `esat_size`/`esat_ref_size` sums. Every v5 field
+//! serializes byte-identically. A pass entry additionally carries an
+//! `"outcome"` key when — and only when — the pass manager degraded it
+//! (`rolled_back` / `timed_out` / `skipped`), so a healthy run's JSON
+//! carries no outcome noise):
 //!
 //! ```json
 //! {
-//!   "schema": "mig-bench/v5",
+//!   "schema": "mig-bench/v6",
 //!   "suite": "mcnc14",
 //!   "mode": "full",
 //!   "flow": "size; rewrite; depth; activity",
+//!   "esat_flow": "size; rewrite*; depth_rewrite; rewrite*; size; esat*; rewrite*; size",
+//!   "esat_ref_flow": "size; rewrite*; depth_rewrite; rewrite*; size",
 //!   "effort": 4,
 //!   "threads": 1,
 //!   "benchmarks": [
@@ -46,12 +52,15 @@
 //!       "mapped_nomaj": {"library": "cmos22-nomaj", "cells": 173,
 //!                        "area": 57.232, "delay": 0.3620,
 //!                        "power": 63.80, "equiv": true},
+//!       "esat": {"size": 97, "depth": 12, "ref_size": 99, "ref_depth": 12,
+//!                "millis": 120.0, "ref_millis": 80.0, "equiv": true},
 //!       "total_millis": 40.1
 //!     }
 //!   ],
 //!   "totals": {"benchmarks": 14, "millis": 400.0,
 //!              "size_before": 1000, "size_after": 800,
 //!              "mapped_area": 700.0, "mapped_nomaj_area": 800.0,
+//!              "esat_size": 790, "esat_ref_size": 805,
 //!              "all_ok": true}
 //! }
 //! ```
@@ -66,7 +75,7 @@
 //! let report = run_suite(&cfg);
 //! assert!(report.all_ok());
 //! assert_eq!(report.benchmarks.len(), 1);
-//! assert!(mig_bench::to_json(&report).contains("\"schema\": \"mig-bench/v5\""));
+//! assert!(mig_bench::to_json(&report).contains("\"schema\": \"mig-bench/v6\""));
 //! ```
 
 #![warn(missing_docs)]
@@ -88,6 +97,17 @@ pub const PASSES: [&str; 4] = ["size", "rewrite", "depth", "activity"];
 /// Benchmarks skipped in `--quick` mode (the largest generators — they
 /// dominate wall time without adding CI signal).
 pub const QUICK_SKIP: [&str; 3] = ["clma", "s38417", "bigkey"];
+
+/// The equality-saturation flow of the v6 head-to-head: the reference
+/// backbone with an `esat*; rewrite*; size` tail, so the comparison
+/// isolates exactly what saturation adds on top of the strongest
+/// rewrite-only pipeline.
+pub const ESAT_FLOW: &str = "size; rewrite*; depth_rewrite; rewrite*; size; esat*; rewrite*; size";
+
+/// The strongest esat-free size flow found for the MCNC suite (the
+/// rewrite fixpoint with one depth-rewrite perturbation), used as the
+/// honest reference side of the v6 head-to-head.
+pub const ESAT_REF_FLOW: &str = "size; rewrite*; depth_rewrite; rewrite*; size";
 
 /// Harness configuration.
 #[derive(Debug, Clone)]
@@ -123,6 +143,10 @@ pub struct BenchConfig {
     /// fails a randomized equivalence probe against its own input is
     /// rolled back instead of poisoning the rest of the flow.
     pub selfcheck: bool,
+    /// Run the v6 equality-saturation head-to-head ([`ESAT_FLOW`] vs
+    /// [`ESAT_REF_FLOW`]) per benchmark. On by default; turning it off
+    /// drops the `esat` objects from the JSON (the schema tag stays v6).
+    pub esat: bool,
 }
 
 impl BenchConfig {
@@ -142,6 +166,7 @@ impl BenchConfig {
             pass_timeout_ms: None,
             max_nodes: None,
             selfcheck: false,
+            esat: true,
         }
     }
 
@@ -158,6 +183,7 @@ impl BenchConfig {
             pass_timeout_ms: None,
             max_nodes: None,
             selfcheck: false,
+            esat: true,
         }
     }
 
@@ -201,6 +227,26 @@ pub struct MappedRecord {
     pub equiv: bool,
 }
 
+/// Result of the v6 equality-saturation head-to-head on one benchmark:
+/// [`ESAT_FLOW`] against [`ESAT_REF_FLOW`], both from the same import.
+#[derive(Debug, Clone)]
+pub struct EsatRecord {
+    /// Final size of the esat flow.
+    pub size: usize,
+    /// Final depth of the esat flow.
+    pub depth: u32,
+    /// Final size of the esat-free reference flow.
+    pub ref_size: usize,
+    /// Final depth of the esat-free reference flow.
+    pub ref_depth: u32,
+    /// Optimization wall time of the esat flow (ledger sum, ms).
+    pub millis: f64,
+    /// Optimization wall time of the reference flow (ledger sum, ms).
+    pub ref_millis: f64,
+    /// Equivalence of **both** finals against the import.
+    pub equiv: bool,
+}
+
 /// Full record for one benchmark circuit.
 #[derive(Debug, Clone)]
 pub struct BenchRecord {
@@ -227,6 +273,9 @@ pub struct BenchRecord {
     pub mapped: MappedRecord,
     /// Mapped cost on the majority-free control library.
     pub mapped_nomaj: MappedRecord,
+    /// The equality-saturation head-to-head (`None` when the run was
+    /// configured without it).
+    pub esat: Option<EsatRecord>,
     /// Number of passes that did not contribute — rolled back, timed
     /// out, or skipped by the budget (0 on a healthy run).
     pub degraded: usize,
@@ -254,9 +303,13 @@ impl BenchReport {
     /// True when every benchmark verified equivalent (at MIG level and
     /// for both mapped netlists) and none grew.
     pub fn all_ok(&self) -> bool {
-        self.benchmarks
-            .iter()
-            .all(|b| b.equiv && b.size_ok && b.mapped.equiv && b.mapped_nomaj.equiv)
+        self.benchmarks.iter().all(|b| {
+            b.equiv
+                && b.size_ok
+                && b.mapped.equiv
+                && b.mapped_nomaj.equiv
+                && b.esat.as_ref().is_none_or(|e| e.equiv)
+        })
     }
 
     /// Total optimization wall time over all benchmarks.
@@ -284,6 +337,39 @@ impl BenchReport {
     /// still completed and verified, but not every pass contributed.
     pub fn any_degraded(&self) -> bool {
         self.degraded_passes() > 0
+    }
+
+    /// Suite node count of the esat flow's finals (benchmarks that ran
+    /// the head-to-head only).
+    pub fn esat_size(&self) -> usize {
+        self.benchmarks
+            .iter()
+            .filter_map(|b| b.esat.as_ref())
+            .map(|e| e.size)
+            .sum()
+    }
+
+    /// Suite node count of the reference flow's finals.
+    pub fn esat_ref_size(&self) -> usize {
+        self.benchmarks
+            .iter()
+            .filter_map(|b| b.esat.as_ref())
+            .map(|e| e.ref_size)
+            .sum()
+    }
+
+    /// `(wins, ties, losses)` of the esat flow against the reference on
+    /// final size, over the benchmarks that ran the head-to-head.
+    pub fn esat_score(&self) -> (usize, usize, usize) {
+        let mut score = (0, 0, 0);
+        for e in self.benchmarks.iter().filter_map(|b| b.esat.as_ref()) {
+            match e.size.cmp(&e.ref_size) {
+                std::cmp::Ordering::Less => score.0 += 1,
+                std::cmp::Ordering::Equal => score.1 += 1,
+                std::cmp::Ordering::Greater => score.2 += 1,
+            }
+        }
+        score
     }
 }
 
@@ -343,6 +429,8 @@ pub fn run_suite(config: &BenchConfig) -> BenchReport {
     let rounds = config.rounds.max(1);
     let script = config.flow.as_deref().unwrap_or(DEFAULT_FLOW);
     let flow = Flow::parse(script).unwrap_or_else(|e| panic!("bad flow script: {e}"));
+    let esat_flow = Flow::parse(ESAT_FLOW).expect("canonical esat flow parses");
+    let esat_ref_flow = Flow::parse(ESAT_REF_FLOW).expect("canonical reference flow parses");
     let threads = RewriteConfig {
         jobs: config.jobs,
         ..RewriteConfig::default()
@@ -363,12 +451,35 @@ pub fn run_suite(config: &BenchConfig) -> BenchReport {
         let passes = ctx.take_ledger();
         let size_ok = passes
             .iter()
-            .filter(|r| matches!(r.pass.as_str(), "size" | "rewrite" | "depth_rewrite"))
+            .filter(|r| {
+                matches!(
+                    r.pass.as_str(),
+                    "size" | "rewrite" | "depth_rewrite" | "esat"
+                )
+            })
             .all(|r| r.after.size <= r.before.size);
         let total_millis = passes.iter().map(|p| p.millis).sum();
         let degraded = passes.iter().filter(|r| r.outcome.degraded()).count();
         let mapped = map_record(&cur, &net, &CellLibrary::cmos22(), rounds);
         let mapped_nomaj = map_record(&cur, &net, &CellLibrary::cmos22_no_maj(), rounds);
+        let esat = config.esat.then(|| {
+            let run_one = |ctx: &mut OptContext, f: &Flow| {
+                let out = f.run(mig.clone().cleanup(), effort, ctx);
+                let millis: f64 = ctx.take_ledger().iter().map(|p| p.millis).sum();
+                (out, millis)
+            };
+            let (esat_out, millis) = run_one(&mut ctx, &esat_flow);
+            let (ref_out, ref_millis) = run_one(&mut ctx, &esat_ref_flow);
+            EsatRecord {
+                size: esat_out.size(),
+                depth: esat_out.depth(),
+                ref_size: ref_out.size(),
+                ref_depth: ref_out.depth(),
+                millis,
+                ref_millis,
+                equiv: esat_out.equiv(&mig, rounds) && ref_out.equiv(&mig, rounds),
+            }
+        });
         benchmarks.push(BenchRecord {
             name: name.clone(),
             inputs: mig.num_inputs(),
@@ -379,6 +490,7 @@ pub fn run_suite(config: &BenchConfig) -> BenchReport {
             size_ok,
             mapped,
             mapped_nomaj,
+            esat,
             degraded,
             total_millis,
         });
@@ -392,7 +504,7 @@ pub fn run_suite(config: &BenchConfig) -> BenchReport {
     }
 }
 
-/// Serializes a report in the stable `mig-bench/v5` schema.
+/// Serializes a report in the stable `mig-bench/v6` schema.
 ///
 /// Hand-rolled (the workspace has zero third-party dependencies); all
 /// strings in the schema are benchmark names, pass labels and canonical
@@ -400,10 +512,12 @@ pub fn run_suite(config: &BenchConfig) -> BenchReport {
 pub fn to_json(report: &BenchReport) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"mig-bench/v5\",");
+    let _ = writeln!(s, "  \"schema\": \"mig-bench/v6\",");
     let _ = writeln!(s, "  \"suite\": \"mcnc14\",");
     let _ = writeln!(s, "  \"mode\": \"{}\",", report.mode);
     let _ = writeln!(s, "  \"flow\": \"{}\",", report.flow);
+    let _ = writeln!(s, "  \"esat_flow\": \"{ESAT_FLOW}\",");
+    let _ = writeln!(s, "  \"esat_ref_flow\": \"{ESAT_REF_FLOW}\",");
     let _ = writeln!(s, "  \"effort\": {},", report.effort);
     let _ = writeln!(s, "  \"threads\": {},", report.threads);
     s.push_str("  \"benchmarks\": [\n");
@@ -446,6 +560,15 @@ pub fn to_json(report: &BenchReport) -> String {
                 m.library, m.cells, m.area, m.delay, m.power, m.equiv
             );
         }
+        if let Some(e) = &b.esat {
+            let _ = writeln!(
+                s,
+                "      \"esat\": {{\"size\": {}, \"depth\": {}, \
+                 \"ref_size\": {}, \"ref_depth\": {}, \"millis\": {:.2}, \
+                 \"ref_millis\": {:.2}, \"equiv\": {}}},",
+                e.size, e.depth, e.ref_size, e.ref_depth, e.millis, e.ref_millis, e.equiv
+            );
+        }
         let _ = writeln!(s, "      \"total_millis\": {:.2}", b.total_millis);
         s.push_str("    }");
         s.push_str(if i + 1 < report.benchmarks.len() {
@@ -472,6 +595,10 @@ pub fn to_json(report: &BenchReport) -> String {
         "    \"mapped_nomaj_area\": {:.3},",
         report.mapped_nomaj_area()
     );
+    if report.benchmarks.iter().any(|b| b.esat.is_some()) {
+        let _ = writeln!(s, "    \"esat_size\": {},", report.esat_size());
+        let _ = writeln!(s, "    \"esat_ref_size\": {},", report.esat_ref_size());
+    }
     let _ = writeln!(s, "    \"all_ok\": {}", report.all_ok());
     s.push_str("  }\n}\n");
     s
@@ -556,6 +683,16 @@ pub fn render_table(report: &BenchReport) -> String {
             "FAILURES PRESENT"
         }
     );
+    if report.benchmarks.iter().any(|b| b.esat.is_some()) {
+        let (wins, ties, losses) = report.esat_score();
+        let _ = writeln!(
+            s,
+            "esat head-to-head: suite size {} vs reference {} · {wins} win(s), \
+             {ties} tie(s), {losses} loss(es) on final size",
+            report.esat_size(),
+            report.esat_ref_size(),
+        );
+    }
     if report.any_degraded() {
         let _ = writeln!(
             s,
@@ -571,9 +708,13 @@ mod tests {
     use super::*;
 
     fn tiny_config() -> BenchConfig {
+        // The head-to-head doubles the per-benchmark work, so the tests
+        // that don't assert on it turn it off (one dedicated test keeps
+        // it on).
         BenchConfig {
             names: vec!["my_adder".into(), "count".into()],
             jobs: 1,
+            esat: false,
             ..BenchConfig::quick()
         }
     }
@@ -615,10 +756,12 @@ mod tests {
         let report = run_suite(&tiny_config());
         let json = to_json(&report);
         for field in [
-            "\"schema\": \"mig-bench/v5\"",
+            "\"schema\": \"mig-bench/v6\"",
             "\"suite\": \"mcnc14\"",
             "\"mode\": \"quick\"",
             "\"flow\": \"size; rewrite; depth; activity\"",
+            "\"esat_flow\": ",
+            "\"esat_ref_flow\": ",
             "\"threads\": ",
             "\"benchmarks\": [",
             "\"import\":",
@@ -642,6 +785,43 @@ mod tests {
         let opens = json.matches(['{', '[']).count();
         let closes = json.matches(['}', ']']).count();
         assert_eq!(opens, closes, "unbalanced JSON");
+    }
+
+    #[test]
+    fn esat_head_to_head_verifies_and_never_loses() {
+        let config = BenchConfig {
+            names: vec!["my_adder".into()],
+            jobs: 1,
+            esat: true,
+            ..BenchConfig::quick()
+        };
+        let report = run_suite(&config);
+        let e = report.benchmarks[0]
+            .esat
+            .as_ref()
+            .expect("head-to-head ran");
+        assert!(e.equiv, "both finals must verify against the import");
+        assert!(
+            e.size <= e.ref_size,
+            "the esat flow extends the reference backbone with monotone \
+             passes, so it can never end larger ({} > {})",
+            e.size,
+            e.ref_size
+        );
+        let json = to_json(&report);
+        for field in [
+            "\"esat\": {\"size\": ",
+            "\"ref_size\": ",
+            "\"ref_millis\": ",
+            "\"esat_size\": ",
+            "\"esat_ref_size\": ",
+        ] {
+            assert!(json.contains(field), "missing {field} in:\n{json}");
+        }
+        let (wins, ties, losses) = report.esat_score();
+        assert_eq!(losses, 0);
+        assert_eq!(wins + ties, 1);
+        assert!(render_table(&report).contains("esat head-to-head"));
     }
 
     #[test]

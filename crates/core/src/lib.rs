@@ -62,10 +62,11 @@ pub(crate) mod strash;
 pub use crate::mig::Mig;
 pub use opt::{
     enumerate_cuts, optimize_activity, optimize_depth, optimize_rewrite, optimize_size,
-    ActivityOptConfig, ActivityPass, Budget, Cost, CutSet, DepthOptConfig, DepthPass,
-    EnumeratedCut, Flow, FlowStep, MapPass, MappedMetrics, Objective, OptContext, Pass, PassKind,
-    PassMetrics, PassOutcome, PassReport, Repeat, RewriteConfig, RewritePass, SimSpotCheck,
-    SizeOptConfig, SizePass, SpotCheck, TechModel,
+    ActivityOptConfig, ActivityPass, Budget, Cost, CutSet, DepthOptConfig, DepthPass, EGraph, ELit,
+    EnumeratedCut, EsatConfig, EsatPass, EsatRule, EsatStats, Flow, FlowStep, MapPass,
+    MappedMetrics, Objective, OptContext, Pass, PassKind, PassMetrics, PassOutcome, PassReport,
+    Repeat, RewriteConfig, RewritePass, SimSpotCheck, SizeOptConfig, SizePass, SpotCheck,
+    StopReason, TechModel,
 };
 pub use signal::{NodeId, Signal};
 

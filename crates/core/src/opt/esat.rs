@@ -1,0 +1,1657 @@
+//! Equality-saturation rewriting over MIGs (the `esat` pass).
+//!
+//! Greedy rewriting (Algorithm 1/2 and the cut-based engine) applies the
+//! paper's axioms in a fixed order and keeps only the current best graph,
+//! so it plateaus in local minima on functionally-redundant circuits. This
+//! module takes the orthogonal route explored by the equality-saturation
+//! line of work (E-Syn et al.): build an *e-graph* — a congruence-closed
+//! union-find over classes of equivalent majority expressions — saturate
+//! it by applying the axioms Ω/Ψ as **bidirectional** rules (every rewrite
+//! adds nodes, none removes), and afterwards *extract* the cheapest
+//! representative under a cost objective. Because all intermediate shapes
+//! coexist in the e-graph, rule ordering stops mattering.
+//!
+//! # Representation
+//!
+//! An e-class is identified by a `u32` id; an [`ELit`] is a class id plus
+//! a complement bit, exactly like [`Signal`] at the graph
+//! level, so inverters stay free edge attributes inside the e-graph too.
+//! An e-node is a complement-normalized majority gate `[ELit; 3]`:
+//!
+//! * children sorted (Ω.C commutativity is structural, not a rule),
+//! * at most one complemented child — a node with two or three
+//!   complemented children is replaced by its complement with all
+//!   children flipped (Ω.I inverter propagation, `M'(x,y,z) =
+//!   M(x',y',z')`), the complement moving into the referring [`ELit`],
+//! * the Ω.M majority folds (`M(x,x,z) = x`, `M(x,x',z) = z`) are applied
+//!   eagerly on insertion, so trivially-reducible nodes never exist.
+//!
+//! The union-find tracks a parity bit per edge (a class may be proven
+//! equal to the *complement* of another), and congruence closure is
+//! restored after merges by re-canonicalizing every node against the
+//! union-find and hash-consing it again until a fixpoint (see
+//! `EGraph::rebuild`).
+//!
+//! # Rule set
+//!
+//! The matcher implements the remaining axioms of §III-B as generative
+//! rules (each fires on matches in *both* orientations because the
+//! reverse instance is itself a match once the forward instance has been
+//! added):
+//!
+//! * `Ω.A` associativity — `M(x,u,M(y,u,z)) = M(z,u,M(y,u,x))`,
+//! * M-associativity — `M(x,u,M(y,u,z)) = M(M(x,u,y),u,z)`,
+//! * `Ω.D` distributivity, both directions —
+//!   `M(x,y,M(u,v,z)) = M(M(x,y,u),M(x,y,v),z)`,
+//! * `Ψ.C` complementary associativity —
+//!   `M(x,u,M(y,u',z)) = M(x,u,M(y,x,z))`,
+//! * `Ψ.R` relevance (one-level instance) — in `M(x,y,M(…x…))` the inner
+//!   occurrence of `x` may be replaced by `y'`.
+//!
+//! [`EsatRule`] enumerates the full axiom list (structural rules
+//! included) with paper references and executable instantiations; the
+//! axiom-soundness test harness simulates every rule in both directions
+//! over random graphs.
+//!
+//! # Budgets and extraction
+//!
+//! Saturation is budgeted — an iteration cap (from the pass `effort`), an
+//! e-node cap, and an optional wall-clock deadline, the latter two riding
+//! the pipeline's [`Budget`] (`max_nodes` bounds
+//! the e-graph, `pass_ms` bounds saturation time). Extraction picks, per
+//! e-class, the representative minimizing the objective ([`Objective`]),
+//! by a bottom-up cost fixpoint, then rebuilds a strashed [`Mig`]; the
+//! [`EsatPass`] keeps the extraction only when it beats its input
+//! (monotone guard), so the pass can never regress a flow.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use super::depth::DepthOptConfig;
+use super::pipeline::{Budget, OptContext, Pass, TechModel};
+use super::rewrite::{optimize_rewrite_with, RewriteCache, RewriteConfig};
+use super::size::SizeOptConfig;
+use super::{Objective, OptBuffers};
+use crate::{Mig, Signal};
+
+/// A reference to an e-class with a complement attribute — the e-graph's
+/// equivalent of [`Signal`]. The low bit is the
+/// complement flag, the upper bits the e-class id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ELit(u32);
+
+impl ELit {
+    /// Constant false (class 0, uncomplemented).
+    pub const FALSE: ELit = ELit(0);
+    /// Constant true (class 0, complemented).
+    pub const TRUE: ELit = ELit(1);
+
+    fn new(class: u32, complemented: bool) -> ELit {
+        ELit(class << 1 | complemented as u32)
+    }
+
+    /// The e-class this literal refers to.
+    pub fn class(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Whether the literal is complemented.
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complemented literal.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> ELit {
+        ELit(self.0 ^ 1)
+    }
+
+    /// Complemented iff `c` (parity composition).
+    pub fn complement_if(self, c: bool) -> ELit {
+        ELit(self.0 ^ c as u32)
+    }
+}
+
+/// A complement-normalized majority e-node: three sorted children with
+/// at most one complement among them.
+type ENode = [ELit; 3];
+
+/// What a class bottoms out as, when it contains a primary input or the
+/// constant (extraction leaves).
+#[derive(Debug, Clone, Copy)]
+enum Leaf {
+    /// The constant-false class.
+    Const,
+    /// Primary input by index.
+    Input(u32),
+}
+
+/// Why saturation stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// A full iteration produced no new nodes or merges (true fixpoint).
+    Saturated,
+    /// The iteration budget ran out.
+    IterLimit,
+    /// The e-node budget ran out.
+    NodeLimit,
+    /// The wall-clock deadline passed.
+    Deadline,
+}
+
+/// Counters reported by one [`EGraph::saturate`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct EsatStats {
+    /// Rule-application iterations performed.
+    pub iterations: usize,
+    /// Total e-nodes at the end of the run.
+    pub enodes: usize,
+    /// Total e-classes (including absorbed ones) allocated.
+    pub classes: usize,
+    /// Successful merges performed by rules and congruence repair.
+    pub merges: usize,
+    /// Why the run stopped.
+    pub stopped: StopReason,
+}
+
+/// Saturation budget and matcher tuning for one `esat` run.
+///
+/// The defaults are deterministic (no wall-clock limit); the
+/// [`EsatPass`] derives a config from the pipeline
+/// [`Budget`] so `max_nodes` caps the e-graph
+/// and `pass_ms` installs a deadline.
+#[derive(Debug, Clone)]
+pub struct EsatConfig {
+    /// Rule-application iterations (each applies every rule to every
+    /// match of the current e-graph, then restores congruence).
+    pub iters: usize,
+    /// Stop growing once the e-graph holds this many e-nodes
+    /// (`0` = automatic: `128 × seed + 2048`, clamped to `seed + 500_000`).
+    pub enode_cap: usize,
+    /// Optional wall-clock deadline for saturation. **Results become
+    /// machine-dependent when set** (like every wall-clock budget in the
+    /// pipeline); leave `None` for deterministic runs.
+    pub time_ms: Option<u64>,
+    /// Matcher cap: how many e-nodes per child class the nested-pattern
+    /// rules examine (bounds the quadratic `Ω.D` right-to-left match).
+    pub scan_cap: usize,
+}
+
+impl Default for EsatConfig {
+    fn default() -> Self {
+        EsatConfig {
+            iters: 16,
+            enode_cap: 0,
+            time_ms: None,
+            scan_cap: 12,
+        }
+    }
+}
+
+impl EsatConfig {
+    /// The effective e-node cap for a graph seeded with `seed` e-nodes.
+    /// The automatic cap grants generous multiplicative room — the
+    /// MCNC sweep showed saturation is budget-bound, with wins still
+    /// appearing past 64× the seed — while a constant ceiling keeps the
+    /// largest circuits from exploding the arena.
+    fn cap(&self, seed: usize) -> usize {
+        if self.enode_cap == 0 {
+            (seed * 128 + 2048).min(seed + 500_000)
+        } else {
+            self.enode_cap
+        }
+    }
+}
+
+/// A deferred rule application: `target` has been proven equal to the
+/// right-hand-side expression, which is one of two shapes (every axiom's
+/// RHS is at most a two-level majority nest).
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    /// `target ≡ M(outer[0], outer[1], M(inner))`.
+    Nest {
+        outer: [ELit; 2],
+        inner: ENode,
+        target: ELit,
+    },
+    /// `target ≡ M(M(ab[0],ab[1],pair[0]), M(ab[0],ab[1],pair[1]), z)`.
+    Dist {
+        ab: [ELit; 2],
+        pair: [ELit; 2],
+        z: ELit,
+        target: ELit,
+    },
+}
+
+/// An e-graph over complement-normalized majority nodes: union-find with
+/// per-edge complement parity, hash-cons congruence closure, the Ω/Ψ
+/// rule matcher, and cost-based extraction.
+#[derive(Debug, Default)]
+pub struct EGraph {
+    /// Union-find: `uf[c]` is the literal class `c` (uncomplemented)
+    /// equals. A root satisfies `uf[c] == ELit::new(c, false)`.
+    uf: Vec<ELit>,
+    /// Per root class: its e-nodes with their output parity — entry
+    /// `(n, oc)` means node `n` equals `ELit::new(class, oc)`.
+    nodes: Vec<Vec<(ENode, bool)>>,
+    /// Per root class: the primary input / constant it contains, with
+    /// the parity relating leaf to root.
+    leaf: Vec<Option<(Leaf, bool)>>,
+    /// Hash-cons: canonical node → the literal it evaluates to.
+    memo: HashMap<ENode, ELit>,
+    /// Live e-node count (absorbed duplicates excluded).
+    num_enodes: usize,
+    /// Successful merges since construction.
+    merges: usize,
+}
+
+impl EGraph {
+    /// An e-graph primed with the constant class and `num_inputs` input
+    /// classes, mirroring the [`Mig`] arena layout (class 0 = constant
+    /// false, classes `1..=num_inputs` = primary inputs).
+    pub fn with_inputs(num_inputs: usize) -> EGraph {
+        let mut g = EGraph::default();
+        g.fresh_class();
+        g.leaf[0] = Some((Leaf::Const, false));
+        for i in 0..num_inputs {
+            let c = g.fresh_class();
+            g.leaf[c as usize] = Some((Leaf::Input(i as u32), false));
+        }
+        g
+    }
+
+    /// The constant-false literal.
+    pub fn constant(&self) -> ELit {
+        ELit::FALSE
+    }
+
+    /// The literal of primary input `i` (panics if out of range for the
+    /// construction-time input count).
+    pub fn input(&self, i: usize) -> ELit {
+        assert!(
+            self.leaf.len() > i + 1,
+            "input {i} outside the seeded input range"
+        );
+        ELit::new(i as u32 + 1, false)
+    }
+
+    /// Live e-node count.
+    pub fn num_enodes(&self) -> usize {
+        self.num_enodes
+    }
+
+    /// Allocated e-class count (absorbed classes included).
+    pub fn num_classes(&self) -> usize {
+        self.uf.len()
+    }
+
+    fn fresh_class(&mut self) -> u32 {
+        let id = self.uf.len() as u32;
+        self.uf.push(ELit::new(id, false));
+        self.nodes.push(Vec::new());
+        self.leaf.push(None);
+        id
+    }
+
+    /// Canonicalizes a literal against the union-find (path-compressing,
+    /// parity-aware): two literals denote the same Boolean function
+    /// exactly when their canonical forms are equal.
+    pub fn find(&mut self, lit: ELit) -> ELit {
+        // Pass 1: locate the root and the total parity from the start
+        // class to it.
+        let mut c = lit.class();
+        let mut total = false;
+        loop {
+            let p = self.uf[c as usize];
+            if p.class() == c {
+                break;
+            }
+            total ^= p.is_complemented();
+            c = p.class();
+        }
+        let root = c;
+        // Pass 2: point every visited class straight at the root with
+        // its accumulated parity.
+        let mut c = lit.class();
+        let mut prefix = false;
+        while c != root {
+            let p = self.uf[c as usize];
+            self.uf[c as usize] = ELit::new(root, total ^ prefix);
+            prefix ^= p.is_complemented();
+            c = p.class();
+        }
+        ELit::new(root, total ^ lit.is_complemented())
+    }
+
+    /// Whether two literals are known equal (same class, same parity).
+    pub fn same(&mut self, a: ELit, b: ELit) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// [`find`](Self::find) without path compression, for read-only
+    /// walks holding shared borrows of the class lists.
+    fn find_nc(&self, lit: ELit) -> ELit {
+        let mut c = lit.class();
+        let mut total = lit.is_complemented();
+        loop {
+            let p = self.uf[c as usize];
+            if p.class() == c {
+                return ELit::new(c, total);
+            }
+            total ^= p.is_complemented();
+            c = p.class();
+        }
+    }
+
+    /// The canonical form of a prospective node over already-canonical
+    /// children: either an Ω.M fold to an existing literal, or the
+    /// normalized node plus the output parity absorbed by Ω.I.
+    fn canon(kids: [ELit; 3]) -> Result<(ENode, bool), ELit> {
+        let [a, b, c] = kids;
+        // Ω.M majority folds.
+        if a == b || a == c {
+            return Err(a);
+        }
+        if b == c {
+            return Err(b);
+        }
+        if a == b.not() {
+            return Err(c);
+        }
+        if a == c.not() {
+            return Err(b);
+        }
+        if b == c.not() {
+            return Err(a);
+        }
+        // Ω.I: at most one complemented child.
+        let mut kids = [a, b, c];
+        let flipped = kids.iter().filter(|k| k.is_complemented()).count() >= 2;
+        if flipped {
+            for k in &mut kids {
+                *k = k.not();
+            }
+        }
+        kids.sort();
+        Ok((kids, flipped))
+    }
+
+    /// Adds (or finds) the majority of three literals, applying the Ω.M
+    /// folds and Ω.I normalization eagerly. This is the e-graph analogue
+    /// of [`Mig::maj`].
+    pub fn maj(&mut self, a: ELit, b: ELit, c: ELit) -> ELit {
+        let kids = [self.find(a), self.find(b), self.find(c)];
+        match Self::canon(kids) {
+            Err(folded) => folded,
+            Ok((node, out)) => {
+                if let Some(&lit) = self.memo.get(&node) {
+                    let lit = self.find(lit);
+                    return lit.complement_if(out);
+                }
+                let id = self.fresh_class();
+                self.nodes[id as usize].push((node, false));
+                self.memo.insert(node, ELit::new(id, false));
+                self.num_enodes += 1;
+                ELit::new(id, out)
+            }
+        }
+    }
+
+    /// Records that `a` and `b` compute the same function. Returns true
+    /// when the union-find changed. (A contradictory merge — a class
+    /// against its own complement — is ignored; sound rules never
+    /// produce one.)
+    fn merge(&mut self, a: ELit, b: ELit) -> bool {
+        let fa = self.find(a);
+        let fb = self.find(b);
+        if fa.class() == fb.class() {
+            return false;
+        }
+        crate::faultpoint!("esat.merge");
+        // Absorb the class with fewer nodes into the other.
+        let (r, s) =
+            if self.nodes[fa.class() as usize].len() >= self.nodes[fb.class() as usize].len() {
+                (fa, fb)
+            } else {
+                (fb, fa)
+            };
+        let q = r.is_complemented() ^ s.is_complemented();
+        self.uf[s.class() as usize] = ELit::new(r.class(), q);
+        let moved = std::mem::take(&mut self.nodes[s.class() as usize]);
+        for (n, oc) in moved {
+            self.nodes[r.class() as usize].push((n, oc ^ q));
+        }
+        if let Some((l, p)) = self.leaf[s.class() as usize].take() {
+            if self.leaf[r.class() as usize].is_none() {
+                self.leaf[r.class() as usize] = Some((l, p ^ q));
+            }
+        }
+        self.merges += 1;
+        true
+    }
+
+    /// Restores the congruence invariant after merges: every node is
+    /// re-canonicalized against the union-find and re-hash-consed;
+    /// colliding nodes merge their classes. Runs sweeps until a sweep
+    /// performs no merge.
+    fn rebuild(&mut self) {
+        loop {
+            // Gather every (literal, node) pair, then rebuild the class
+            // lists and the memo from scratch.
+            let mut entries: Vec<(ELit, ENode)> = Vec::with_capacity(self.num_enodes);
+            for c in 0..self.uf.len() {
+                if self.uf[c].class() != c as u32 {
+                    continue;
+                }
+                for &(n, oc) in &self.nodes[c] {
+                    entries.push((ELit::new(c as u32, oc), n));
+                }
+            }
+            for list in &mut self.nodes {
+                list.clear();
+            }
+            self.memo.clear();
+            self.num_enodes = 0;
+            let mut changed = false;
+            for (lit, node) in entries {
+                let lit = self.find(lit);
+                let kids = [self.find(node[0]), self.find(node[1]), self.find(node[2])];
+                match Self::canon(kids) {
+                    Err(folded) => {
+                        changed |= self.merge(lit, folded);
+                    }
+                    Ok((n, flip)) => {
+                        // `n` computes `lit` up to `flip`.
+                        let nlit = lit.complement_if(flip);
+                        match self.memo.get(&n) {
+                            Some(&prev) => {
+                                let prev = self.find(prev);
+                                if prev != nlit {
+                                    changed |= self.merge(prev, nlit);
+                                }
+                            }
+                            None => {
+                                self.memo.insert(n, nlit);
+                                let root = self.find(nlit);
+                                self.nodes[root.class() as usize].push((n, root.is_complemented()));
+                                self.num_enodes += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Whether the majority of three (canonical) literals folds or is
+    /// already hash-consed — a read-only membership probe used to gate
+    /// the inflationary rules.
+    fn node_exists(&self, kids: [ELit; 3]) -> bool {
+        match Self::canon(kids) {
+            Err(_) => true,
+            Ok((node, _)) => self.memo.contains_key(&node),
+        }
+    }
+
+    /// One rule-matching sweep: collects the deferred applications of
+    /// every axiom against every current node (deterministic order:
+    /// class id, then node list order).
+    fn matches(&mut self, scan_cap: usize) -> Vec<Action> {
+        // Snapshot the nodes so rule application never observes a
+        // half-updated class list.
+        let mut snapshot: Vec<(ELit, ENode)> = Vec::with_capacity(self.num_enodes);
+        for c in 0..self.uf.len() {
+            if self.uf[c].class() != c as u32 {
+                continue;
+            }
+            for &(n, oc) in &self.nodes[c] {
+                snapshot.push((ELit::new(c as u32, oc), n));
+            }
+        }
+        let mut buckets: Vec<Vec<Action>> = Vec::with_capacity(snapshot.len());
+        for &(target, n) in &snapshot {
+            let mut actions = Vec::new();
+            for i in 0..3 {
+                let child = n[i];
+                let x = n[(i + 1) % 3];
+                let u = n[(i + 2) % 3];
+                let inner_class = child.class() as usize;
+                let inner_nodes: Vec<(ENode, bool)> = self.nodes[inner_class]
+                    .iter()
+                    .take(scan_cap)
+                    .copied()
+                    .collect();
+                for (m, moc) in inner_nodes {
+                    let flip = child.is_complemented() ^ moc;
+                    let ik = if flip {
+                        [m[0].not(), m[1].not(), m[2].not()]
+                    } else {
+                        m
+                    };
+                    // target ≡ M(x, u, M(ik)) — match the nested rules
+                    // with both (x,u) and (u,x) in the outer role.
+                    for (x, u) in [(x, u), (u, x)] {
+                        for j in 0..3 {
+                            let yj = ik[j];
+                            let ya = ik[(j + 1) % 3];
+                            let yb = ik[(j + 2) % 3];
+                            if yj == u {
+                                // Ω.A: M(x,u,M(ya,u,yb)) = M(yb,u,M(ya,u,x))
+                                actions.push(Action::Nest {
+                                    outer: [yb, u],
+                                    inner: [ya, u, x],
+                                    target,
+                                });
+                                // M-assoc: … = M(M(x,u,ya),u,yb)
+                                actions.push(Action::Nest {
+                                    outer: [u, yb],
+                                    inner: [x, u, ya],
+                                    target,
+                                });
+                            }
+                            if yj == u.not() {
+                                // Ψ.C: M(x,u,M(ya,u',yb)) = M(x,u,M(ya,x,yb))
+                                actions.push(Action::Nest {
+                                    outer: [x, u],
+                                    inner: [ya, x, yb],
+                                    target,
+                                });
+                            }
+                            if yj == x {
+                                // Ψ.R (one level): M(x,u,M(…x…)) =
+                                // M(x,u,M(…u'…))
+                                let mut inner = ik;
+                                inner[j] = u.not();
+                                actions.push(Action::Nest {
+                                    outer: [x, u],
+                                    inner,
+                                    target,
+                                });
+                            }
+                        }
+                    }
+                    // Ω.D left-to-right: M(x,u,M(a,b,c)) =
+                    // M(M(x,u,a),M(x,u,b),c) for each choice of the
+                    // child kept outside. Unconditionally this rule is
+                    // explosive (it always adds up to three nodes and
+                    // matches every nested pair), so it only fires when
+                    // at least one of the distributed products already
+                    // exists in the e-graph — then the rewrite creates
+                    // sharing instead of inflation.
+                    for j in 0..3 {
+                        let p0 = [x, u, ik[(j + 1) % 3]];
+                        let p1 = [x, u, ik[(j + 2) % 3]];
+                        if self.node_exists(p0) || self.node_exists(p1) {
+                            actions.push(Action::Dist {
+                                ab: [x, u],
+                                pair: [ik[(j + 1) % 3], ik[(j + 2) % 3]],
+                                z: ik[j],
+                                target,
+                            });
+                        }
+                    }
+                }
+            }
+            // Ω.D right-to-left: two children that are majority nodes
+            // sharing two operands factor out —
+            // M(M(x,y,u),M(x,y,v),z) = M(x,y,M(u,v,z)).
+            for i in 0..3 {
+                let a = n[i];
+                let b = n[(i + 1) % 3];
+                let z = n[(i + 2) % 3];
+                let an: Vec<(ENode, bool)> = self.nodes[a.class() as usize]
+                    .iter()
+                    .take(scan_cap)
+                    .copied()
+                    .collect();
+                let bn: Vec<(ENode, bool)> = self.nodes[b.class() as usize]
+                    .iter()
+                    .take(scan_cap)
+                    .copied()
+                    .collect();
+                for &(ma, aoc) in &an {
+                    let ka = if a.is_complemented() ^ aoc {
+                        [ma[0].not(), ma[1].not(), ma[2].not()]
+                    } else {
+                        ma
+                    };
+                    for &(mb, boc) in &bn {
+                        let kb = if b.is_complemented() ^ boc {
+                            [mb[0].not(), mb[1].not(), mb[2].not()]
+                        } else {
+                            mb
+                        };
+                        // Find two shared operands x,y with leftovers u,v.
+                        for p in 0..3 {
+                            for q in 0..3 {
+                                if q == p {
+                                    continue;
+                                }
+                                let (x, y) = (ka[p], ka[q]);
+                                let mut used = [false; 3];
+                                let mut ok = true;
+                                for want in [x, y] {
+                                    let found = (0..3).find(|&t| !used[t] && kb[t] == want);
+                                    match found {
+                                        Some(t) => used[t] = true,
+                                        None => {
+                                            ok = false;
+                                            break;
+                                        }
+                                    }
+                                }
+                                if !ok {
+                                    continue;
+                                }
+                                let u = ka[3 - p - q];
+                                let v = kb[(0..3).find(|&t| !used[t]).expect("one left")];
+                                actions.push(Action::Nest {
+                                    outer: [x, y],
+                                    inner: [u, v, z],
+                                    target,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            buckets.push(actions);
+        }
+        // Interleave round-robin across target nodes: when the apply
+        // loop runs out of node budget mid-list, exploration has been
+        // spread over the whole graph instead of a prefix of it.
+        let total: usize = buckets.iter().map(Vec::len).sum();
+        let mut interleaved = Vec::with_capacity(total);
+        let mut round = 0;
+        while interleaved.len() < total {
+            for bucket in &buckets {
+                if let Some(&a) = bucket.get(round) {
+                    interleaved.push(a);
+                }
+            }
+            round += 1;
+        }
+        interleaved
+    }
+
+    /// Saturates under the config's budgets; see the module docs for the
+    /// rule set. Deterministic unless `config.time_ms` is set.
+    pub fn saturate(&mut self, config: &EsatConfig) -> EsatStats {
+        let cap = config.cap(self.num_enodes);
+        let deadline = config
+            .time_ms
+            .map(|ms| Instant::now() + Duration::from_millis(ms));
+        let merges_before = self.merges;
+        let mut stopped = StopReason::IterLimit;
+        let mut iterations = 0;
+        'outer: for _ in 0..config.iters.max(1) {
+            if self.num_enodes >= cap {
+                stopped = StopReason::NodeLimit;
+                break;
+            }
+            let actions = self.matches(config.scan_cap.max(1));
+            iterations += 1;
+            let nodes_before = self.num_enodes;
+            let merges_at = self.merges;
+            for (k, action) in actions.iter().enumerate() {
+                if self.num_enodes >= cap {
+                    stopped = StopReason::NodeLimit;
+                    self.rebuild();
+                    break 'outer;
+                }
+                // Deadline polling is batched: cheap enough to keep the
+                // zero-budget path free of clock reads.
+                if k % 512 == 0 {
+                    if let Some(d) = deadline {
+                        if Instant::now() >= d {
+                            stopped = StopReason::Deadline;
+                            self.rebuild();
+                            break 'outer;
+                        }
+                    }
+                }
+                match *action {
+                    Action::Nest {
+                        outer,
+                        inner,
+                        target,
+                    } => {
+                        let im = self.maj(inner[0], inner[1], inner[2]);
+                        let om = self.maj(outer[0], outer[1], im);
+                        self.merge(om, target);
+                    }
+                    Action::Dist {
+                        ab,
+                        pair,
+                        z,
+                        target,
+                    } => {
+                        let l = self.maj(ab[0], ab[1], pair[0]);
+                        let r = self.maj(ab[0], ab[1], pair[1]);
+                        let om = self.maj(l, r, z);
+                        self.merge(om, target);
+                    }
+                }
+            }
+            self.rebuild();
+            if self.num_enodes == nodes_before && self.merges == merges_at {
+                stopped = StopReason::Saturated;
+                break;
+            }
+        }
+        EsatStats {
+            iterations,
+            enodes: self.num_enodes,
+            classes: self.uf.len(),
+            merges: self.merges - merges_before,
+            stopped,
+        }
+    }
+
+    /// The set of root classes an extraction choice actually
+    /// materializes: everything reachable from `out_classes` through
+    /// the chosen node of each class (`usize::MAX` = leaf, terminal).
+    fn used_classes(&self, choice: &[Option<usize>], out_classes: &[usize]) -> Option<Vec<bool>> {
+        let mut used = vec![false; choice.len()];
+        let mut stack: Vec<usize> = out_classes.to_vec();
+        while let Some(c) = stack.pop() {
+            if used[c] {
+                continue;
+            }
+            used[c] = true;
+            let idx = choice[c]?;
+            if idx == usize::MAX {
+                continue;
+            }
+            for kid in self.nodes[c][idx].0 {
+                stack.push(self.find_nc(kid).class() as usize);
+            }
+        }
+        Some(used)
+    }
+
+    /// How many majority gates an extraction choice emits: one per used
+    /// non-leaf class.
+    fn count_gates(used: &[bool], choice: &[Option<usize>]) -> usize {
+        used.iter()
+            .zip(choice)
+            .filter(|(&u, &ch)| u && ch != Some(usize::MAX))
+            .count()
+    }
+
+    /// Cost-based extraction: rebuilds the cheapest representative of
+    /// every literal in `outputs` into `arena` (which must carry the
+    /// same primary inputs the e-graph was seeded with) and returns the
+    /// chosen signals, or `None` if some output class has no finite-cost
+    /// representative (cannot happen for a graph seeded from a [`Mig`]).
+    fn extract_into(
+        &mut self,
+        objective: Objective,
+        outputs: &[ELit],
+        arena: &mut Mig,
+    ) -> Option<Vec<Signal>> {
+        const SWEEP_CAP: usize = 10_000;
+        let n = self.uf.len();
+        // Per root class: (primary, secondary, chosen node index;
+        // usize::MAX = leaf).
+        let mut best: Vec<Option<(u64, u64, usize)>> = vec![None; n];
+        for (c, slot) in best.iter_mut().enumerate() {
+            if self.uf[c].class() == c as u32 && self.leaf[c].is_some() {
+                *slot = Some((0, 0, usize::MAX));
+            }
+        }
+        let structural = objective.structural();
+        // Bottom-up fixpoint: a node's size cost is 1 + Σ child costs,
+        // its depth cost 1 + max child depth; sweeps repeat until no
+        // class improves. Chosen structures are acyclic because the
+        // primary metric strictly decreases child-ward.
+        for _ in 0..SWEEP_CAP {
+            let mut changed = false;
+            for c in 0..n {
+                if self.uf[c].class() != c as u32 {
+                    continue;
+                }
+                for (idx, &(node, _)) in self.nodes[c].iter().enumerate() {
+                    let mut size: u64 = 1;
+                    let mut depth: u64 = 0;
+                    let mut viable = true;
+                    for kid in node {
+                        let kc = self.find_nc(kid).class() as usize;
+                        match best[kc] {
+                            Some((s, d, _)) => {
+                                let (ks, kd) = match structural {
+                                    Objective::SizeThenDepth => (s, d),
+                                    _ => (d, s),
+                                };
+                                size = size.saturating_add(ks);
+                                depth = depth.max(kd + 1);
+                            }
+                            None => {
+                                viable = false;
+                                break;
+                            }
+                        }
+                    }
+                    if !viable {
+                        continue;
+                    }
+                    let cand = match structural {
+                        Objective::SizeThenDepth => (size, depth, idx),
+                        _ => (depth, size, idx),
+                    };
+                    if best[c].is_none_or(|b| (cand.0, cand.1) < (b.0, b.1)) {
+                        best[c] = Some(cand);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // The tree-cost fixpoint ignores sharing: a class used by many
+        // chosen parents is paid for once in the DAG but Σ-counted once
+        // per use, so extraction can prefer a "cheap tree" over a
+        // smaller shared graph. Refine the size-objective choice with
+        // marginal recosting: children already in the extracted set are
+        // free, candidate switches are accepted only when the realized
+        // class count (== emitted gate count before strashing) drops.
+        // Acyclicity is kept by restricting every switch to nodes whose
+        // children have strictly smaller converged tree cost than their
+        // class — any mix of such choices terminates child-ward.
+        let mut choice: Vec<Option<usize>> = best.iter().map(|b| b.map(|(_, _, i)| i)).collect();
+        if structural == Objective::SizeThenDepth {
+            let out_classes: Vec<usize> = outputs
+                .iter()
+                .map(|&o| self.find_nc(o).class() as usize)
+                .collect();
+            let mut used = self.used_classes(&choice, &out_classes)?;
+            let mut gates = Self::count_gates(&used, &choice);
+            for _ in 0..4 {
+                let mut cand = choice.clone();
+                let mut mcost: Vec<Option<u64>> = vec![None; n];
+                for c in 0..n {
+                    if cand[c] == Some(usize::MAX) {
+                        mcost[c] = Some(0);
+                    }
+                }
+                for _ in 0..SWEEP_CAP {
+                    let mut changed = false;
+                    for c in 0..n {
+                        if self.uf[c].class() != c as u32 || self.leaf[c].is_some() {
+                            continue;
+                        }
+                        let Some((tp, _, _)) = best[c] else { continue };
+                        let mut class_best: Option<(u64, usize)> = None;
+                        for (idx, &(node, _)) in self.nodes[c].iter().enumerate() {
+                            let mut cost: u64 = 1;
+                            let mut safe = true;
+                            for kid in node {
+                                let kc = self.find_nc(kid).class() as usize;
+                                match best[kc] {
+                                    Some((kp, _, _)) if kp < tp => {
+                                        if !used[kc] {
+                                            match mcost[kc] {
+                                                Some(m) => cost = cost.saturating_add(m),
+                                                None => {
+                                                    safe = false;
+                                                    break;
+                                                }
+                                            }
+                                        }
+                                    }
+                                    _ => {
+                                        safe = false;
+                                        break;
+                                    }
+                                }
+                            }
+                            if safe && class_best.is_none_or(|(bc, _)| cost < bc) {
+                                class_best = Some((cost, idx));
+                            }
+                        }
+                        if let Some((cost, idx)) = class_best {
+                            if mcost[c].is_none_or(|m| cost < m) {
+                                mcost[c] = Some(cost);
+                                cand[c] = Some(idx);
+                                changed = true;
+                            }
+                        }
+                    }
+                    if !changed {
+                        break;
+                    }
+                }
+                let new_used = self.used_classes(&cand, &out_classes)?;
+                let new_gates = Self::count_gates(&new_used, &cand);
+                if new_gates < gates {
+                    choice = cand;
+                    used = new_used;
+                    gates = new_gates;
+                } else {
+                    break;
+                }
+            }
+        }
+        // Emit the chosen representatives bottom-up with an explicit
+        // stack (e-graph depth is unbounded by the input's depth).
+        let mut built: Vec<Option<Signal>> = vec![None; n];
+        let mut stack: Vec<u32> = Vec::new();
+        for &out in outputs {
+            stack.push(self.find(out).class());
+            while let Some(&c) = stack.last() {
+                let c = c as usize;
+                if built[c].is_some() {
+                    stack.pop();
+                    continue;
+                }
+                let idx = choice[c]?;
+                if idx == usize::MAX {
+                    let (leaf, p) = self.leaf[c].expect("leaf-marked class");
+                    let sig = match leaf {
+                        Leaf::Const => Signal::FALSE,
+                        Leaf::Input(i) => arena.input(i as usize),
+                    };
+                    // leaf ≡ ELit(c, p), so ELit(c, 0) = leaf ⊕ p.
+                    built[c] = Some(sig.complement_if(p));
+                    stack.pop();
+                    continue;
+                }
+                let (node, oc) = self.nodes[c][idx];
+                let mut kids = [Signal::FALSE; 3];
+                let mut ready = true;
+                for (k, kid) in node.iter().enumerate() {
+                    let klit = self.find(*kid);
+                    match built[klit.class() as usize] {
+                        Some(sig) => kids[k] = sig.complement_if(klit.is_complemented()),
+                        None => {
+                            stack.push(klit.class());
+                            ready = false;
+                        }
+                    }
+                }
+                if !ready {
+                    continue;
+                }
+                let m = arena.maj(kids[0], kids[1], kids[2]);
+                built[c] = Some(m.complement_if(oc));
+                stack.pop();
+            }
+        }
+        outputs
+            .iter()
+            .map(|&out| {
+                let lit = self.find(out);
+                built[lit.class() as usize].map(|s| s.complement_if(lit.is_complemented()))
+            })
+            .collect()
+    }
+}
+
+/// The paper's axiom set as executable, simulation-testable rules. The
+/// saturation engine implements the structural rules (`Ω.C`, `Ω.M`,
+/// `Ω.I`) in its normal form and the rest in its matcher; this enum is
+/// the single list the axiom-soundness harness iterates so every rule is
+/// covered bidirectionally by batched simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EsatRule {
+    /// `Ω.C` commutativity: `M(x,y,z) = M(y,x,z)` (structural: children
+    /// are kept sorted).
+    OmegaC,
+    /// `Ω.M` majority: `M(x,x,z) = x` and `M(x,x',z) = z` (folded on
+    /// insertion).
+    OmegaM,
+    /// `Ω.A` associativity: `M(x,u,M(y,u,z)) = M(z,u,M(y,u,x))`.
+    OmegaA,
+    /// `Ω.D` distributivity: `M(x,y,M(u,v,z)) = M(M(x,y,u),M(x,y,v),z)`.
+    OmegaD,
+    /// `Ω.I` inverter propagation: `M'(x,y,z) = M(x',y',z')`
+    /// (structural: complement normalization).
+    OmegaI,
+    /// `Ψ.R` relevance, one-level instance:
+    /// `M(x,y,M(z,x,w)) = M(x,y,M(z,y',w))`.
+    PsiR,
+    /// `Ψ.C` complementary associativity:
+    /// `M(x,u,M(y,u',z)) = M(x,u,M(y,x,z))`.
+    PsiC,
+    /// M-associativity: `M(x,u,M(y,u,z)) = M(M(x,u,y),u,z)`.
+    MAssoc,
+}
+
+impl EsatRule {
+    /// Every rule, in paper order.
+    pub const ALL: [EsatRule; 8] = [
+        EsatRule::OmegaC,
+        EsatRule::OmegaM,
+        EsatRule::OmegaA,
+        EsatRule::OmegaD,
+        EsatRule::OmegaI,
+        EsatRule::PsiR,
+        EsatRule::PsiC,
+        EsatRule::MAssoc,
+    ];
+
+    /// Short display name with the paper reference.
+    pub fn name(self) -> &'static str {
+        match self {
+            EsatRule::OmegaC => "Ω.C commutativity",
+            EsatRule::OmegaM => "Ω.M majority",
+            EsatRule::OmegaA => "Ω.A associativity",
+            EsatRule::OmegaD => "Ω.D distributivity",
+            EsatRule::OmegaI => "Ω.I inverter propagation",
+            EsatRule::PsiR => "Ψ.R relevance",
+            EsatRule::PsiC => "Ψ.C complementary associativity",
+            EsatRule::MAssoc => "M-associativity",
+        }
+    }
+
+    /// Builds this rule's left/right-hand sides over the environment
+    /// `[x, u, y, z, w]` inside `mig`, returning one `(lhs, rhs)` signal
+    /// pair per instance (some rules have two). Each pair is functionally
+    /// equal for *any* choice of environment signals — that is exactly
+    /// what the soundness harness verifies by simulation.
+    pub fn instances(self, mig: &mut Mig, env: [Signal; 5]) -> Vec<(Signal, Signal)> {
+        let [x, u, y, z, w] = env;
+        match self {
+            EsatRule::OmegaC => {
+                let lhs = mig.maj(x, u, y);
+                let rhs = mig.maj(u, y, x);
+                vec![(lhs, rhs)]
+            }
+            EsatRule::OmegaM => {
+                let a = mig.maj(x, x, z);
+                let b = mig.maj(x, !x, z);
+                vec![(a, x), (b, z)]
+            }
+            EsatRule::OmegaA => {
+                let li = mig.maj(y, u, z);
+                let lhs = mig.maj(x, u, li);
+                let ri = mig.maj(y, u, x);
+                let rhs = mig.maj(z, u, ri);
+                vec![(lhs, rhs)]
+            }
+            EsatRule::OmegaD => {
+                let li = mig.maj(y, z, w);
+                let lhs = mig.maj(x, u, li);
+                let ra = mig.maj(x, u, y);
+                let rb = mig.maj(x, u, z);
+                let rhs = mig.maj(ra, rb, w);
+                vec![(lhs, rhs)]
+            }
+            EsatRule::OmegaI => {
+                let lhs = !mig.maj(x, u, y);
+                let rhs = mig.maj(!x, !u, !y);
+                vec![(lhs, rhs)]
+            }
+            EsatRule::PsiR => {
+                let li = mig.maj(z, x, w);
+                let lhs = mig.maj(x, u, li);
+                let ri = mig.maj(z, !u, w);
+                let rhs = mig.maj(x, u, ri);
+                vec![(lhs, rhs)]
+            }
+            EsatRule::PsiC => {
+                let li = mig.maj(y, !u, z);
+                let lhs = mig.maj(x, u, li);
+                let ri = mig.maj(y, x, z);
+                let rhs = mig.maj(x, u, ri);
+                vec![(lhs, rhs)]
+            }
+            EsatRule::MAssoc => {
+                let li = mig.maj(y, u, z);
+                let lhs = mig.maj(x, u, li);
+                let ri = mig.maj(x, u, y);
+                let rhs = mig.maj(ri, u, z);
+                vec![(lhs, rhs)]
+            }
+        }
+    }
+
+    /// Builds the two sides as e-graph expressions over literal
+    /// environment `[x, u, y, z, w]` — the engine-level twin of
+    /// [`instances`](EsatRule::instances), used by the bidirectional
+    /// saturation tests.
+    pub fn elit_instances(self, g: &mut EGraph, env: [ELit; 5]) -> Vec<(ELit, ELit)> {
+        let [x, u, y, z, w] = env;
+        match self {
+            EsatRule::OmegaC => {
+                let lhs = g.maj(x, u, y);
+                let rhs = g.maj(u, y, x);
+                vec![(lhs, rhs)]
+            }
+            EsatRule::OmegaM => {
+                let a = g.maj(x, x, z);
+                let b = g.maj(x, x.not(), z);
+                vec![(a, x), (b, z)]
+            }
+            EsatRule::OmegaA => {
+                let li = g.maj(y, u, z);
+                let lhs = g.maj(x, u, li);
+                let ri = g.maj(y, u, x);
+                let rhs = g.maj(z, u, ri);
+                vec![(lhs, rhs)]
+            }
+            EsatRule::OmegaD => {
+                let li = g.maj(y, z, w);
+                let lhs = g.maj(x, u, li);
+                let ra = g.maj(x, u, y);
+                let rb = g.maj(x, u, z);
+                let rhs = g.maj(ra, rb, w);
+                vec![(lhs, rhs)]
+            }
+            EsatRule::OmegaI => {
+                let lhs = g.maj(x, u, y).not();
+                let rhs = g.maj(x.not(), u.not(), y.not());
+                vec![(lhs, rhs)]
+            }
+            EsatRule::PsiR => {
+                let li = g.maj(z, x, w);
+                let lhs = g.maj(x, u, li);
+                let ri = g.maj(z, u.not(), w);
+                let rhs = g.maj(x, u, ri);
+                vec![(lhs, rhs)]
+            }
+            EsatRule::PsiC => {
+                let li = g.maj(y, u.not(), z);
+                let lhs = g.maj(x, u, li);
+                let ri = g.maj(y, x, z);
+                let rhs = g.maj(x, u, ri);
+                vec![(lhs, rhs)]
+            }
+            EsatRule::MAssoc => {
+                let li = g.maj(y, u, z);
+                let lhs = g.maj(x, u, li);
+                let ri = g.maj(x, u, y);
+                let rhs = g.maj(ri, u, z);
+                vec![(lhs, rhs)]
+            }
+        }
+    }
+}
+
+/// Inserts every reachable gate of `mig` into `g` (which must have been
+/// primed with the same input count) and returns the output literals in
+/// output order.
+fn seed_one(g: &mut EGraph, mig: &Mig) -> Vec<ELit> {
+    let mut map: Vec<ELit> = vec![ELit::FALSE; mig.num_nodes()];
+    for i in 0..mig.num_inputs() {
+        map[i + 1] = g.input(i);
+    }
+    {
+        let mark = mig.reach_ref();
+        for node in mig.gate_ids() {
+            if !mark[node.index()] {
+                continue;
+            }
+            let [a, b, c] = mig
+                .children(node)
+                .map(|s| map[s.node().index()].complement_if(s.is_complemented()));
+            map[node.index()] = g.maj(a, b, c);
+        }
+    }
+    mig.outputs()
+        .iter()
+        .map(|(_, s)| map[s.node().index()].complement_if(s.is_complemented()))
+        .collect()
+}
+
+/// Seeds an e-graph from `mig` plus any number of functionally
+/// equivalent structural `variants` (same inputs, same output order):
+/// each variant's outputs are merged with `mig`'s, so congruence
+/// closure relates the alternative structures and extraction can pick
+/// the cheapest mix of all of them. Returns the graph plus `mig`'s
+/// output literals.
+fn seed(mig: &Mig, variants: &[Mig]) -> (EGraph, Vec<ELit>) {
+    let mut g = EGraph::with_inputs(mig.num_inputs());
+    let outs = seed_one(&mut g, mig);
+    for v in variants {
+        debug_assert_eq!(v.num_inputs(), mig.num_inputs());
+        let vouts = seed_one(&mut g, v);
+        for (&a, &b) in outs.iter().zip(&vouts) {
+            g.merge(a, b);
+        }
+        g.rebuild();
+    }
+    (g, outs)
+}
+
+/// Saturates `mig`'s e-graph under `config` and extracts one candidate
+/// per requested structural objective (deduplicated request order is the
+/// caller's concern). Shared saturation, per-objective extraction.
+fn saturate_and_extract(
+    mig: &Mig,
+    variants: &[Mig],
+    config: &EsatConfig,
+    objectives: &[Objective],
+    bufs: &mut OptBuffers,
+) -> Vec<Mig> {
+    let (mut g, outs) = seed(mig, variants);
+    g.saturate(config);
+    objectives
+        .iter()
+        .map(|&obj| {
+            let mut arena = bufs.fresh_arena(mig);
+            match g.extract_into(obj, &outs, &mut arena) {
+                Some(sigs) => {
+                    for ((name, _), sig) in mig.outputs().iter().zip(sigs) {
+                        arena.add_output(name.clone(), sig);
+                    }
+                    arena
+                }
+                None => {
+                    // Unreachable for seeded graphs; fall back to a
+                    // verbatim copy so the pass stays total.
+                    bufs.recycle(arena);
+                    bufs.cleanup(mig)
+                }
+            }
+        })
+        .collect()
+}
+
+/// Equality-saturation rewriting as a [`Pass`] — the `esat` flow step.
+///
+/// Seeds an e-graph from the input, saturates the Ω/Ψ rule set under the
+/// pipeline budget (`effort` drives the iteration count,
+/// [`Budget::max_nodes`] caps the e-graph, [`Budget::pass_ms`] installs
+/// a saturation deadline), then extracts the cheapest representative
+/// under the pass objective. The extraction is kept only when it
+/// strictly beats the input under that objective — the pass is monotone
+/// by construction and can never regress a flow.
+///
+/// With a mapped objective ([`Objective::MappedArea`] /
+/// [`Objective::MappedDelay`]) and a [`TechModel`] installed on the
+/// context, both structural extractions are measured through the model
+/// and the best *mapped* cost wins (the input included); without a
+/// model, mapped goals degrade to their structural proxy.
+#[derive(Debug, Clone)]
+pub struct EsatPass {
+    /// The objective extraction minimizes.
+    pub goal: Objective,
+    /// Iteration budget (the flow's uniform effort): saturation runs at
+    /// most `effort` rule sweeps (clamped to `1..=8`).
+    pub effort: usize,
+    /// Saturation tuning; `None` uses [`EsatConfig::default`] with the
+    /// iteration count derived from `effort` and the caps derived from
+    /// the pipeline [`Budget`].
+    pub config: Option<EsatConfig>,
+}
+
+impl Default for EsatPass {
+    fn default() -> Self {
+        EsatPass {
+            goal: Objective::SizeThenDepth,
+            effort: 2,
+            config: None,
+        }
+    }
+}
+
+impl EsatPass {
+    /// The effective saturation config under the pipeline `budget`.
+    fn resolve(&self, budget: &Budget) -> EsatConfig {
+        match &self.config {
+            Some(c) => c.clone(),
+            None => EsatConfig {
+                iters: (self.effort * 4).clamp(1, 32),
+                enode_cap: budget.max_nodes.unwrap_or(0),
+                time_ms: budget.pass_ms,
+                ..EsatConfig::default()
+            },
+        }
+    }
+
+    /// Structurally different but equivalent restructurings of `mig`
+    /// used as extra e-graph seeds: the algebraic depth optimizer
+    /// reshapes aggressively (Ω.D L→R pushes), a size recovery of that
+    /// reshape lands in yet another basin, and the NPN-database
+    /// depth-rewriter contributes structures the algebraic rules never
+    /// produce. Their outputs merge with the input's, so extraction
+    /// chooses the cheapest mix of all the structures plus everything
+    /// saturation derives between them.
+    fn variants(&self, bufs: &mut OptBuffers, rc: &mut RewriteCache, mig: &Mig) -> Vec<Mig> {
+        let deep = super::depth::optimize_depth_with(mig, &DepthOptConfig::default(), bufs);
+        let recovered = super::size::optimize_size_with(&deep, &SizeOptConfig::default(), bufs);
+        let rw_deep = optimize_rewrite_with(
+            mig,
+            &RewriteConfig {
+                goal: Objective::DepthThenSize,
+                ..RewriteConfig::default()
+            },
+            bufs,
+            rc,
+        );
+        vec![deep, recovered, rw_deep]
+    }
+
+    /// Structural search: saturate over the input plus its variant
+    /// seeds, extract under the structural goal, keep the winner.
+    fn run_structural(
+        &self,
+        config: &EsatConfig,
+        bufs: &mut OptBuffers,
+        rc: &mut RewriteCache,
+        mig: Mig,
+    ) -> Mig {
+        let obj = self.goal.structural();
+        let variants = self.variants(bufs, rc, &mig);
+        let mut cands = saturate_and_extract(&mig, &variants, config, &[obj], bufs);
+        for v in variants {
+            bufs.recycle(v);
+        }
+        let cand = cands.pop().expect("one objective in, one candidate out");
+        // `<=` rather than `<`: an equal-cost extraction is still a
+        // *restructuring* (the extractor picks per-class representatives
+        // afresh), and downstream greedy passes regularly escape their
+        // local minimum on the reshaped graph. Strictly worse
+        // extractions are discarded, so the pass stays monotone.
+        if obj.of(&cand) <= obj.of(&mig) {
+            bufs.recycle(mig);
+            cand
+        } else {
+            bufs.recycle(cand);
+            mig
+        }
+    }
+
+    /// Mapped search: extract under both structural proxies, measure
+    /// everything (input included) through the tech model, keep the best
+    /// mapped cost.
+    fn run_mapped(
+        &self,
+        config: &EsatConfig,
+        bufs: &mut OptBuffers,
+        rc: &mut RewriteCache,
+        tech: &dyn TechModel,
+        mig: Mig,
+    ) -> Mig {
+        let variants = self.variants(bufs, rc, &mig);
+        let cands = saturate_and_extract(
+            &mig,
+            &variants,
+            config,
+            &[Objective::SizeThenDepth, Objective::DepthThenSize],
+            bufs,
+        );
+        for v in variants {
+            bufs.recycle(v);
+        }
+        let mut best = mig;
+        let mut best_cost = self.goal.mapped_cost(&tech.measure(&best));
+        for cand in cands {
+            let cost = self.goal.mapped_cost(&tech.measure(&cand));
+            if cost < best_cost {
+                bufs.recycle(std::mem::replace(&mut best, cand));
+                best_cost = cost;
+            } else {
+                bufs.recycle(cand);
+            }
+        }
+        best
+    }
+}
+
+impl Pass for EsatPass {
+    fn name(&self) -> &'static str {
+        "esat"
+    }
+
+    fn objective(&self) -> Objective {
+        self.goal
+    }
+
+    fn run(&self, ctx: &mut OptContext, mig: Mig) -> Mig {
+        let config = self.resolve(&ctx.budget());
+        let mapped_goal = matches!(self.goal, Objective::MappedArea | Objective::MappedDelay);
+        if mapped_goal {
+            if let Some(tech) = ctx.tech.take() {
+                let out =
+                    self.run_mapped(&config, &mut ctx.bufs, &mut ctx.rewrite, tech.as_ref(), mig);
+                ctx.set_tech(tech);
+                return out;
+            }
+        }
+        self.run_structural(&config, &mut ctx.bufs, &mut ctx.rewrite, mig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt::pipeline::Flow;
+    use crate::OptContext;
+
+    fn fresh_env(g: &mut EGraph) -> [ELit; 5] {
+        [g.input(0), g.input(1), g.input(2), g.input(3), g.input(4)]
+    }
+
+    #[test]
+    fn elit_packs_like_signal() {
+        let l = ELit::new(7, true);
+        assert_eq!(l.class(), 7);
+        assert!(l.is_complemented());
+        assert_eq!(l.not().not(), l);
+        assert_eq!(ELit::FALSE.not(), ELit::TRUE);
+        assert_eq!(l.complement_if(true), l.not());
+        assert_eq!(l.complement_if(false), l);
+    }
+
+    #[test]
+    fn maj_folds_and_normalizes() {
+        let mut g = EGraph::with_inputs(3);
+        let [a, b, c] = [g.input(0), g.input(1), g.input(2)];
+        // Ω.M folds never create nodes.
+        assert_eq!(g.maj(a, a, c), a);
+        assert_eq!(g.maj(a, a.not(), c), c);
+        assert_eq!(g.maj(ELit::FALSE, ELit::TRUE, b), b);
+        assert_eq!(g.num_enodes(), 0);
+        // Ω.C: operand order is irrelevant.
+        let m1 = g.maj(a, b, c);
+        let m2 = g.maj(c, a, b);
+        assert_eq!(m1, m2);
+        assert_eq!(g.num_enodes(), 1);
+        // Ω.I: the all-complemented node is the complement literal.
+        let m3 = g.maj(a.not(), b.not(), c.not());
+        assert_eq!(m3, m1.not());
+        assert_eq!(g.num_enodes(), 1);
+    }
+
+    #[test]
+    fn merge_with_parity_propagates() {
+        let mut g = EGraph::with_inputs(4);
+        let [a, b, c, d] = [g.input(0), g.input(1), g.input(2), g.input(3)];
+        let m1 = g.maj(a, b, c);
+        let m2 = g.maj(a, b, d);
+        assert!(g.merge(m1, m2.not()));
+        assert!(g.same(m1, m2.not()));
+        assert!(g.same(m1.not(), m2));
+        assert!(!g.same(m1, m2));
+        // Congruence: parents of merged classes collapse after rebuild.
+        let p1 = g.maj(m1, c, d);
+        let p2 = g.maj(m2.not(), c, d);
+        g.rebuild();
+        assert!(g.same(p1, p2));
+    }
+
+    #[test]
+    fn every_rule_saturates_bidirectionally() {
+        for rule in EsatRule::ALL {
+            // Left-to-right: seed the LHS, saturate, the RHS must land
+            // in the same class…
+            let mut g = EGraph::with_inputs(5);
+            let env = fresh_env(&mut g);
+            for (i, (lhs, rhs)) in rule.elit_instances(&mut g, env).into_iter().enumerate() {
+                g.saturate(&EsatConfig::default());
+                assert!(g.same(lhs, rhs), "{} instance {i} (L→R)", rule.name());
+            }
+            // …and right-to-left with the sides created in the opposite
+            // order (the generative direction flipped).
+            let mut g = EGraph::with_inputs(5);
+            let env = fresh_env(&mut g);
+            let pairs: Vec<(ELit, ELit)> = rule
+                .elit_instances(&mut g, env)
+                .into_iter()
+                .map(|(l, r)| (r, l))
+                .collect();
+            for (i, (lhs, rhs)) in pairs.into_iter().enumerate() {
+                g.saturate(&EsatConfig::default());
+                assert!(g.same(lhs, rhs), "{} instance {i} (R→L)", rule.name());
+            }
+        }
+    }
+
+    #[test]
+    fn rules_hold_under_complemented_environments() {
+        // Complement-edge cases: every rule must also saturate when the
+        // environment literals arrive complemented or repeated.
+        let mut g = EGraph::with_inputs(5);
+        let base = fresh_env(&mut g);
+        let envs = [
+            [base[0].not(), base[1], base[2], base[3].not(), base[4]],
+            [base[0], base[1].not(), base[2].not(), base[3], base[4]],
+            [base[0].not(), base[0], base[2], base[3], base[4].not()],
+        ];
+        for rule in EsatRule::ALL {
+            for env in envs {
+                let mut g = EGraph::with_inputs(5);
+                let env = {
+                    let f = fresh_env(&mut g);
+                    [
+                        f[env[0].class() as usize - 1].complement_if(env[0].is_complemented()),
+                        f[env[1].class() as usize - 1].complement_if(env[1].is_complemented()),
+                        f[env[2].class() as usize - 1].complement_if(env[2].is_complemented()),
+                        f[env[3].class() as usize - 1].complement_if(env[3].is_complemented()),
+                        f[env[4].class() as usize - 1].complement_if(env[4].is_complemented()),
+                    ]
+                };
+                for (i, (lhs, rhs)) in rule.elit_instances(&mut g, env).into_iter().enumerate() {
+                    g.saturate(&EsatConfig::default());
+                    assert!(g.same(lhs, rhs), "{} env case instance {i}", rule.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_respects_the_node_cap() {
+        let mut g = EGraph::with_inputs(6);
+        let ins: Vec<ELit> = (0..6).map(|i| g.input(i)).collect();
+        let mut acc = ins[0];
+        for &x in &ins[1..] {
+            let m = g.maj(acc, x, ELit::FALSE);
+            acc = g.maj(m, acc.not(), x);
+        }
+        let seeded = g.num_enodes();
+        let stats = g.saturate(&EsatConfig {
+            iters: 8,
+            enode_cap: seeded + 5,
+            ..EsatConfig::default()
+        });
+        assert_eq!(stats.stopped, StopReason::NodeLimit);
+        // The cap is a growth stop, not a hard invariant mid-action, but
+        // it can only be overshot by the final action's few nodes.
+        assert!(g.num_enodes() <= seeded + 5 + 4, "{}", g.num_enodes());
+    }
+
+    #[test]
+    fn esat_pass_is_monotone_and_equivalent() {
+        let mut mig = Mig::new("redundant");
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let c = mig.add_input("c");
+        let d = mig.add_input("d");
+        // Deliberately un-factored: M(a,b,c) and M(a,b,d) then a layer
+        // that Ω.D can shrink.
+        let m1 = mig.maj(a, b, c);
+        let m2 = mig.maj(a, b, d);
+        let top = mig.maj(m1, m2, c);
+        let x = mig.xor(top, d);
+        mig.add_output("y", x);
+        let mut ctx = OptContext::with_jobs(1);
+        let out = Flow::parse("esat").unwrap().run(mig.clone(), 2, &mut ctx);
+        assert!(out.equiv(&mig, 4));
+        assert!(out.size() <= mig.size(), "{} > {}", out.size(), mig.size());
+        assert!(
+            out.size() < mig.size(),
+            "Ω.D factoring must shrink this graph ({} vs {})",
+            out.size(),
+            mig.size()
+        );
+    }
+
+    #[test]
+    fn esat_finds_the_distributivity_factoring() {
+        // M(M(x,y,u), M(x,y,v), z) = M(x,y,M(u,v,z)): 3 nodes → 2.
+        let mut mig = Mig::new("dist");
+        let x = mig.add_input("x");
+        let y = mig.add_input("y");
+        let u = mig.add_input("u");
+        let v = mig.add_input("v");
+        let z = mig.add_input("z");
+        let a = mig.maj(x, y, u);
+        let b = mig.maj(x, y, v);
+        let t = mig.maj(a, b, z);
+        mig.add_output("f", t);
+        let pass = EsatPass::default();
+        let mut ctx = OptContext::with_jobs(1);
+        let out = ctx.run_pass(&pass, mig.clone());
+        assert!(out.equiv(&mig, 4));
+        assert_eq!(out.size(), 2, "factored form is two nodes");
+    }
+
+    #[test]
+    fn depth_goal_extracts_shallower_structures() {
+        // An XOR chain has a log-depth restructuring reachable through
+        // associativity.
+        let mut mig = Mig::new("chain");
+        let ins: Vec<Signal> = (0..4).map(|i| mig.add_input(format!("x{i}"))).collect();
+        let mut acc = ins[0];
+        for &s in &ins[1..] {
+            acc = mig.and(acc, s);
+        }
+        mig.add_output("y", acc);
+        let pass = EsatPass {
+            goal: Objective::DepthThenSize,
+            effort: 4,
+            config: None,
+        };
+        let mut ctx = OptContext::with_jobs(1);
+        let out = ctx.run_pass(&pass, mig.clone());
+        assert!(out.equiv(&mig, 4));
+        assert!(
+            out.depth() < mig.depth(),
+            "{} !< {}",
+            out.depth(),
+            mig.depth()
+        );
+    }
+
+    #[test]
+    fn extraction_reuses_shared_classes() {
+        // Two outputs sharing structure must share extracted nodes (the
+        // per-class memo makes extraction DAG-aware).
+        let mut mig = Mig::new("share");
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let c = mig.add_input("c");
+        let m = mig.maj(a, b, c);
+        let o1 = mig.and(m, a);
+        let o2 = mig.or(m, b);
+        mig.add_output("p", o1);
+        mig.add_output("q", o2);
+        let (mut g, outs) = seed(&mig, &[]);
+        let mut bufs = OptBuffers::new();
+        let mut arena = bufs.fresh_arena(&mig);
+        let sigs = g
+            .extract_into(Objective::SizeThenDepth, &outs, &mut arena)
+            .expect("seeded graph extracts");
+        for ((name, _), sig) in mig.outputs().iter().zip(sigs) {
+            arena.add_output(name.clone(), sig);
+        }
+        assert!(arena.equiv(&mig, 4));
+        assert_eq!(arena.size(), mig.size(), "verbatim extraction round-trips");
+    }
+}

@@ -9,18 +9,22 @@
 //!   probability-aware `Ψ.R` exchanges plus size recovery.
 //! * [`rewrite`] — cut-based Boolean rewriting against the NPN database,
 //!   in a size-oriented and a depth-oriented acceptance mode.
+//! * [`esat`] — equality-saturation rewriting: the axioms as
+//!   bidirectional rules over an e-graph, with cost-based extraction.
 //! * [`pipeline`] — the composable pass manager: the [`Pass`] trait, the
 //!   shared [`OptContext`], and the flow-script language that sequences
 //!   the passes above.
 
 pub mod activity;
 pub mod depth;
+pub mod esat;
 pub mod pipeline;
 pub mod rewrite;
 pub mod size;
 
 pub use activity::{optimize_activity, ActivityOptConfig};
 pub use depth::{optimize_depth, DepthOptConfig};
+pub use esat::{EGraph, ELit, EsatConfig, EsatPass, EsatRule, EsatStats, StopReason};
 pub use pipeline::{
     ActivityPass, Budget, DepthPass, Flow, FlowStep, MapPass, MappedMetrics, OptContext, Pass,
     PassKind, PassMetrics, PassOutcome, PassReport, Repeat, RewritePass, SimSpotCheck, SizePass,

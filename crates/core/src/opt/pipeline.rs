@@ -27,7 +27,7 @@
 //! flow   := step (';' step)* [';']
 //! step   := pass [ '*' [count] ]
 //! pass   := 'size' | 'depth' | 'activity' | 'rewrite' | 'depth_rewrite'
-//!         | 'map_area' | 'map_delay'
+//!         | 'esat' | 'depth_esat' | 'map_area' | 'map_delay'
 //! count  := positive integer
 //! ```
 //!
@@ -843,6 +843,11 @@ pub enum PassKind {
     Rewrite,
     /// Depth-oriented Boolean rewriting — `depth_rewrite`.
     DepthRewrite,
+    /// Equality-saturation rewriting — `esat` (see
+    /// [`EsatPass`](super::esat::EsatPass)).
+    Esat,
+    /// Depth-oriented equality-saturation rewriting — `depth_esat`.
+    DepthEsat,
     /// Mapped-area recovery — `map_area` (no-op without a
     /// [`TechModel`] in the context).
     MapArea,
@@ -853,12 +858,14 @@ pub enum PassKind {
 
 impl PassKind {
     /// Every built-in pass, in documentation order.
-    pub const ALL: [PassKind; 7] = [
+    pub const ALL: [PassKind; 9] = [
         PassKind::Size,
         PassKind::Depth,
         PassKind::Activity,
         PassKind::Rewrite,
         PassKind::DepthRewrite,
+        PassKind::Esat,
+        PassKind::DepthEsat,
         PassKind::MapArea,
         PassKind::MapDelay,
     ];
@@ -871,6 +878,8 @@ impl PassKind {
             PassKind::Activity => "activity",
             PassKind::Rewrite => "rewrite",
             PassKind::DepthRewrite => "depth_rewrite",
+            PassKind::Esat => "esat",
+            PassKind::DepthEsat => "depth_esat",
             PassKind::MapArea => "map_area",
             PassKind::MapDelay => "map_delay",
         }
@@ -884,8 +893,12 @@ impl PassKind {
     /// The objective the pass minimizes (drives `*` convergence).
     pub fn objective(self) -> Objective {
         match self {
-            PassKind::Size | PassKind::Activity | PassKind::Rewrite => Objective::SizeThenDepth,
-            PassKind::Depth | PassKind::DepthRewrite => Objective::DepthThenSize,
+            PassKind::Size | PassKind::Activity | PassKind::Rewrite | PassKind::Esat => {
+                Objective::SizeThenDepth
+            }
+            PassKind::Depth | PassKind::DepthRewrite | PassKind::DepthEsat => {
+                Objective::DepthThenSize
+            }
             PassKind::MapArea => Objective::MappedArea,
             PassKind::MapDelay => Objective::MappedDelay,
         }
@@ -928,6 +941,16 @@ impl PassKind {
                     goal: Objective::DepthThenSize,
                     ..RewriteConfig::default()
                 },
+            }),
+            PassKind::Esat => Box::new(super::esat::EsatPass {
+                goal: Objective::SizeThenDepth,
+                effort,
+                config: None,
+            }),
+            PassKind::DepthEsat => Box::new(super::esat::EsatPass {
+                goal: Objective::DepthThenSize,
+                effort,
+                config: None,
             }),
             PassKind::MapArea => Box::new(MapPass {
                 goal: Objective::MappedArea,

@@ -81,9 +81,10 @@ USAGE:
                                         instead of a target, e.g.
                                         size*2; rewrite; depth_rewrite
                                         (passes: size, depth, activity,
-                                        rewrite, depth_rewrite, map_area,
-                                        map_delay; pass*N repeats, a bare
-                                        pass* converges);
+                                        rewrite, depth_rewrite, esat,
+                                        depth_esat, map_area, map_delay;
+                                        pass*N repeats,
+                                        a bare pass* converges);
                                         --jobs sets the rewriting engine's
                                         evaluate-phase worker threads
                                         (default: all cores; results are
@@ -103,7 +104,7 @@ USAGE:
                  [--rounds N] [--jobs N] [-o FILE]
                                         timed pass sweep over the MCNC suite
                                         (default flow: size; rewrite; depth;
-                                        activity); writes the mig-bench/v5
+                                        activity); writes the mig-bench/v6
                                         JSON perf trajectory with mapped
                                         area/delay/power on both stock
                                         libraries (default FILE:

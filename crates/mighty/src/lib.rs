@@ -17,7 +17,7 @@
 //! same pipeline as plain functions ([`load_input`], [`run_opt`],
 //! [`run_flow`], [`render_report`]) so integration tests drive the exact
 //! code path the CLI does. The timed suite sweep behind `mighty bench`
-//! lives in [`mig_bench`], which writes the `mig-bench/v5`
+//! lives in [`mig_bench`], which writes the `mig-bench/v6`
 //! perf-trajectory JSON (`BENCH_opt.json`) with every optimized result
 //! technology-mapped onto both stock `mig_techmap` libraries. The
 //! `mighty map` half ([`run_map`], [`render_map_report`]) maps a
@@ -476,6 +476,8 @@ fn pass_label(pass: &str) -> String {
         "activity" => "activity (§IV-C)".to_string(),
         "rewrite" => "rewrite (Boolean)".to_string(),
         "depth_rewrite" => "depth_rewrite (Boolean)".to_string(),
+        "esat" => "esat (e-graph)".to_string(),
+        "depth_esat" => "depth_esat (e-graph)".to_string(),
         "map_area" => "map_area (mapped §V)".to_string(),
         "map_delay" => "map_delay (mapped §V)".to_string(),
         other => other.to_string(),

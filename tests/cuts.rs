@@ -1,0 +1,188 @@
+//! Direct invariant tests for the priority-cut enumerator
+//! (`mig_core::enumerate_cuts`) — the shared substrate under Boolean
+//! rewriting and technology mapping. Checked here: the k-bound and
+//! per-node cut-count bound, leaf ordering/uniqueness, the unit-cut and
+//! constant/input conventions, reachability gating, and the packed
+//! truth table of every cut against 64-pattern simulation.
+
+use mig_suite::mig::{enumerate_cuts, Mig, NodeId, Signal};
+use mig_suite::netlist::SplitMix64;
+use mig_suite::sim::simulate_batch;
+
+/// Builds a random MIG over `inputs` inputs with `gates` random majority
+/// gates (random fanins, random complement edges) and outputs on the
+/// last few gates so most of the graph is reachable.
+fn random_mig(rng: &mut SplitMix64, inputs: usize, gates: usize) -> Mig {
+    let mut mig = Mig::new("corpus");
+    let mut pool: Vec<Signal> = (0..inputs)
+        .map(|i| mig.add_input(format!("i{i}")))
+        .collect();
+    for _ in 0..gates {
+        let pick = |rng: &mut SplitMix64, pool: &[Signal]| {
+            let s = pool[(rng.next_u64() as usize) % pool.len()];
+            s.complement_if(rng.next_u64() & 1 == 1)
+        };
+        let a = pick(rng, &pool);
+        let b = pick(rng, &pool);
+        let c = pick(rng, &pool);
+        let s = mig.maj(a, b, c);
+        pool.push(s);
+    }
+    for (o, s) in pool.iter().rev().take(3).enumerate() {
+        mig.add_output(format!("o{o}"), *s);
+    }
+    mig
+}
+
+/// One 64-pattern simulation word per arena node: a probe copy of the
+/// MIG gets one output per node (regular edge), so every node's value
+/// is observable — including nodes the original outputs cannot reach.
+fn node_words(mig: &Mig, rng: &mut SplitMix64) -> Vec<u64> {
+    let mut probe = mig.clone();
+    let skip = probe.num_outputs();
+    for n in 0..mig.num_nodes() {
+        probe.add_output(format!("p{n}"), Signal::new(NodeId::from_index(n), false));
+    }
+    let net = probe.to_network();
+    let words: Vec<u64> = (0..net.num_inputs()).map(|_| rng.next_u64()).collect();
+    let outs = simulate_batch(&net, &words, 1);
+    outs[skip..].to_vec()
+}
+
+/// Structural invariants of one enumeration, for a given `k` and
+/// `max_cuts` request.
+fn assert_cut_invariants(mig: &Mig, k: usize, max_cuts: usize) {
+    let cuts = enumerate_cuts(mig, k, max_cuts);
+    let k = k.clamp(2, 4);
+    let max_cuts = max_cuts.clamp(1, 8);
+    let reach = mig.reachable();
+    assert_eq!(cuts.num_nodes(), mig.num_nodes(), "one slot per arena node");
+
+    // Constant node: exactly one empty cut.
+    let c = cuts.cuts_of(NodeId::CONST0.index());
+    assert_eq!(c.len(), 1, "constant node carries exactly one cut");
+    assert_eq!(c[0].len, 0, "the constant node's cut is empty");
+
+    // Inputs: exactly the unit cut, computing the identity projection.
+    for i in 0..mig.num_inputs() {
+        let n = mig.input(i).node().index();
+        let c = cuts.cuts_of(n);
+        assert_eq!(c.len(), 1, "input {i} carries exactly its unit cut");
+        assert_eq!(c[0].leaves(), &[n as u32], "input unit cut is self");
+        assert_eq!(c[0].tt & 0b11, 0b10, "unit cut computes the identity");
+    }
+
+    for node in mig.gate_ids() {
+        let n = node.index();
+        let c = cuts.cuts_of(n);
+        if !reach[n] {
+            assert!(c.is_empty(), "unreachable gate n{n} must carry no cuts");
+            continue;
+        }
+        assert!(!c.is_empty(), "reachable gate n{n} must carry cuts");
+        assert!(
+            c.len() <= max_cuts + 1,
+            "n{n}: {} cuts exceed the {max_cuts} priority slots + unit cut",
+            c.len()
+        );
+        let unit = c.last().unwrap();
+        assert_eq!(unit.leaves(), &[n as u32], "unit cut comes last");
+        for (pos, cut) in c.iter().enumerate() {
+            assert!(
+                (cut.len as usize) <= k,
+                "n{n}: cut with {} leaves breaks the k = {k} bound",
+                cut.len
+            );
+            assert!(cut.len >= 1, "only the constant node has an empty cut");
+            let leaves = cut.leaves();
+            for w in leaves.windows(2) {
+                assert!(w[0] < w[1], "n{n}: leaves must be ascending and unique");
+            }
+            for &leaf in leaves {
+                assert!(
+                    (leaf as usize) < mig.num_nodes(),
+                    "n{n}: leaf out of the arena"
+                );
+                if pos + 1 < c.len() {
+                    assert!(
+                        (leaf as usize) < n,
+                        "n{n}: non-unit cut leaves must sit strictly below the root"
+                    );
+                }
+            }
+            if cut.len < 4 {
+                assert_eq!(
+                    cut.tt >> (1u32 << cut.len),
+                    0,
+                    "n{n}: truth-table bits above 2^len must be zero"
+                );
+            }
+        }
+    }
+}
+
+/// Every cut's packed truth table matches 64-pattern simulation: the
+/// root's simulated word equals the cut function applied bitwise to the
+/// leaves' simulated words.
+fn assert_cut_functions(mig: &Mig, rng: &mut SplitMix64, k: usize, max_cuts: usize) {
+    let cuts = enumerate_cuts(mig, k, max_cuts);
+    let vals = node_words(mig, rng);
+    for node in 0..cuts.num_nodes() {
+        for cut in cuts.cuts_of(node) {
+            let mut expect = 0u64;
+            for t in 0..64 {
+                let mut idx = 0usize;
+                for (j, &leaf) in cut.leaves().iter().enumerate() {
+                    idx |= (((vals[leaf as usize] >> t) & 1) as usize) << j;
+                }
+                expect |= ((cut.tt >> idx) as u64 & 1) << t;
+            }
+            assert_eq!(
+                vals[node],
+                expect,
+                "n{node}: cut over {:?} computes tt {:#06x} wrongly",
+                cut.leaves(),
+                cut.tt
+            );
+        }
+    }
+}
+
+/// Structural invariants over a random corpus, across the whole (k,
+/// max_cuts) parameter grid including out-of-range requests (which must
+/// clamp, not break).
+#[test]
+fn enumeration_invariants_hold_over_random_migs() {
+    let mut rng = SplitMix64::seed_from_u64(0xC075_0001);
+    for _ in 0..12 {
+        let inputs = 3 + (rng.next_u64() % 4) as usize;
+        let gates = 6 + (rng.next_u64() % 30) as usize;
+        let mig = random_mig(&mut rng, inputs, gates);
+        for (k, max_cuts) in [(2, 4), (3, 6), (4, 8), (0, 0), (9, 100)] {
+            assert_cut_invariants(&mig, k, max_cuts);
+        }
+    }
+}
+
+/// Truth-table correctness over a random corpus.
+#[test]
+fn cut_truth_tables_match_simulation() {
+    let mut rng = SplitMix64::seed_from_u64(0xC075_0002);
+    for _ in 0..12 {
+        let inputs = 3 + (rng.next_u64() % 4) as usize;
+        let gates = 6 + (rng.next_u64() % 30) as usize;
+        let mig = random_mig(&mut rng, inputs, gates);
+        assert_cut_functions(&mig, &mut rng, 4, 8);
+    }
+}
+
+/// The same invariants on a real benchmark (deep reconvergent logic,
+/// where priority-slot eviction and dominance pruning actually fire).
+#[test]
+fn enumeration_invariants_hold_on_a_benchmark() {
+    let net = mig_suite::benchgen::generate("count").expect("known benchmark");
+    let mig = Mig::from_network(&net);
+    let mut rng = SplitMix64::seed_from_u64(0xC075_0003);
+    assert_cut_invariants(&mig, 4, 8);
+    assert_cut_functions(&mig, &mut rng, 4, 8);
+}
