@@ -8,7 +8,7 @@
 //! successive PRs accumulate a performance trajectory (compare the
 //! committed file against a fresh run to spot regressions).
 //!
-//! The schema (`mig-bench/v6`, documented in `DESIGN.md` §7/§10; v2
+//! The schema (`mig-bench/v7`, documented in `DESIGN.md` §7/§10; v2
 //! added the cut-based Boolean `rewrite` pass between `size` and
 //! `depth`; v3 added the top-level `threads` field recording the rewrite
 //! engine's resolved evaluate-phase worker count; v4 added the top-level
@@ -20,15 +20,23 @@
 //! v6 additionally runs the equality-saturation head-to-head — the
 //! committed [`ESAT_FLOW`] against the strongest esat-free reference
 //! [`ESAT_REF_FLOW`] — and records the per-benchmark `esat` object plus
-//! the totals' `esat_size`/`esat_ref_size` sums. Every v5 field
-//! serializes byte-identically. A pass entry additionally carries an
+//! the totals' `esat_size`/`esat_ref_size` sums; v7 adds suite
+//! selection — the 100k–1M-node large tier ([`LARGE_FLOW`], skipping
+//! the mapping/esat stages that exist for MCNC-scale comparison) — and
+//! serializes its records in a top-level `large` array with wall time
+//! per pass, a memory footprint (arena/strash/cut-cache bytes plus peak
+//! RSS), and the [`mig_core::LevelStats`] counters evidencing bounded
+//! level maintenance. The `suite` field names what ran (`mcnc14`,
+//! `large4` or `mcnc14+large4`); every MCNC-tier field of v6
+//! serializes byte-identically, so the committed trajectory's MCNC
+//! records never regenerate. A pass entry additionally carries an
 //! `"outcome"` key when — and only when — the pass manager degraded it
 //! (`rolled_back` / `timed_out` / `skipped`), so a healthy run's JSON
 //! carries no outcome noise):
 //!
 //! ```json
 //! {
-//!   "schema": "mig-bench/v6",
+//!   "schema": "mig-bench/v7",
 //!   "suite": "mcnc14",
 //!   "mode": "full",
 //!   "flow": "size; rewrite; depth; activity",
@@ -57,6 +65,23 @@
 //!       "total_millis": 40.1
 //!     }
 //!   ],
+//!   "large": [
+//!     {
+//!       "name": "mul_100k", "inputs": 224, "outputs": 224,
+//!       "import": {"size": 99457, "depth": 662},
+//!       "passes": [
+//!         {"pass": "size", "size": 99457, "depth": 662, "millis": 301.0}
+//!       ],
+//!       "equiv": true, "size_ok": true,
+//!       "mem": {"arena_bytes": 1597440, "strash_slots": 262144,
+//!               "strash_bytes": 4194304, "cache_entries": 795656,
+//!               "peak_rss_bytes": 734003200},
+//!       "levels": {"incremental_repairs": 291808,
+//!                  "repaired_nodes": 340756, "nodes_per_repair": 1.17,
+//!                  "global_rebuilds": 11},
+//!       "total_millis": 1060.0
+//!     }
+//!   ],
 //!   "totals": {"benchmarks": 14, "millis": 400.0,
 //!              "size_before": 1000, "size_after": 800,
 //!              "mapped_area": 700.0, "mapped_nomaj_area": 800.0,
@@ -64,6 +89,11 @@
 //!              "all_ok": true}
 //! }
 //! ```
+//!
+//! The `large` array (and the constant `large_flow` line) appear only
+//! when the large tier ran, so an MCNC-only run's JSON stays free of
+//! machine-volatile fields (`peak_rss_bytes` varies run to run even on
+//! one machine; the CI bit-identity gates strip the `large` block).
 //!
 //! Numbers are written with enough precision to diff; wall times are
 //! machine-dependent and meant for *relative* comparison on one machine.
@@ -75,7 +105,7 @@
 //! let report = run_suite(&cfg);
 //! assert!(report.all_ok());
 //! assert_eq!(report.benchmarks.len(), 1);
-//! assert!(mig_bench::to_json(&report).contains("\"schema\": \"mig-bench/v6\""));
+//! assert!(mig_bench::to_json(&report).contains("\"schema\": \"mig-bench/v7\""));
 //! ```
 
 #![warn(missing_docs)]
@@ -83,7 +113,7 @@
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use mig_core::{Budget, Flow, Mig, OptContext, RewriteConfig, SimSpotCheck};
+use mig_core::{Budget, Flow, LevelStats, Mig, OptContext, RewriteConfig, SimSpotCheck};
 use mig_techmap::{map_mig, CellLibrary, MapConfig};
 
 /// The canonical default flow: the v3 harness's fixed size → rewrite →
@@ -97,6 +127,19 @@ pub const PASSES: [&str; 4] = ["size", "rewrite", "depth", "activity"];
 /// Benchmarks skipped in `--quick` mode (the largest generators — they
 /// dominate wall time without adding CI signal).
 pub const QUICK_SKIP: [&str; 3] = ["clma", "s38417", "bigkey"];
+
+/// The large tier's default flow: the million-node scaling target
+/// (`DESIGN.md` §14). Mapping and the esat head-to-head are MCNC-scale
+/// comparisons and are skipped for this tier.
+pub const LARGE_FLOW: &str = "size*2; rewrite; depth_rewrite; depth";
+
+/// The single large-tier circuit `--quick` mode keeps (the ~100k-node
+/// generator: enough to exercise every million-node code path with CI
+/// wall time in seconds).
+pub const LARGE_QUICK: [&str; 1] = ["mul_100k"];
+
+/// The recognized `--suite` selections.
+pub const SUITES: [&str; 3] = ["mcnc", "large", "all"];
 
 /// The equality-saturation flow of the v6 head-to-head: the reference
 /// backbone with an `esat*; rewrite*; size` tail, so the comparison
@@ -145,8 +188,12 @@ pub struct BenchConfig {
     pub selfcheck: bool,
     /// Run the v6 equality-saturation head-to-head ([`ESAT_FLOW`] vs
     /// [`ESAT_REF_FLOW`]) per benchmark. On by default; turning it off
-    /// drops the `esat` objects from the JSON (the schema tag stays v6).
+    /// drops the `esat` objects from the JSON (the schema tag stays v7).
     pub esat: bool,
+    /// Which tier(s) to run: `"mcnc"` (default), `"large"` or `"all"`.
+    /// Explicit `names` go to the selected tier (`"all"` partitions
+    /// them by [`mig_benchgen::LARGE_NAMES`] membership).
+    pub suite: String,
 }
 
 impl BenchConfig {
@@ -167,6 +214,7 @@ impl BenchConfig {
             max_nodes: None,
             selfcheck: false,
             esat: true,
+            suite: "mcnc".into(),
         }
     }
 
@@ -184,6 +232,7 @@ impl BenchConfig {
             max_nodes: None,
             selfcheck: false,
             esat: true,
+            suite: "mcnc".into(),
         }
     }
 
@@ -247,6 +296,56 @@ pub struct EsatRecord {
     pub equiv: bool,
 }
 
+/// Memory footprint of one large-tier run, sampled after the flow.
+#[derive(Debug, Clone, Copy)]
+pub struct MemRecord {
+    /// Bytes of the final MIG's node arena (children + levels).
+    pub arena_bytes: usize,
+    /// Allocated structural-hash slots of the final MIG.
+    pub strash_slots: usize,
+    /// Bytes of the structural-hash slot array.
+    pub strash_bytes: usize,
+    /// Cut-cache entries held by the shared rewrite cache.
+    pub cache_entries: usize,
+    /// Peak resident set size of the process (`VmHWM`), in bytes; 0
+    /// where `/proc/self/status` is unavailable. Machine- and
+    /// run-volatile: excluded from every bit-identity comparison.
+    pub peak_rss_bytes: u64,
+}
+
+/// Full record for one large-tier circuit: the flow ledger plus the
+/// scaling evidence (memory footprint and level-maintenance counters).
+/// Mapping and the esat head-to-head — MCNC-scale comparisons — are
+/// deliberately absent.
+#[derive(Debug, Clone)]
+pub struct LargeRecord {
+    /// Circuit name (see `mig_benchgen::LARGE_NAMES`).
+    pub name: String,
+    /// Primary-input count of the imported circuit.
+    pub inputs: usize,
+    /// Primary-output count of the imported circuit.
+    pub outputs: usize,
+    /// Size/depth of the imported (unoptimized) MIG.
+    pub import: Metrics,
+    /// One entry per executed pass, in flow order.
+    pub passes: Vec<PassResult>,
+    /// Sampled-simulation equivalence of the final result against the
+    /// import.
+    pub equiv: bool,
+    /// Size-monotonicity of the size/rewrite/depth_rewrite passes (same
+    /// contract as the MCNC tier).
+    pub size_ok: bool,
+    /// Memory footprint after the flow.
+    pub mem: MemRecord,
+    /// Level-maintenance counters accumulated over the flow (the
+    /// sub-O(n) evidence; see [`LevelStats::nodes_per_repair`]).
+    pub levels: LevelStats,
+    /// Number of degraded (rolled-back / timed-out / skipped) passes.
+    pub degraded: usize,
+    /// Wall-clock time over all passes (excludes verify).
+    pub total_millis: f64,
+}
+
 /// Full record for one benchmark circuit.
 #[derive(Debug, Clone)]
 pub struct BenchRecord {
@@ -288,8 +387,12 @@ pub struct BenchRecord {
 pub struct BenchReport {
     /// `"full"` or `"quick"`.
     pub mode: &'static str,
-    /// The canonical flow script the run executed.
+    /// Which tiers ran: `"mcnc14"`, `"large4"` or `"mcnc14+large4"`.
+    pub suite: String,
+    /// The canonical flow script the MCNC tier executed.
     pub flow: String,
+    /// The flow script the large tier executed.
+    pub large_flow: String,
     /// The uniform per-pass effort.
     pub effort: usize,
     /// Resolved rewrite-engine worker count the run used (the `jobs`
@@ -297,11 +400,15 @@ pub struct BenchReport {
     pub threads: usize,
     /// One record per benchmark, in run order.
     pub benchmarks: Vec<BenchRecord>,
+    /// One record per large-tier circuit, in run order (empty unless
+    /// the `large` or `all` suite was selected).
+    pub large: Vec<LargeRecord>,
 }
 
 impl BenchReport {
-    /// True when every benchmark verified equivalent (at MIG level and
-    /// for both mapped netlists) and none grew.
+    /// True when every benchmark (both tiers) verified equivalent — at
+    /// MIG level and, for the MCNC tier, for both mapped netlists — and
+    /// none grew.
     pub fn all_ok(&self) -> bool {
         self.benchmarks.iter().all(|b| {
             b.equiv
@@ -309,10 +416,13 @@ impl BenchReport {
                 && b.mapped.equiv
                 && b.mapped_nomaj.equiv
                 && b.esat.as_ref().is_none_or(|e| e.equiv)
-        })
+        }) && self.large.iter().all(|l| l.equiv && l.size_ok)
     }
 
-    /// Total optimization wall time over all benchmarks.
+    /// Total optimization wall time over the MCNC benchmarks (the
+    /// `totals.millis` field; large-tier wall times live in their own
+    /// records so the MCNC totals stay comparable across suite
+    /// selections).
     pub fn total_millis(&self) -> f64 {
         self.benchmarks.iter().map(|b| b.total_millis).sum()
     }
@@ -328,9 +438,10 @@ impl BenchReport {
     }
 
     /// Total number of degraded (rolled-back / timed-out / skipped)
-    /// pass executions across the suite.
+    /// pass executions across both tiers.
     pub fn degraded_passes(&self) -> usize {
-        self.benchmarks.iter().map(|b| b.degraded).sum()
+        self.benchmarks.iter().map(|b| b.degraded).sum::<usize>()
+            + self.large.iter().map(|l| l.degraded).sum::<usize>()
     }
 
     /// True when any pass anywhere in the suite was degraded — the run
@@ -405,6 +516,124 @@ fn map_record(
     }
 }
 
+/// Peak resident set size of this process (`VmHWM`) in bytes; 0 where
+/// `/proc/self/status` is unavailable (non-Linux).
+fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1)?.parse::<u64>().ok())
+        })
+        .map_or(0, |kb| kb * 1024)
+}
+
+/// The tier name lists a configuration resolves to: `(mcnc, large)`.
+fn resolve_names(config: &BenchConfig) -> (Vec<String>, Vec<String>) {
+    let want_mcnc = matches!(config.suite.as_str(), "mcnc" | "all");
+    let want_large = matches!(config.suite.as_str(), "large" | "all");
+    assert!(
+        want_mcnc || want_large,
+        "unknown suite `{}` (known: {})",
+        config.suite,
+        SUITES.join(", ")
+    );
+    if !config.names.is_empty() {
+        // Explicit names go to the selected tier; `all` partitions by
+        // large-tier membership (the tiers' name sets are disjoint).
+        let is_large = |n: &String| mig_benchgen::LARGE_NAMES.contains(&n.as_str());
+        return match config.suite.as_str() {
+            "mcnc" => (config.names.clone(), Vec::new()),
+            "large" => (Vec::new(), config.names.clone()),
+            _ => (
+                config
+                    .names
+                    .iter()
+                    .filter(|n| !is_large(n))
+                    .cloned()
+                    .collect(),
+                config
+                    .names
+                    .iter()
+                    .filter(|n| is_large(n))
+                    .cloned()
+                    .collect(),
+            ),
+        };
+    }
+    let mcnc = if want_mcnc {
+        mig_benchgen::MCNC_NAMES
+            .iter()
+            .filter(|n| !(config.quick && QUICK_SKIP.contains(n)))
+            .map(|n| n.to_string())
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let large = if want_large {
+        let pool: &[&str] = if config.quick {
+            &LARGE_QUICK
+        } else {
+            &mig_benchgen::LARGE_NAMES
+        };
+        pool.iter().map(|n| n.to_string()).collect()
+    } else {
+        Vec::new()
+    };
+    (mcnc, large)
+}
+
+/// Runs one large-tier circuit through `flow`, collecting the ledger,
+/// the level-maintenance counters and the memory footprint.
+fn run_large(
+    name: &str,
+    flow: &Flow,
+    effort: usize,
+    rounds: usize,
+    ctx: &mut OptContext,
+) -> LargeRecord {
+    let net = mig_benchgen::generate(name)
+        .unwrap_or_else(|| panic!("unknown benchmark `{name}` (see `mighty list`)"));
+    let mig = Mig::from_network(&net);
+    let import = Metrics::of(&mig);
+    ctx.take_level_stats(); // drain counters left by earlier circuits
+    let cur = flow.run(mig.cleanup(), effort, ctx);
+    let passes = ctx.take_ledger();
+    let levels = ctx.take_level_stats();
+    let size_ok = passes
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.pass.as_str(),
+                "size" | "rewrite" | "depth_rewrite" | "esat"
+            )
+        })
+        .all(|r| r.after.size <= r.before.size);
+    let total_millis = passes.iter().map(|p| p.millis).sum();
+    let degraded = passes.iter().filter(|r| r.outcome.degraded()).count();
+    let mem = MemRecord {
+        arena_bytes: cur.arena_bytes(),
+        strash_slots: cur.strash_slots(),
+        strash_bytes: cur.strash_bytes(),
+        cache_entries: ctx.rewrite_cache_entries(),
+        peak_rss_bytes: peak_rss_bytes(),
+    };
+    LargeRecord {
+        name: name.to_string(),
+        inputs: mig.num_inputs(),
+        outputs: mig.num_outputs(),
+        import,
+        passes,
+        equiv: cur.equiv(&mig, rounds),
+        size_ok,
+        mem,
+        levels,
+        degraded,
+        total_millis,
+    }
+}
+
 /// Runs the configured benchmarks through the flow, timing each pass
 /// via the shared [`OptContext`] ledger and verifying the final result.
 /// One context serves the whole suite, so arenas and rewrite caches are
@@ -413,22 +642,20 @@ fn map_record(
 ///
 /// # Panics
 ///
-/// Panics if `config.names` contains an unknown benchmark name or
-/// `config.flow` does not parse (the CLI validates both up front).
+/// Panics if `config.names` contains an unknown benchmark name,
+/// `config.suite` is not one of [`SUITES`], or `config.flow` does not
+/// parse (the CLI validates all three up front).
 pub fn run_suite(config: &BenchConfig) -> BenchReport {
-    let names: Vec<String> = if config.names.is_empty() {
-        mig_benchgen::MCNC_NAMES
-            .iter()
-            .filter(|n| !(config.quick && QUICK_SKIP.contains(n)))
-            .map(|n| n.to_string())
-            .collect()
-    } else {
-        config.names.clone()
-    };
+    let (names, large_names) = resolve_names(config);
     let effort = config.effort.max(1);
     let rounds = config.rounds.max(1);
     let script = config.flow.as_deref().unwrap_or(DEFAULT_FLOW);
     let flow = Flow::parse(script).unwrap_or_else(|e| panic!("bad flow script: {e}"));
+    // An explicit --flow drives both tiers; the tiers differ only in
+    // their defaults (the large tier's skips the mapping-oriented
+    // activity pass and adds the depth-rewrite perturbation).
+    let large_script = config.flow.as_deref().unwrap_or(LARGE_FLOW);
+    let large_flow = Flow::parse(large_script).unwrap_or_else(|e| panic!("bad flow script: {e}"));
     let esat_flow = Flow::parse(ESAT_FLOW).expect("canonical esat flow parses");
     let esat_ref_flow = Flow::parse(ESAT_REF_FLOW).expect("canonical reference flow parses");
     let threads = RewriteConfig {
@@ -495,16 +722,28 @@ pub fn run_suite(config: &BenchConfig) -> BenchReport {
             total_millis,
         });
     }
+    let large: Vec<LargeRecord> = large_names
+        .iter()
+        .map(|name| run_large(name, &large_flow, effort, rounds, &mut ctx))
+        .collect();
+    let suite = match (benchmarks.is_empty(), large.is_empty()) {
+        (false, false) => "mcnc14+large4",
+        (true, false) => "large4",
+        _ => "mcnc14",
+    };
     BenchReport {
         mode: if config.quick { "quick" } else { "full" },
+        suite: suite.to_string(),
         flow: flow.to_string(),
+        large_flow: large_flow.to_string(),
         effort,
         threads,
         benchmarks,
+        large,
     }
 }
 
-/// Serializes a report in the stable `mig-bench/v6` schema.
+/// Serializes a report in the stable `mig-bench/v7` schema.
 ///
 /// Hand-rolled (the workspace has zero third-party dependencies); all
 /// strings in the schema are benchmark names, pass labels and canonical
@@ -512,8 +751,8 @@ pub fn run_suite(config: &BenchConfig) -> BenchReport {
 pub fn to_json(report: &BenchReport) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"mig-bench/v6\",");
-    let _ = writeln!(s, "  \"suite\": \"mcnc14\",");
+    let _ = writeln!(s, "  \"schema\": \"mig-bench/v7\",");
+    let _ = writeln!(s, "  \"suite\": \"{}\",", report.suite);
     let _ = writeln!(s, "  \"mode\": \"{}\",", report.mode);
     let _ = writeln!(s, "  \"flow\": \"{}\",", report.flow);
     let _ = writeln!(s, "  \"esat_flow\": \"{ESAT_FLOW}\",");
@@ -578,6 +817,70 @@ pub fn to_json(report: &BenchReport) -> String {
         });
     }
     s.push_str("  ],\n");
+    // The large tier serializes as its own top-level block so the CI
+    // bit-identity gates can strip it with a line-range delete (its
+    // `peak_rss_bytes` and wall times are machine-volatile).
+    if !report.large.is_empty() {
+        let _ = writeln!(s, "  \"large_flow\": \"{}\",", report.large_flow);
+        s.push_str("  \"large\": [\n");
+        for (i, l) in report.large.iter().enumerate() {
+            s.push_str("    {\n");
+            let _ = writeln!(s, "      \"name\": \"{}\",", l.name);
+            let _ = writeln!(s, "      \"inputs\": {},", l.inputs);
+            let _ = writeln!(s, "      \"outputs\": {},", l.outputs);
+            let _ = writeln!(
+                s,
+                "      \"import\": {{\"size\": {}, \"depth\": {}}},",
+                l.import.size, l.import.depth
+            );
+            s.push_str("      \"passes\": [\n");
+            for (j, p) in l.passes.iter().enumerate() {
+                let _ = write!(
+                    s,
+                    "        {{\"pass\": \"{}\", \"size\": {}, \"depth\": {}, \
+                     \"millis\": {:.2}",
+                    p.pass, p.after.size, p.after.depth, p.millis
+                );
+                if p.outcome.degraded() {
+                    let _ = write!(s, ", \"outcome\": \"{}\"", p.outcome.name());
+                }
+                s.push('}');
+                s.push_str(if j + 1 < l.passes.len() { ",\n" } else { "\n" });
+            }
+            s.push_str("      ],\n");
+            let _ = writeln!(s, "      \"equiv\": {},", l.equiv);
+            let _ = writeln!(s, "      \"size_ok\": {},", l.size_ok);
+            let _ = writeln!(
+                s,
+                "      \"mem\": {{\"arena_bytes\": {}, \"strash_slots\": {}, \
+                 \"strash_bytes\": {}, \"cache_entries\": {}, \
+                 \"peak_rss_bytes\": {}}},",
+                l.mem.arena_bytes,
+                l.mem.strash_slots,
+                l.mem.strash_bytes,
+                l.mem.cache_entries,
+                l.mem.peak_rss_bytes
+            );
+            let _ = writeln!(
+                s,
+                "      \"levels\": {{\"incremental_repairs\": {}, \
+                 \"repaired_nodes\": {}, \"nodes_per_repair\": {:.2}, \
+                 \"global_rebuilds\": {}}},",
+                l.levels.incremental_repairs,
+                l.levels.repaired_nodes,
+                l.levels.nodes_per_repair(),
+                l.levels.global_rebuilds
+            );
+            let _ = writeln!(s, "      \"total_millis\": {:.2}", l.total_millis);
+            s.push_str("    }");
+            s.push_str(if i + 1 < report.large.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ],\n");
+    }
     let size_before: usize = report.benchmarks.iter().map(|b| b.import.size).sum();
     let size_after: usize = report
         .benchmarks
@@ -604,6 +907,25 @@ pub fn to_json(report: &BenchReport) -> String {
     s
 }
 
+fn render_large_lines(s: &mut String, report: &BenchReport) {
+    for l in &report.large {
+        let _ = writeln!(
+            s,
+            "large {:<9} {:>8} nodes → {:>8} · depth {:>5} → {:>5} · {:>8.0} ms · \
+             {:.2} nodes/repair · peak RSS {:.0} MiB · {}",
+            l.name,
+            l.import.size,
+            l.passes.last().map_or(l.import.size, |p| p.after.size),
+            l.import.depth,
+            l.passes.last().map_or(l.import.depth, |p| p.after.depth),
+            l.total_millis,
+            l.levels.nodes_per_repair(),
+            l.mem.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+            if l.equiv && l.size_ok { "PASS" } else { "FAIL" }
+        );
+    }
+}
+
 /// Human-readable per-pass table for the CLI.
 pub fn render_table(report: &BenchReport) -> String {
     let mut s = String::new();
@@ -612,6 +934,30 @@ pub fn render_table(report: &BenchReport) -> String {
         "mighty bench · mode={} · flow \"{}\" · effort={} · threads={}",
         report.mode, report.flow, report.effort, report.threads
     );
+    // A large-only run has no MCNC rows, mapped areas or esat lines —
+    // skip the per-pass column grid entirely instead of printing empty
+    // headers and a zero-benchmark totals line.
+    if report.benchmarks.is_empty() {
+        render_large_lines(&mut s, report);
+        let _ = writeln!(
+            s,
+            "total: {} large benchmark(s) · {}",
+            report.large.len(),
+            if report.all_ok() {
+                "all PASS"
+            } else {
+                "FAILURES PRESENT"
+            }
+        );
+        if report.any_degraded() {
+            let _ = writeln!(
+                s,
+                "degraded: {} pass execution(s) rolled back, timed out or skipped",
+                report.degraded_passes()
+            );
+        }
+        return s;
+    }
     // Column headers come from the longest pass list: flows execute the
     // same steps everywhere, but a converge marker can stop earlier on
     // some circuits, so shorter rows are aligned below by matching pass
@@ -670,6 +1016,7 @@ pub fn render_table(report: &BenchReport) -> String {
             }
         );
     }
+    render_large_lines(&mut s, report);
     let _ = writeln!(
         s,
         "total: {} benchmarks · {:.1} ms optimization · mapped {:.1}/{:.1} µm² (cmos22/nomaj) · {}",
@@ -756,7 +1103,7 @@ mod tests {
         let report = run_suite(&tiny_config());
         let json = to_json(&report);
         for field in [
-            "\"schema\": \"mig-bench/v6\"",
+            "\"schema\": \"mig-bench/v7\"",
             "\"suite\": \"mcnc14\"",
             "\"mode\": \"quick\"",
             "\"flow\": \"size; rewrite; depth; activity\"",
@@ -781,10 +1128,71 @@ mod tests {
         ] {
             assert!(json.contains(field), "missing {field} in:\n{json}");
         }
+        // An MCNC-only run must carry no machine-volatile large block.
+        assert!(!json.contains("\"large\""), "unexpected large block");
         // Must be balanced-brace JSON (cheap structural sanity check).
         let opens = json.matches(['{', '[']).count();
         let closes = json.matches(['}', ']']).count();
         assert_eq!(opens, closes, "unbalanced JSON");
+    }
+
+    #[test]
+    fn large_tier_records_scaling_evidence() {
+        // `suite: large` routes explicit names through the large-tier
+        // runner, so a small circuit exercises the whole path (flow,
+        // ledger, level counters, memory footprint, JSON block) at unit
+        // -test cost; the real 100k–1M circuits run in `mighty bench`.
+        let config = BenchConfig {
+            names: vec!["my_adder".into()],
+            suite: "large".into(),
+            jobs: 1,
+            esat: false,
+            ..BenchConfig::quick()
+        };
+        let report = run_suite(&config);
+        assert!(report.benchmarks.is_empty());
+        assert_eq!(report.suite, "large4");
+        assert_eq!(report.large_flow, LARGE_FLOW);
+        assert_eq!(report.large.len(), 1);
+        assert!(report.all_ok());
+        let l = &report.large[0];
+        assert!(l.equiv && l.size_ok, "large record must verify");
+        assert!(l.mem.arena_bytes > 0, "arena footprint sampled");
+        assert!(l.mem.strash_slots > 0, "strash footprint sampled");
+        let names: Vec<&str> = l.passes.iter().map(|p| p.pass.as_str()).collect();
+        assert_eq!(names, ["size", "size", "rewrite", "depth_rewrite", "depth"]);
+        let json = to_json(&report);
+        for field in [
+            "\"suite\": \"large4\"",
+            "\"large_flow\": \"size*2; rewrite; depth_rewrite; depth\"",
+            "\"large\": [",
+            "\"mem\": {\"arena_bytes\": ",
+            "\"peak_rss_bytes\": ",
+            "\"levels\": {\"incremental_repairs\": ",
+            "\"nodes_per_repair\": ",
+        ] {
+            assert!(json.contains(field), "missing {field} in:\n{json}");
+        }
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes, "unbalanced JSON");
+        assert!(render_table(&report).contains("large my_adder"));
+    }
+
+    #[test]
+    fn all_suite_partitions_explicit_names() {
+        let config = BenchConfig {
+            names: vec!["my_adder".into(), "count".into()],
+            suite: "all".into(),
+            jobs: 1,
+            esat: false,
+            ..BenchConfig::quick()
+        };
+        // Neither name is in the large tier: both route to MCNC.
+        let report = run_suite(&config);
+        assert_eq!(report.benchmarks.len(), 2);
+        assert!(report.large.is_empty());
+        assert_eq!(report.suite, "mcnc14");
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Large-scale benchmark generators (100k–1M MIG nodes).
+//!
+//! The MCNC tier tops out around 15k nodes — far too small to exercise
+//! the million-node data-structure work (bounded level maintenance,
+//! strash pre-sizing, arena recycling). These generators produce three
+//! structurally distinct large circuits:
+//!
+//! * [`wide_multiplier`] — an `n×n` array multiplier: arithmetic,
+//!   XOR/MAJ-dominated, quadratic in `n` (≈ 9.4·n² MIG nodes after the
+//!   AOIG transposition), with the long carry chains that stress the
+//!   depth passes;
+//! * [`alu_stack`] — layers of mux-selected add/xor/and ALU slices
+//!   chained operand-to-operand: a control/datapath mix with heavy
+//!   reconvergence and a deterministic op schedule drawn from
+//!   [`SplitMix64`];
+//! * [`ecc_chain`] — an unrolled parity mixer: `stages` rounds of
+//!   neighbor XOR with occasional majority taps, linear in
+//!   `width × stages` and the deepest circuit of the tier.
+//!
+//! Every generator is fully deterministic (seeded), so the large tier
+//! is reproducible bit-for-bit like the MCNC tier.
+
+use crate::arith::multiplier;
+use mig_netlist::{GateId, Network, SplitMix64};
+
+/// An `n×n` array multiplier named `mul{n}x{n}_large`. Thin wrapper
+/// over the MCNC `C6288` generator at much larger width; `n = 330`
+/// lands at roughly one million MIG nodes, `n = 103` at roughly 100k.
+pub fn wide_multiplier(n: usize) -> Network {
+    let mut net = multiplier(n);
+    net.set_name(format!("mul{n}x{n}_large"));
+    net
+}
+
+/// A stack of `stages` ALU slices over `width`-bit operands.
+///
+/// Each stage computes `add`, `xor` and `and` of its two operands and
+/// selects per-stage via two control inputs (a mux tree), then feeds
+/// the result forward as the next stage's left operand while the right
+/// operand rotates through the original input under a seeded schedule.
+/// The mix of carry chains (adder), linear layers (xor) and control
+/// logic (mux trees) resembles a pipelined datapath flattened into
+/// combinational logic.
+pub fn alu_stack(width: usize, stages: usize, seed: u64) -> Network {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut net = Network::new(format!("alu{width}x{stages}_large"));
+    let a: Vec<GateId> = (0..width).map(|i| net.add_input(format!("a{i}"))).collect();
+    let b: Vec<GateId> = (0..width).map(|i| net.add_input(format!("b{i}"))).collect();
+    let ctl: Vec<GateId> = (0..2 * stages)
+        .map(|i| net.add_input(format!("c{i}")))
+        .collect();
+
+    let mut acc = a;
+    for stage in 0..stages {
+        // Right operand: the original B rotated by a seeded amount, so
+        // consecutive stages reconverge on shared input cones without
+        // ever being structurally identical.
+        let rot = rng.gen_range(1..width);
+        let rhs: Vec<GateId> = (0..width).map(|i| b[(i + rot) % width]).collect();
+        // Ripple add in 16-bit lanes: carries stay inside a lane, so a
+        // stage costs 16 carry levels instead of `width` — the stack's
+        // total depth stays in the hundreds even at datapath widths,
+        // like a real pipelined ALU rather than one giant adder.
+        let mut sum: Vec<GateId> = Vec::with_capacity(width);
+        for lane in (0..width).step_by(16) {
+            let hi = (lane + 16).min(width);
+            let mut carry = net.and(acc[lane], rhs[lane]);
+            sum.push(net.xor(acc[lane], rhs[lane]));
+            for i in lane + 1..hi {
+                let s0 = net.xor(acc[i], rhs[i]);
+                sum.push(net.xor(s0, carry));
+                carry = net.maj(acc[i], rhs[i], carry);
+            }
+        }
+        // Bitwise lanes and the 3-way select: c1 ? add : (c0 ? xor : and).
+        let c0 = ctl[2 * stage];
+        let c1 = ctl[2 * stage + 1];
+        let mut next: Vec<GateId> = Vec::with_capacity(width);
+        for i in 0..width {
+            let x = net.xor(acc[i], rhs[i]);
+            let n = net.and(acc[i], rhs[i]);
+            let low = net.mux(c0, x, n);
+            next.push(net.mux(c1, sum[i], low));
+        }
+        acc = next;
+    }
+    for (i, &g) in acc.iter().enumerate() {
+        net.set_output(format!("y{i}"), g);
+    }
+    net
+}
+
+/// An unrolled parity mixer: `stages` rounds over a `width`-bit state
+/// where each round XORs every bit with a seeded distant neighbor, and
+/// every eighth bit additionally mixes through a majority tap (keeping
+/// the circuit outside the purely linear class). Roughly
+/// `3.4 · width · stages` MIG nodes at depth proportional to `stages` —
+/// the deep-and-narrow complement to the multiplier's square profile.
+pub fn ecc_chain(width: usize, stages: usize, seed: u64) -> Network {
+    assert!(width >= 4);
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut net = Network::new(format!("ecc{width}x{stages}_large"));
+    let mut state: Vec<GateId> = (0..width).map(|i| net.add_input(format!("d{i}"))).collect();
+    for _ in 0..stages {
+        let stride = rng.gen_range(1..width);
+        let maj_phase = rng.gen_range(0..8);
+        let mut next: Vec<GateId> = Vec::with_capacity(width);
+        for i in 0..width {
+            let partner = state[(i + stride) % width];
+            let mixed = net.xor(state[i], partner);
+            if i % 8 == maj_phase {
+                let third = state[(i + width / 2) % width];
+                next.push(net.maj(mixed, partner, third));
+            } else {
+                next.push(mixed);
+            }
+        }
+        state = next;
+    }
+    for (i, &g) in state.iter().enumerate() {
+        net.set_output(format!("p{i}"), g);
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wide_multiplier_is_a_renamed_multiplier() {
+        let net = wide_multiplier(8);
+        assert_eq!(net.name(), "mul8x8_large");
+        assert_eq!(net.num_inputs(), 16);
+        assert_eq!(net.num_outputs(), 16);
+    }
+
+    #[test]
+    fn alu_stack_interface_and_determinism() {
+        let n1 = alu_stack(8, 3, 7);
+        let n2 = alu_stack(8, 3, 7);
+        assert_eq!(n1.num_inputs(), 8 + 8 + 6);
+        assert_eq!(n1.num_outputs(), 8);
+        assert_eq!(n1.num_gates(), n2.num_gates(), "seeded → deterministic");
+        // A one-stage stack with c = (0,1) selects the adder: check a
+        // couple of additions end-to-end.
+        let one = alu_stack(4, 1, 7);
+        let mut assign = vec![false; one.num_inputs()];
+        // a = 3, b is rotated inside the stage, so just check the
+        // circuit evaluates and is stable.
+        assign[0] = true;
+        assign[1] = true;
+        let out1 = one.eval(&assign);
+        let out2 = one.eval(&assign);
+        assert_eq!(out1, out2);
+    }
+
+    #[test]
+    fn ecc_chain_parity_structure() {
+        let net = ecc_chain(16, 4, 11);
+        assert_eq!(net.num_inputs(), 16);
+        assert_eq!(net.num_outputs(), 16);
+        // Deep: at least one XOR per stage on every path.
+        assert!(net.depth() >= 4);
+        // Deterministic.
+        let again = ecc_chain(16, 4, 11);
+        assert_eq!(net.num_gates(), again.num_gates());
+    }
+
+    #[test]
+    fn generators_scale_as_documented() {
+        // Small instances; the scaling exponents are what matter.
+        let m = wide_multiplier(16).num_logic_gates() as f64;
+        let m2 = wide_multiplier(32).num_logic_gates() as f64;
+        assert!(m2 / m > 3.5, "multiplier is quadratic, got ×{}", m2 / m);
+        let e = ecc_chain(64, 8, 1).num_logic_gates();
+        let e2 = ecc_chain(64, 16, 1).num_logic_gates();
+        assert!(e2 > e * 3 / 2, "ecc chain is linear in stages");
+    }
+}

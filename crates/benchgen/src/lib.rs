@@ -24,6 +24,7 @@ mod alu;
 mod arith;
 mod compression;
 mod ecc;
+mod large;
 mod minmax;
 mod pla;
 mod random_logic;
@@ -32,6 +33,7 @@ pub use alu::{alu4, dalu};
 pub use arith::{cla_adder, counter, multiplier, ripple_adder};
 pub use compression::{compression_circuit, PATTERN_BITS};
 pub use ecc::{ecc_c1355, ecc_c1908};
+pub use large::{alu_stack, ecc_chain, wide_multiplier};
 pub use minmax::minmax;
 pub use pla::{b9, misex3, seeded_pla, PlaParams};
 pub use random_logic::{bigkey, clma, layered_random, s38417, RandomLogicParams};
@@ -44,7 +46,12 @@ pub const MCNC_NAMES: [&str; 14] = [
     "mm30a", "s38417", "misex3",
 ];
 
+/// The large-tier circuits (100k–1M MIG nodes after import), smallest
+/// first so a partial run still covers every structural family.
+pub const LARGE_NAMES: [&str; 4] = ["ecc_200k", "alu_400k", "mul_100k", "mul_1m"];
+
 /// Generates the named benchmark circuit, or `None` for unknown names.
+/// Knows every [`MCNC_NAMES`] entry and every [`LARGE_NAMES`] entry.
 pub fn generate(name: &str) -> Option<Network> {
     Some(match name {
         "C1355" => ecc_c1355(),
@@ -81,8 +88,38 @@ pub fn generate(name: &str) -> Option<Network> {
         }
         "s38417" => s38417(),
         "misex3" => misex3(),
+        // Large tier: names encode the approximate post-import MIG node
+        // count; parameters are fixed so results are reproducible.
+        "mul_100k" => {
+            let mut net = wide_multiplier(112);
+            net.set_name("mul_100k");
+            net
+        }
+        "mul_1m" => {
+            let mut net = wide_multiplier(355);
+            net.set_name("mul_1m");
+            net
+        }
+        "alu_400k" => {
+            let mut net = alu_stack(256, 114, 0xa1a1);
+            net.set_name("alu_400k");
+            net
+        }
+        "ecc_200k" => {
+            let mut net = ecc_chain(256, 253, 0xecc1);
+            net.set_name("ecc_200k");
+            net
+        }
         _ => return None,
     })
+}
+
+/// Generates the full large tier in [`LARGE_NAMES`] order.
+pub fn large_suite() -> Vec<Network> {
+    LARGE_NAMES
+        .iter()
+        .map(|n| generate(n).expect("all names are known"))
+        .collect()
 }
 
 /// Generates the full 14-circuit suite in Table I order.

@@ -18,8 +18,16 @@ impl Mig {
     /// Panics if the network contains gates with malformed fanin counts
     /// (cannot happen for networks built through the public API).
     pub fn from_network(net: &Network) -> Mig {
-        let mut mig = Mig::new(net.name().to_string());
-        let mut map: HashMap<GateId, Signal> = HashMap::new();
+        // Pre-size the arena and strash from the gate count: XOR/MUX
+        // primitives expand to up to three majority nodes each, so 2×
+        // covers the transposition without doubling storms on
+        // million-gate imports.
+        let mut mig = Mig::with_capacity(
+            net.name().to_string(),
+            net.num_inputs(),
+            net.num_logic_gates() * 2,
+        );
+        let mut map: HashMap<GateId, Signal> = HashMap::with_capacity(net.num_gates());
         for (i, &id) in net.inputs().iter().enumerate() {
             let s = mig.add_input(net.input_name(i).to_string());
             map.insert(id, s);

@@ -52,6 +52,7 @@ mod algebra;
 mod convert;
 #[cfg(feature = "faultpoints")]
 pub mod faultpoint;
+pub mod level;
 mod mig;
 pub mod opt;
 pub(crate) mod scratch;
@@ -59,6 +60,7 @@ mod signal;
 mod simulate;
 pub(crate) mod strash;
 
+pub use crate::level::{LevelMap, LevelStats};
 pub use crate::mig::Mig;
 pub use opt::{
     enumerate_cuts, optimize_activity, optimize_depth, optimize_rewrite, optimize_size,

@@ -3,7 +3,7 @@
 use crate::scratch::{SubstScratch, TravScratch};
 use crate::strash::StrashTable;
 use crate::{NodeId, Signal};
-use std::cell::{Ref, RefCell, RefMut};
+use std::cell::{Cell, Ref, RefCell, RefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Monotone source for [`Mig::rewrite_stamp`] values: every structural
@@ -44,7 +44,7 @@ static STAMP_SOURCE: AtomicU64 = AtomicU64::new(1);
 /// assert_eq!(mig.size(), 1);
 /// assert_eq!(mig.depth(), 1);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Mig {
     name: String,
     children: Vec<[Signal; 3]>,
@@ -67,6 +67,16 @@ pub struct Mig {
     /// [`STAMP_SOURCE`] inside the same invalidation hook that drops the
     /// reachability cache).
     stamp: u64,
+    /// Globally unique id of this arena *lifetime*: drawn at construction
+    /// and re-drawn by [`Mig::reset_for_rebuild`]. Unlike `stamp` (which
+    /// advances per mutation), the generation only changes when the arena
+    /// is truncated and restarted, so an external mirror (`LevelMap`) can
+    /// distinguish "same graph, more nodes appended" — catch-up is bounded
+    /// by the appended suffix — from "different graph entirely".
+    generation: u64,
+    /// Memoized [`Mig::depth`] keyed on the mutation stamp (stamps start
+    /// at 1, so a stored stamp of 0 means "no value cached").
+    depth_memo: Cell<(u64, u32)>,
 }
 
 /// A read-only, thread-shareable snapshot of a [`Mig`]'s structure.
@@ -134,9 +144,7 @@ impl MigView<'_> {
             ([a, b, c], false)
         };
         key.sort_unstable();
-        self.strash
-            .get(key, self.children)
-            .map(|node| Signal::new(node, flip))
+        self.strash.get(key).map(|node| Signal::new(node, flip))
     }
 }
 
@@ -145,6 +153,31 @@ struct ReachCache {
     valid: bool,
     mark: Vec<bool>,
     size: usize,
+}
+
+impl Clone for Mig {
+    /// Clones the graph with a *fresh* generation id: a clone may mutate
+    /// independently of its source, so it must not look like an
+    /// append-only continuation of the same arena lifetime to a
+    /// [`crate::LevelMap`] mirror (which would otherwise trust the shared
+    /// prefix after the two diverge at the same length).
+    fn clone(&self) -> Self {
+        Mig {
+            name: self.name.clone(),
+            children: self.children.clone(),
+            level: self.level.clone(),
+            num_inputs: self.num_inputs,
+            input_names: self.input_names.clone(),
+            outputs: self.outputs.clone(),
+            strash: self.strash.clone(),
+            trav: RefCell::new(TravScratch::default()),
+            subst: RefCell::new(SubstScratch::default()),
+            reach: RefCell::new(self.reach.borrow().clone()),
+            stamp: self.stamp,
+            generation: STAMP_SOURCE.fetch_add(1, Ordering::Relaxed),
+            depth_memo: self.depth_memo.clone(),
+        }
+    }
 }
 
 impl Mig {
@@ -162,7 +195,30 @@ impl Mig {
             subst: RefCell::new(SubstScratch::default()),
             reach: RefCell::new(ReachCache::default()),
             stamp: STAMP_SOURCE.fetch_add(1, Ordering::Relaxed),
+            generation: STAMP_SOURCE.fetch_add(1, Ordering::Relaxed),
+            depth_memo: Cell::new((0, 0)),
         }
+    }
+
+    /// Creates an empty MIG pre-sized for `inputs` primary inputs and
+    /// roughly `gates_hint` majority gates: the node arrays and the
+    /// structural-hash table are allocated up front, so million-node
+    /// imports do not pay repeated regrow/rehash storms.
+    pub fn with_capacity(name: impl Into<String>, inputs: usize, gates_hint: usize) -> Self {
+        let mut mig = Mig::new(name);
+        mig.children.reserve(inputs + gates_hint + 1);
+        mig.level.reserve(inputs + gates_hint + 1);
+        mig.input_names.reserve(inputs);
+        mig.strash.reserve(gates_hint);
+        mig
+    }
+
+    /// Pre-sizes the arena and strash table for `additional` more gates
+    /// beyond the current node count.
+    pub fn reserve_gates(&mut self, additional: usize) {
+        self.children.reserve(additional);
+        self.level.reserve(additional);
+        self.strash.reserve(additional);
     }
 
     /// A thread-shareable snapshot of the graph's plain storage (fanins,
@@ -182,6 +238,18 @@ impl Mig {
     /// keyed on it (the rewrite engine's cut cache) use that proof.
     pub(crate) fn rewrite_stamp(&self) -> u64 {
         self.stamp
+    }
+
+    /// Public alias of the mutation stamp, for external caches
+    /// (`LevelMap`, bench instrumentation) that key on graph state.
+    pub fn mutation_stamp(&self) -> u64 {
+        self.stamp
+    }
+
+    /// The arena-lifetime id: stable across in-place mutations, re-drawn
+    /// when the arena is truncated for a rebuild. See the field docs.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The design name.
@@ -314,6 +382,12 @@ impl Mig {
         self.level[signal.node().index()]
     }
 
+    /// The full per-node level array (index = arena node index), for
+    /// bulk consumers like the `LevelMap` global resync.
+    pub(crate) fn node_levels(&self) -> &[u32] {
+        &self.level
+    }
+
     /// Creates (or finds) the majority node `M(a, b, c)`.
     ///
     /// Applies the trivial `Ω.M` rules (`M(x,x,z) = x`, `M(x,x',z) = z`),
@@ -361,7 +435,7 @@ impl Mig {
     fn maj_canonical(&mut self, a: Signal, b: Signal, c: Signal) -> Signal {
         let mut key = [a, b, c];
         key.sort_unstable();
-        if let Some(node) = self.strash.get(key, &self.children) {
+        if let Some(node) = self.strash.get(key) {
             return Signal::new(node, false);
         }
         let node = NodeId::from_index(self.children.len());
@@ -372,7 +446,7 @@ impl Mig {
             .expect("three children");
         self.children.push(key);
         self.level.push(lvl);
-        self.strash.insert(key, node, &self.children);
+        self.strash.insert(key, node);
         self.invalidate_cache();
         Signal::new(node, false)
     }
@@ -477,12 +551,42 @@ impl Mig {
 
     /// Depth: the maximum logic level over all outputs (the paper's number
     /// of logic levels).
+    ///
+    /// Memoized on the mutation stamp: repeated calls between mutations
+    /// (ledger reporting, `mighty stats`, pass acceptance checks) are
+    /// O(1) instead of O(outputs).
     pub fn depth(&self) -> u32 {
-        self.outputs
+        let (memo_stamp, memo_depth) = self.depth_memo.get();
+        if memo_stamp == self.stamp {
+            return memo_depth;
+        }
+        let d = self
+            .outputs
             .iter()
             .map(|&(_, s)| self.level[s.node().index()])
             .max()
-            .unwrap_or(0)
+            .unwrap_or(0);
+        self.depth_memo.set((self.stamp, d));
+        d
+    }
+
+    /// Bytes held by the node arena (fanin and level arrays), counting
+    /// capacity, for memory-footprint reporting.
+    pub fn arena_bytes(&self) -> usize {
+        self.children.capacity() * std::mem::size_of::<[Signal; 3]>()
+            + self.level.capacity() * std::mem::size_of::<u32>()
+    }
+
+    /// Number of slots in the structural-hash table (occupied or empty),
+    /// for memory-footprint reporting.
+    pub fn strash_slots(&self) -> usize {
+        self.strash.num_slots()
+    }
+
+    /// Bytes held by the structural-hash table, counting capacity, for
+    /// memory-footprint reporting.
+    pub fn strash_bytes(&self) -> usize {
+        self.strash.slot_bytes()
     }
 
     /// Fanout count per node: how many gate fanins and outputs reference
@@ -524,6 +628,7 @@ impl Mig {
         self.input_names.clear();
         self.outputs.clear();
         self.strash.clear();
+        self.generation = STAMP_SOURCE.fetch_add(1, Ordering::Relaxed);
         self.invalidate_cache();
         for i in 0..proto.num_inputs() {
             self.children.push([Signal::FALSE; 3]);

@@ -14,6 +14,7 @@
 
 use super::size::{eliminate_pass, reshape_pass, substitution_kick};
 use super::{Objective, OptBuffers};
+use crate::level::LevelMap;
 
 /// The lexicographic objective Algorithm 2 minimizes.
 const OBJECTIVE: Objective = Objective::DepthThenSize;
@@ -72,17 +73,28 @@ impl Default for DepthOptConfig {
 /// assert_eq!(opt.depth(), 2);
 /// ```
 pub fn optimize_depth(mig: &Mig, config: &DepthOptConfig) -> Mig {
-    optimize_depth_with(mig, config, &mut OptBuffers::new())
+    optimize_depth_with(mig, config, &mut OptBuffers::new(), &mut LevelMap::new())
 }
 
-/// [`optimize_depth`] with caller-provided rebuild buffers, so composite
-/// flows share one arena pool across every pass they run.
+/// [`optimize_depth`] with caller-provided rebuild buffers and level
+/// mirror, so composite flows share one arena pool and one level-repair
+/// state across every pass they run.
 pub(crate) fn optimize_depth_with(
     mig: &Mig,
     config: &DepthOptConfig,
     bufs: &mut OptBuffers,
+    lm: &mut LevelMap,
 ) -> Mig {
     let mut best = mig.cleanup();
+    // Acceptance measurement through the level mirror: the best cost is
+    // carried forward, so each candidate pays exactly one bind, never a
+    // re-measure of `best`.
+    let measure = |lm: &mut LevelMap, m: &Mig| {
+        lm.bind(m);
+        let depth = lm.depth(m);
+        OBJECTIVE.cost(m.size(), depth)
+    };
+    let mut best_cost = measure(lm, &best);
     // Runs one pass and recycles its input's buffers.
     let step = |bufs: &mut OptBuffers, cur: Mig, f: &dyn Fn(&Mig, &mut OptBuffers) -> Mig| {
         let next = f(&cur, bufs);
@@ -105,7 +117,9 @@ pub(crate) fn optimize_depth_with(
             cur = step(bufs, cur, &eliminate_pass);
         }
         cur = step(bufs, cur, &|m, b| b.cleanup(m));
-        if OBJECTIVE.of(&cur) < OBJECTIVE.of(&best) {
+        let cur_cost = measure(lm, &cur);
+        if cur_cost < best_cost {
+            best_cost = cur_cost;
             bufs.recycle(std::mem::replace(&mut best, cur));
             continue;
         }
@@ -122,7 +136,9 @@ pub(crate) fn optimize_depth_with(
                 k = step(bufs, k, &eliminate_pass);
             }
             k = step(bufs, k, &|m, b| b.cleanup(m));
-            if OBJECTIVE.of(&k) < OBJECTIVE.of(&best) {
+            let k_cost = measure(lm, &k);
+            if k_cost < best_cost {
+                best_cost = k_cost;
                 bufs.recycle(std::mem::replace(&mut best, k));
                 continue;
             }

@@ -805,15 +805,49 @@ impl EGraph {
         }
         let structural = objective.structural();
         // Bottom-up fixpoint: a node's size cost is 1 + Σ child costs,
-        // its depth cost 1 + max child depth; sweeps repeat until no
+        // its depth cost 1 + max child depth; rounds repeat until no
         // class improves. Chosen structures are acyclic because the
         // primary metric strictly decreases child-ward.
+        //
+        // Dirty-frontier scheduling: a class is only re-evaluated when a
+        // child class's cost changed since its last evaluation (the
+        // union-find is frozen during extraction, so the parent lists
+        // are stable). Re-evaluating with unchanged children reproduces
+        // candidate costs that already lost the strict `<` comparison,
+        // so skipping them cannot change any assignment — and because
+        // costs fall monotonically as children fall, every class
+        // converges to the min over its candidates' final costs, with
+        // the same `idx` tiebreak the full sweep produces. In-round
+        // visibility matches the full sweep exactly: classes are visited
+        // in ascending order, so a parent above the changed child joins
+        // the current round and a parent at or below it waits for the
+        // next. On depth extractions of near-converged e-graphs this
+        // turns O(rounds · classes) rescans into work proportional to
+        // the cone that actually changed.
+        let mut parents: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for c in 0..n {
+            if self.uf[c].class() != c as u32 {
+                continue;
+            }
+            for &(node, _) in &self.nodes[c] {
+                for kid in node {
+                    let kc = self.find_nc(kid).class() as usize;
+                    parents[kc].push(c as u32);
+                }
+            }
+        }
+        for list in &mut parents {
+            list.sort_unstable();
+            list.dedup();
+        }
+        let mut dirty_now = vec![true; n];
+        let mut dirty_next = vec![false; n];
         for _ in 0..SWEEP_CAP {
-            let mut changed = false;
             for c in 0..n {
-                if self.uf[c].class() != c as u32 {
+                if !dirty_now[c] || self.uf[c].class() != c as u32 {
                     continue;
                 }
+                let mut improved = false;
                 for (idx, &(node, _)) in self.nodes[c].iter().enumerate() {
                     let mut size: u64 = 1;
                     let mut depth: u64 = 0;
@@ -844,13 +878,24 @@ impl EGraph {
                     };
                     if best[c].is_none_or(|b| (cand.0, cand.1) < (b.0, b.1)) {
                         best[c] = Some(cand);
-                        changed = true;
+                        improved = true;
+                    }
+                }
+                if improved {
+                    for &p in &parents[c] {
+                        if (p as usize) > c {
+                            dirty_now[p as usize] = true;
+                        } else {
+                            dirty_next[p as usize] = true;
+                        }
                     }
                 }
             }
-            if !changed {
+            if !dirty_next.iter().any(|&d| d) {
                 break;
             }
+            std::mem::swap(&mut dirty_now, &mut dirty_next);
+            dirty_next.fill(false);
         }
         // The tree-cost fixpoint ignores sharing: a class used by many
         // chosen parents is paid for once in the DAG but Σ-counted once
@@ -1313,7 +1358,12 @@ impl EsatPass {
     /// chooses the cheapest mix of all the structures plus everything
     /// saturation derives between them.
     fn variants(&self, bufs: &mut OptBuffers, rc: &mut RewriteCache, mig: &Mig) -> Vec<Mig> {
-        let deep = super::depth::optimize_depth_with(mig, &DepthOptConfig::default(), bufs);
+        let deep = super::depth::optimize_depth_with(
+            mig,
+            &DepthOptConfig::default(),
+            bufs,
+            &mut crate::level::LevelMap::new(),
+        );
         let recovered = super::size::optimize_size_with(&deep, &SizeOptConfig::default(), bufs);
         let rw_deep = optimize_rewrite_with(
             mig,
@@ -1323,6 +1373,7 @@ impl EsatPass {
             },
             bufs,
             rc,
+            &mut crate::level::LevelMap::new(),
         );
         vec![deep, recovered, rw_deep]
     }

@@ -109,7 +109,7 @@ impl OptBuffers {
     /// spare reset to `old`'s inputs when one is pooled, a fresh arena
     /// otherwise.
     pub(crate) fn fresh_arena(&mut self, old: &Mig) -> Mig {
-        match self.spares.pop() {
+        let mut m = match self.spares.pop() {
             Some(mut m) => {
                 m.reset_for_rebuild(old);
                 m
@@ -121,7 +121,13 @@ impl OptBuffers {
                 }
                 m
             }
-        }
+        };
+        // A rebuild of `old` lands within a few percent of its size:
+        // pre-sizing the destination (arena and strash in one shot)
+        // replaces the O(log n) reallocation/rehash storm a cold or
+        // undersized spare would pay on million-node graphs.
+        m.reserve_gates(old.size());
+        m
     }
 
     /// Dead-node sweep through the engine: a rebuild that recreates every

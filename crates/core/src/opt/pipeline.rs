@@ -70,6 +70,7 @@ use super::depth::{optimize_depth_with, DepthOptConfig};
 use super::rewrite::{optimize_rewrite_with, RewriteCache, RewriteConfig};
 use super::size::{optimize_size_with, SizeOptConfig};
 use super::{Objective, OptBuffers};
+use crate::level::{LevelMap, LevelStats};
 use crate::Mig;
 
 /// Iteration cap for a `pass*` convergence marker: the pass is re-run
@@ -307,6 +308,11 @@ pub struct PassReport {
 pub struct OptContext {
     pub(crate) bufs: OptBuffers,
     pub(crate) rewrite: RewriteCache,
+    /// Bounded dynamic level mirror shared by the level-consuming passes
+    /// (rewrite scheduling and acceptance, algebraic depth, mapping).
+    /// Stamp-keyed like the rewrite cache, so reuse never changes
+    /// results; carries repair statistics across a run.
+    pub(crate) levels: LevelMap,
     jobs: usize,
     ledger: Vec<PassReport>,
     /// Metrics of the most recently measured graph state, keyed by its
@@ -422,6 +428,25 @@ impl OptContext {
     /// The installed post-pass acceptance check, if any.
     pub fn spot_check(&self) -> Option<&dyn SpotCheck> {
         self.spot_check.as_deref()
+    }
+
+    /// Number of cut records currently held by the incremental rewrite
+    /// cache, for memory-footprint reporting.
+    pub fn rewrite_cache_entries(&self) -> usize {
+        self.rewrite.cut_entries()
+    }
+
+    /// Accumulated statistics of the dynamic level mirror: how often a
+    /// bind was a no-op, an incremental catch-up, or a global rebuild,
+    /// and how many nodes each class touched.
+    pub fn level_stats(&self) -> LevelStats {
+        self.levels.stats()
+    }
+
+    /// Drains and returns the level-mirror statistics (e.g. between
+    /// benchmark circuits sharing one context).
+    pub fn take_level_stats(&mut self) -> LevelStats {
+        self.levels.take_stats()
     }
 
     /// Measures `mig`, reusing the previous measurement when the graph
@@ -645,7 +670,7 @@ impl Pass for DepthPass {
     }
 
     fn run(&self, ctx: &mut OptContext, mig: Mig) -> Mig {
-        let out = optimize_depth_with(&mig, &self.config, &mut ctx.bufs);
+        let out = optimize_depth_with(&mig, &self.config, &mut ctx.bufs, &mut ctx.levels);
         ctx.bufs.recycle(mig);
         out
     }
@@ -724,7 +749,13 @@ impl Pass for RewritePass {
             },
             ..self.config.clone()
         };
-        let out = optimize_rewrite_with(&mig, &config, &mut ctx.bufs, &mut ctx.rewrite);
+        let out = optimize_rewrite_with(
+            &mig,
+            &config,
+            &mut ctx.bufs,
+            &mut ctx.rewrite,
+            &mut ctx.levels,
+        );
         ctx.bufs.recycle(mig);
         out
     }

@@ -57,6 +57,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use super::size::eliminate_pass;
 use super::{Cost, Objective, OptBuffers};
+use crate::level::LevelMap;
 use crate::mig::MigView;
 use crate::scratch::ScratchPool;
 use crate::{Mig, NodeId, Signal};
@@ -355,6 +356,10 @@ pub(crate) struct RewriteCache {
     dry: Vec<DryVal>,
     map: Vec<Signal>,
     replay: Vec<Signal>,
+    /// Counting-sort scratch for the level-wavefront worklist (per-level
+    /// bucket offsets and the sorted output double buffer).
+    lvl_counts: Vec<u32>,
+    lvl_sorted: Vec<u32>,
 }
 
 impl RewriteCache {
@@ -367,16 +372,18 @@ impl RewriteCache {
         }
         self.stride = stride;
         let n = mig.num_nodes();
-        self.cuts.clear();
+        // Like `translate`: `cuts`/`slots` entries beyond `ncuts[i]` /
+        // `ncands[i]` are unreachable, so only lengths are adjusted —
+        // every node starts at `ncuts = 0`, making all bulk storage
+        // logically empty without the O(n · stride) memset.
         self.cuts.resize(n * stride, Cut::default());
+        self.slots.resize(n * MAX_NODE_CANDS, 0);
         self.ncuts.clear();
         self.ncuts.resize(n, 0);
         self.dirty.clear();
         self.dirty.resize(n, true);
         self.ncands.clear();
         self.ncands.resize(n, 0);
-        self.slots.clear();
-        self.slots.resize(n * MAX_NODE_CANDS, 0);
         self.prev_fanout.clear();
         self.prev_fanout.resize(n, u32::MAX);
         base_cuts(
@@ -399,6 +406,11 @@ impl RewriteCache {
         self.key = None;
     }
 
+    /// Number of stored cut entries (for memory-footprint reporting).
+    pub(crate) fn cut_entries(&self) -> usize {
+        self.cuts.len()
+    }
+
     /// Carries the cut sets across a rebuild `old → new` described by
     /// `map` (each old node's signal in the new graph). A node keeps its
     /// cuts — leaves renamed, truth tables rewired for leaf/root
@@ -414,16 +426,18 @@ impl RewriteCache {
         }
         let stride = self.stride;
         let n_new = new.num_nodes();
-        self.t_cuts.clear();
+        // `t_cuts` and `t_slots` are never read beyond `t_ncuts[i]` /
+        // `t_ncands[i]` entries, so stale contents are unreachable and
+        // only the *length* needs adjusting — clearing them would memset
+        // hundreds of megabytes per sweep on million-node graphs.
         self.t_cuts.resize(n_new * stride, Cut::default());
+        self.t_slots.resize(n_new * MAX_NODE_CANDS, 0);
         self.t_ncuts.clear();
         self.t_ncuts.resize(n_new, 0);
         self.t_dirty.clear();
         self.t_dirty.resize(n_new, true);
         self.t_ncands.clear();
         self.t_ncands.resize(n_new, 0);
-        self.t_slots.clear();
-        self.t_slots.resize(n_new * MAX_NODE_CANDS, 0);
         self.t_prev_fanout.clear();
         self.t_prev_fanout.resize(n_new, u32::MAX);
         base_cuts(
@@ -596,21 +610,24 @@ pub fn optimize_rewrite(mig: &Mig, config: &RewriteConfig) -> Mig {
         config,
         &mut OptBuffers::new(),
         &mut RewriteCache::default(),
+        &mut LevelMap::new(),
     )
 }
 
 /// [`optimize_rewrite`] with caller-provided buffers, so composite flows
-/// share one arena pool and one cut/canonization cache.
+/// share one arena pool, one cut/canonization cache, and one level
+/// mirror.
 pub(crate) fn optimize_rewrite_with(
     mig: &Mig,
     config: &RewriteConfig,
     bufs: &mut OptBuffers,
     rc: &mut RewriteCache,
+    lm: &mut LevelMap,
 ) -> Mig {
     let mut best = mig.cleanup();
     let rounds = config.effort.max(1) * ROUNDS_PER_EFFORT;
     for round in 0..rounds {
-        let swept = rewrite_sweep(&best, config, bufs, rc);
+        let swept = rewrite_sweep(&best, config, bufs, rc, lm);
         if swept.is_none() && round > 0 {
             break;
         }
@@ -651,6 +668,39 @@ pub(crate) fn optimize_rewrite_with(
     best
 }
 
+/// Stable counting sort of the worklist into level buckets: ties keep
+/// arena (push) order, so the result is bit-identical to the stable
+/// comparison sort it replaced — at O(n + levels) instead of
+/// O(n log n), which is material on million-node worklists.
+fn sort_worklist_by_level(rc: &mut RewriteCache, lm: &LevelMap) {
+    let list = &mut rc.worklist;
+    let counts = &mut rc.lvl_counts;
+    let out = &mut rc.lvl_sorted;
+    let max_level = list
+        .iter()
+        .map(|&i| lm.level_of(NodeId::from_index(i as usize)))
+        .max()
+        .unwrap_or(0) as usize;
+    // counts[l] accumulates the population of level l, shifted by one so
+    // the prefix sum turns it into the bucket start offsets.
+    counts.clear();
+    counts.resize(max_level + 2, 0);
+    for &i in list.iter() {
+        counts[lm.level_of(NodeId::from_index(i as usize)) as usize + 1] += 1;
+    }
+    for l in 1..counts.len() {
+        counts[l] += counts[l - 1];
+    }
+    out.clear();
+    out.resize(list.len(), 0);
+    for &i in list.iter() {
+        let l = lm.level_of(NodeId::from_index(i as usize)) as usize;
+        out[counts[l] as usize] = i;
+        counts[l] += 1;
+    }
+    std::mem::swap(list, out);
+}
+
 /// Shared read-only context of the evaluate phase, handed to every
 /// worker.
 struct EvalCtx<'a> {
@@ -669,6 +719,7 @@ fn rewrite_sweep(
     config: &RewriteConfig,
     bufs: &mut OptBuffers,
     rc: &mut RewriteCache,
+    lm: &mut LevelMap,
 ) -> Option<Mig> {
     let k = config.cut_size.clamp(2, 4);
     // The upper bound matches the candidate-slot width, so every stored
@@ -687,16 +738,17 @@ fn rewrite_sweep(
 
     // Level wavefronts over every reachable gate: nodes of one level
     // never feed each other, so a wavefront can be enumerated
-    // concurrently. Stable sort keeps ties in arena order.
-    let view = old.view();
+    // concurrently. The level mirror schedules the wavefronts; the
+    // counting sort keeps ties in arena order, exactly like the stable
+    // comparison sort it replaced, at O(n + levels).
+    lm.bind(old);
     rc.worklist.clear();
     for node in old.gate_ids() {
         if rc.reach[node.index()] {
             rc.worklist.push(node.index() as u32);
         }
     }
-    rc.worklist
-        .sort_by_key(|&i| view.level_of(NodeId::from_index(i as usize)));
+    sort_worklist_by_level(rc, lm);
 
     let trace = std::env::var_os("MIG_REWRITE_TRACE").is_some();
     let t0 = std::time::Instant::now();
@@ -719,7 +771,7 @@ fn rewrite_sweep(
         return None;
     }
 
-    let (new, committed) = commit(old, rc, bufs, db, config.goal, config.depth_tiebreak);
+    let (new, committed) = commit(old, rc, bufs, db, config.goal, config.depth_tiebreak, lm);
     if trace {
         eprintln!(
             "  sweep: enum={n_enum}/{} in {:.2}ms eval={n_eval} in {:.2}ms commit={} in {:.2}ms",
@@ -1076,6 +1128,7 @@ fn commit(
     db: &MigDatabase,
     goal: Objective,
     tiebreak: bool,
+    lm: &mut LevelMap,
 ) -> (Mig, usize) {
     crate::faultpoint!("rewrite.commit");
     let view = old.view();
@@ -1102,9 +1155,14 @@ fn commit(
             rc.map[idx] = hit;
             continue;
         }
+        // Bounded incremental repair: each bind catches the mirror up on
+        // exactly the nodes appended since the last accepted rewrite (or
+        // verbatim copy), so the per-accepted-rewrite level work is the
+        // size of the appended cone, not O(n).
+        lm.bind(&new);
         let default_level = 1 + kids
             .iter()
-            .map(|s| new.level_of_signal(*s))
+            .map(|s| lm.level_of_signal(*s))
             .max()
             .expect("three children");
         // The acceptance threshold is the node's default reconstruction:
@@ -1458,15 +1516,15 @@ fn enumerate_full(mig: &Mig, k: usize, max_cuts: usize, rc: &mut RewriteCache) {
         rc.reach.clear();
         rc.reach.extend_from_slice(&mark);
     }
-    let view = mig.view();
     rc.worklist.clear();
     for node in mig.gate_ids() {
         if rc.reach[node.index()] {
             rc.worklist.push(node.index() as u32);
         }
     }
-    rc.worklist
-        .sort_by_key(|&i| view.level_of(NodeId::from_index(i as usize)));
+    let mut lm = LevelMap::new();
+    lm.bind(mig);
+    sort_worklist_by_level(rc, &lm);
     let mut workers = rc.workers.take_n(1);
     enumerate_changed(mig, rc, k, max_cuts, 1, &mut workers);
     rc.workers.put_all(workers);
@@ -1617,8 +1675,9 @@ mod tests {
         let mut bufs = OptBuffers::new();
         let mut rc = RewriteCache::default();
         let config = RewriteConfig::default();
-        let first = optimize_rewrite_with(&mig, &config, &mut bufs, &mut rc);
-        let second = optimize_rewrite_with(&mig, &config, &mut bufs, &mut rc);
+        let mut lm = LevelMap::new();
+        let first = optimize_rewrite_with(&mig, &config, &mut bufs, &mut rc, &mut lm);
+        let second = optimize_rewrite_with(&mig, &config, &mut bufs, &mut rc, &mut lm);
         let fresh = optimize_rewrite(&mig, &config);
         for out in [&first, &second] {
             assert_eq!(out.size(), fresh.size());

@@ -6,13 +6,16 @@
 //! a purpose-built open-addressing table that exploits two invariants of
 //! the [`Mig`](crate::Mig) arena:
 //!
-//! * a stored node's sorted fanin triple **is** its key, so slots hold
-//!   only the `NodeId` (4 bytes) and lookups compare against the arena's
-//!   `children` array directly — no keys are duplicated into the table;
 //! * nodes are never deleted from the arena, so the table needs no
 //!   tombstones, and `clear` (used when an arena is recycled between
 //!   optimization passes) just wipes the slot words while keeping the
-//!   allocation.
+//!   allocation;
+//! * a slot stores its sorted fanin triple *inline* next to the node id
+//!   (16 bytes, power-of-two stride), so a probe compares against memory
+//!   it already loaded. The previous layout held only the `NodeId` and
+//!   compared against the arena's `children` array — one extra dependent
+//!   cache miss per probe, which on million-node rebuilds made `maj`
+//!   construction memory-bound.
 //!
 //! The hash is a splitmix64-style finalizer over the three packed signal
 //! words (the same mixer as `mig_netlist::SplitMix64`, matching the PR-1
@@ -25,13 +28,26 @@ const EMPTY: u32 = u32::MAX;
 /// Smallest non-empty capacity; always a power of two.
 const MIN_CAPACITY: usize = 16;
 
+/// One table slot: the sorted fanin triple plus the arena node that
+/// holds it. 16 bytes, so slots pack four per cache line.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    key: [Signal; 3],
+    node: u32,
+}
+
+const FREE: Slot = Slot {
+    key: [Signal::FALSE; 3],
+    node: EMPTY,
+};
+
 /// Open-addressing structural-hashing table: maps a sorted fanin triple to
-/// the arena node that holds it, storing only node ids.
+/// the arena node that holds it.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct StrashTable {
-    /// Slot array; `EMPTY` marks a free slot, anything else is a raw
-    /// `NodeId` index. Length is always zero or a power of two.
-    slots: Vec<u32>,
+    /// Slot array; `node == EMPTY` marks a free slot. Length is always
+    /// zero or a power of two.
+    slots: Vec<Slot>,
     /// Number of occupied slots.
     len: usize,
 }
@@ -50,7 +66,7 @@ impl StrashTable {
     /// Looks up the node whose stored fanins equal `key` (which must be
     /// sorted, as produced by the `maj` canonicalization).
     #[inline]
-    pub fn get(&self, key: [Signal; 3], children: &[[Signal; 3]]) -> Option<NodeId> {
+    pub fn get(&self, key: [Signal; 3]) -> Option<NodeId> {
         if self.slots.is_empty() {
             return None;
         }
@@ -58,41 +74,68 @@ impl StrashTable {
         let mut i = hash_key(key) as usize & mask;
         loop {
             let slot = self.slots[i];
-            if slot == EMPTY {
+            if slot.node == EMPTY {
                 return None;
             }
-            if children[slot as usize] == key {
-                return Some(NodeId::from_index(slot as usize));
+            if slot.key == key {
+                return Some(NodeId::from_index(slot.node as usize));
             }
             i = (i + 1) & mask;
         }
     }
 
-    /// Inserts `node` under `key`. The node's fanins must already be
-    /// stored in `children` (the table re-derives keys from the arena when
-    /// it grows). The caller guarantees the key is absent.
-    pub fn insert(&mut self, key: [Signal; 3], node: NodeId, children: &[[Signal; 3]]) {
+    /// Inserts `node` under `key`. The caller guarantees the key is
+    /// absent.
+    pub fn insert(&mut self, key: [Signal; 3], node: NodeId) {
         // Grow at ~70 % load (len + 1 > 0.7 · capacity).
         if (self.len + 1) * 10 > self.slots.len() * 7 {
-            self.grow(children);
+            self.grow();
         }
         let mask = self.slots.len() - 1;
         let mut i = hash_key(key) as usize & mask;
-        while self.slots[i] != EMPTY {
-            debug_assert_ne!(
-                children[self.slots[i] as usize], key,
-                "duplicate strash key"
-            );
+        while self.slots[i].node != EMPTY {
+            debug_assert_ne!(self.slots[i].key, key, "duplicate strash key");
             i = (i + 1) & mask;
         }
-        self.slots[i] = node.index() as u32;
+        self.slots[i] = Slot {
+            key,
+            node: node.index() as u32,
+        };
         self.len += 1;
     }
 
     /// Empties the table, keeping its allocation for reuse.
     pub fn clear(&mut self) {
-        self.slots.fill(EMPTY);
+        self.slots.fill(FREE);
         self.len = 0;
+    }
+
+    /// Pre-sizes the table for `additional` more entries beyond the
+    /// current population, growing (and rehashing once) to the smallest
+    /// power of two that keeps the projected load under ~70 %. A single
+    /// up-front rehash replaces the O(log n) doubling storm a million-node
+    /// import would otherwise pay.
+    pub fn reserve(&mut self, additional: usize) {
+        let needed = self.len + additional;
+        if needed * 10 <= self.slots.len() * 7 {
+            return;
+        }
+        let mut new_cap = self.slots.len().max(MIN_CAPACITY);
+        while needed * 10 > new_cap * 7 {
+            new_cap *= 2;
+        }
+        self.grow_to(new_cap);
+    }
+
+    /// Number of allocated slots (occupied or empty), for
+    /// memory-footprint reporting.
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Bytes held by the slot array, for memory-footprint reporting.
+    pub fn slot_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Slot>()
     }
 
     /// Number of hashed nodes (exposed for tests).
@@ -101,17 +144,21 @@ impl StrashTable {
         self.len
     }
 
-    fn grow(&mut self, children: &[[Signal; 3]]) {
+    fn grow(&mut self) {
         let new_cap = (self.slots.len() * 2).max(MIN_CAPACITY);
-        let old = std::mem::replace(&mut self.slots, vec![EMPTY; new_cap]);
+        self.grow_to(new_cap);
+    }
+
+    fn grow_to(&mut self, new_cap: usize) {
+        debug_assert!(new_cap.is_power_of_two());
+        let old = std::mem::replace(&mut self.slots, vec![FREE; new_cap]);
         let mask = new_cap - 1;
         for slot in old {
-            if slot == EMPTY {
+            if slot.node == EMPTY {
                 continue;
             }
-            let key = children[slot as usize];
-            let mut i = hash_key(key) as usize & mask;
-            while self.slots[i] != EMPTY {
+            let mut i = hash_key(slot.key) as usize & mask;
+            while self.slots[i].node != EMPTY {
                 i = (i + 1) & mask;
             }
             self.slots[i] = slot;
@@ -130,14 +177,13 @@ mod tests {
     #[test]
     fn get_on_empty_is_none() {
         let t = StrashTable::default();
-        assert_eq!(t.get([sig(1, false); 3], &[]), None);
+        assert_eq!(t.get([sig(1, false); 3]), None);
     }
 
     #[test]
     fn insert_then_get_through_growth() {
-        // Simulate an arena: children[i] is node i's sorted key.
-        let mut children: Vec<[Signal; 3]> = vec![[Signal::FALSE; 3]; 4]; // const + 3 inputs
         let mut table = StrashTable::default();
+        let mut keys: Vec<[Signal; 3]> = Vec::new();
         // 200 distinct keys force several growth/rehash rounds.
         for n in 0..200usize {
             let mut key = [
@@ -146,57 +192,64 @@ mod tests {
                 sig(4 + n, false),
             ];
             key.sort_unstable();
-            let node = NodeId::from_index(children.len());
-            children.push(key);
-            assert_eq!(table.get(key, &children), None, "key {n} absent before");
-            table.insert(key, node, &children);
-            assert_eq!(table.get(key, &children), Some(node), "key {n} found after");
+            let node = NodeId::from_index(4 + keys.len());
+            assert_eq!(table.get(key), None, "key {n} absent before");
+            table.insert(key, node);
+            keys.push(key);
+            assert_eq!(table.get(key), Some(node), "key {n} found after");
         }
         assert_eq!(table.len(), 200);
         // Every key still resolves after all rehashes.
-        for i in 4..children.len() {
-            assert_eq!(
-                table.get(children[i], &children),
-                Some(NodeId::from_index(i))
-            );
+        for (i, &key) in keys.iter().enumerate() {
+            assert_eq!(table.get(key), Some(NodeId::from_index(4 + i)));
         }
     }
 
     #[test]
     fn clear_keeps_capacity_and_empties() {
-        let mut children: Vec<[Signal; 3]> = vec![[Signal::FALSE; 3]];
         let mut table = StrashTable::default();
+        let mut keys: Vec<[Signal; 3]> = Vec::new();
         for n in 0..50usize {
             let key = [sig(n + 1, false), sig(n + 2, false), sig(n + 3, true)];
-            let node = NodeId::from_index(children.len());
-            children.push(key);
-            table.insert(key, node, &children);
+            table.insert(key, NodeId::from_index(1 + n));
+            keys.push(key);
         }
         let cap = table.slots.len();
         table.clear();
         assert_eq!(table.len(), 0);
         assert_eq!(table.slots.len(), cap, "clear keeps the allocation");
-        for i in 1..children.len() {
-            assert_eq!(table.get(children[i], &children), None);
+        for &key in &keys {
+            assert_eq!(table.get(key), None);
         }
     }
 
     #[test]
     fn colliding_keys_coexist() {
         // Craft many keys landing in a tiny table to force probe chains.
-        let mut children: Vec<[Signal; 3]> = vec![[Signal::FALSE; 3]];
         let mut table = StrashTable::default();
+        let mut keys: Vec<[Signal; 3]> = Vec::new();
         for n in 0..MIN_CAPACITY {
             let key = [sig(1, false), sig(2, false), sig(10 + n, false)];
-            let node = NodeId::from_index(children.len());
-            children.push(key);
-            table.insert(key, node, &children);
+            table.insert(key, NodeId::from_index(1 + n));
+            keys.push(key);
         }
-        for i in 1..children.len() {
-            assert_eq!(
-                table.get(children[i], &children),
-                Some(NodeId::from_index(i))
-            );
+        for (i, &key) in keys.iter().enumerate() {
+            assert_eq!(table.get(key), Some(NodeId::from_index(1 + i)));
         }
+    }
+
+    #[test]
+    fn reserve_prevents_rehash_storms() {
+        let mut table = StrashTable::default();
+        table.reserve(1000);
+        let cap = table.num_slots();
+        // reserve(1000) must leave the table under the ~70% grow
+        // threshold: 1000 entries fit in cap slots at <= 0.7 load.
+        assert!(1000 * 10 <= cap * 7, "reserve left the table too full");
+        for n in 0..1000usize {
+            let key = [sig(1, false), sig(2, n % 2 == 0), sig(10 + n, false)];
+            table.insert(key, NodeId::from_index(1 + n));
+        }
+        assert_eq!(table.num_slots(), cap, "no growth after reserve");
     }
 }

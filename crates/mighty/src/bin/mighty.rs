@@ -100,12 +100,18 @@ USAGE:
                                         steps minimize real mapped cost);
                                         -o writes the mapped netlist as
                                         structural Verilog
-    mighty bench [BENCH]... [--quick] [--flow SCRIPT] [--effort N]
+    mighty bench [BENCH]... [--suite mcnc|large|all] [--quick]
+                 [--flow SCRIPT] [--effort N]
                  [--rounds N] [--jobs N] [-o FILE]
-                                        timed pass sweep over the MCNC suite
-                                        (default flow: size; rewrite; depth;
-                                        activity); writes the mig-bench/v6
-                                        JSON perf trajectory with mapped
+                                        timed pass sweep over the selected
+                                        suite (default: mcnc; the large tier
+                                        runs 100k-1M-node circuits through
+                                        size*2; rewrite; depth_rewrite; depth
+                                        and records memory footprint plus
+                                        level-maintenance counters; --quick
+                                        keeps only mul_100k of the tier);
+                                        writes the mig-bench/v7 JSON perf
+                                        trajectory with mapped
                                         area/delay/power on both stock
                                         libraries (default FILE:
                                         BENCH_opt.json); exits nonzero on any
@@ -113,9 +119,12 @@ USAGE:
                                         regression
     mighty stats [INPUT]...             print circuit statistics
     mighty gen BENCH [-o FILE]          emit a generated benchmark as Verilog
+    mighty gen --list                   list every generatable circuit (MCNC
+                                        and large tier)
     mighty equiv A B [--rounds N]       check two circuits for equivalence
-    mighty list                         list the generated MCNC benchmarks
-                                        and the stock cell libraries
+    mighty list                         list the generated MCNC benchmarks,
+                                        the large tier and the stock cell
+                                        libraries
     mighty help                         show this message
 
 RESILIENCE (opt, map, bench):
@@ -153,8 +162,10 @@ struct Args {
     jobs: Option<usize>,
     output: Option<String>,
     lib: Option<String>,
+    suite: Option<String>,
     quick: bool,
     rewrite: bool,
+    list: bool,
     timeout_ms: Option<u64>,
     pass_timeout_ms: Option<u64>,
     max_nodes: Option<usize>,
@@ -182,8 +193,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         jobs: None,
         output: None,
         lib: None,
+        suite: None,
         quick: false,
         rewrite: false,
+        list: false,
         timeout_ms: None,
         pass_timeout_ms: None,
         max_nodes: None,
@@ -216,6 +229,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 );
             }
             "--output" | "-o" => args.output = Some(value(a)?),
+            "--suite" | "-s" => args.suite = Some(value(a)?),
+            "--list" => args.list = true,
             "--lib" | "-l" => args.lib = Some(value(a)?),
             "--timeout-ms" => {
                 args.timeout_ms = Some(
@@ -341,14 +356,36 @@ fn cmd_bench(args: &Args) -> Result<u8, Failure> {
     } else {
         mig_bench::BenchConfig::full()
     };
+    if let Some(suite) = &args.suite {
+        if !mig_bench::SUITES.contains(&suite.as_str()) {
+            return Err(Failure::usage(format!(
+                "unknown suite `{suite}` (known suites: {})",
+                mig_bench::SUITES.join(", ")
+            )));
+        }
+        config.suite = suite.clone();
+    }
     for name in &args.positional {
-        if !mig_benchgen::MCNC_NAMES.contains(&name.as_str()) {
+        if !mig_benchgen::MCNC_NAMES.contains(&name.as_str())
+            && !mig_benchgen::LARGE_NAMES.contains(&name.as_str())
+        {
             return Err(Failure::usage(format!(
                 "unknown benchmark `{name}` (see `mighty list`)"
             )));
         }
     }
     config.names = args.positional.clone();
+    // A large-tier name without an explicit --suite routes through the
+    // large runner (running mul_1m through the MCNC mapping/esat stages
+    // by accident would be a footgun, not a feature).
+    if args.suite.is_none()
+        && args
+            .positional
+            .iter()
+            .any(|n| mig_benchgen::LARGE_NAMES.contains(&n.as_str()))
+    {
+        config.suite = "all".into();
+    }
     if let Some(script) = &args.flow {
         // Validate up front for a clean CLI error.
         Flow::parse(script).map_err(Failure::usage)?;
@@ -401,10 +438,19 @@ fn cmd_stats(args: &Args) -> Result<u8, Failure> {
 }
 
 fn cmd_gen(args: &Args) -> Result<u8, Failure> {
+    if args.list {
+        for name in mig_benchgen::MCNC_NAMES {
+            println!("{name}");
+        }
+        for name in mig_benchgen::LARGE_NAMES {
+            println!("{name}");
+        }
+        return Ok(EXIT_OK);
+    }
     let name = args
         .positional
         .first()
-        .ok_or_else(|| Failure::usage("gen requires a benchmark name (see `mighty list`)"))?;
+        .ok_or_else(|| Failure::usage("gen requires a benchmark name (see `mighty gen --list`)"))?;
     let net = mig_benchgen::generate(name)
         .ok_or_else(|| Failure::usage(format!("unknown benchmark `{name}` (see `mighty list`)")))?;
     emit_verilog(&net, args.output.as_deref().unwrap_or("-")).map_err(Failure::generic)?;
@@ -447,6 +493,10 @@ fn run() -> Result<u8, Failure> {
             for name in mig_benchgen::MCNC_NAMES {
                 println!("{name}");
             }
+            println!(
+                "large tier (bench --suite large): {}",
+                mig_benchgen::LARGE_NAMES.join(", ")
+            );
             println!("libraries: {}", mig_techmap::KNOWN_LIBRARIES.join(", "));
             Ok(EXIT_OK)
         }

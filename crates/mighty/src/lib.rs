@@ -17,7 +17,7 @@
 //! same pipeline as plain functions ([`load_input`], [`run_opt`],
 //! [`run_flow`], [`render_report`]) so integration tests drive the exact
 //! code path the CLI does. The timed suite sweep behind `mighty bench`
-//! lives in [`mig_bench`], which writes the `mig-bench/v6`
+//! lives in [`mig_bench`], which writes the `mig-bench/v7`
 //! perf-trajectory JSON (`BENCH_opt.json`) with every optimized result
 //! technology-mapped onto both stock `mig_techmap` libraries. The
 //! `mighty map` half ([`run_map`], [`render_map_report`]) maps a
@@ -211,7 +211,8 @@ pub struct OptOutcome {
 }
 
 /// Resolves a CLI input spec: a known benchmark name from
-/// [`mig_benchgen::MCNC_NAMES`], or a path to a structural-Verilog file.
+/// [`mig_benchgen::MCNC_NAMES`] or [`mig_benchgen::LARGE_NAMES`], or a
+/// path to a structural-Verilog file.
 pub fn load_input(spec: &str) -> Result<Network, String> {
     if let Some(net) = mig_benchgen::generate(spec) {
         return Ok(net);
@@ -219,7 +220,12 @@ pub fn load_input(spec: &str) -> Result<Network, String> {
     let text = std::fs::read_to_string(spec).map_err(|e| {
         format!(
             "`{spec}` is neither a known benchmark ({}) nor a readable file: {e}",
-            mig_benchgen::MCNC_NAMES.join(", ")
+            mig_benchgen::MCNC_NAMES
+                .iter()
+                .chain(mig_benchgen::LARGE_NAMES.iter())
+                .copied()
+                .collect::<Vec<_>>()
+                .join(", ")
         )
     })?;
     parse_verilog(&text).map_err(|e| format!("{spec}: {e}"))

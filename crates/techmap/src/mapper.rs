@@ -908,8 +908,12 @@ impl<'a> Cover<'a> {
     /// alternative. A switch only happens on a strict improvement, so
     /// total area is monotone non-increasing. With `req` set (delay
     /// goal), a candidate is only eligible if its estimated arrival
-    /// meets the literal's required time.
-    fn refine_sweep(&mut self, req: Option<&[f64]>) {
+    /// meets the literal's required time. Returns the number of
+    /// literals whose choice switched, so the caller can stop iterating
+    /// once a sweep converges (the sweep is deterministic: zero
+    /// switches means every further sweep is an identical no-op).
+    fn refine_sweep(&mut self, req: Option<&[f64]>) -> usize {
+        let mut switches = 0usize;
         let mut order = self.cover_order();
         order.reverse();
         for lit in order {
@@ -973,12 +977,16 @@ impl<'a> Cover<'a> {
                 }
             }
             let (_, pick) = best.expect("current candidate is always eligible");
+            if pick != cur {
+                switches += 1;
+            }
             self.choice[l] = pick as u32;
             let pick_pins = self.cands[l][pick].pins.clone();
             for &p in &pick_pins {
                 self.reref_cone(p);
             }
         }
+        switches
     }
 
     /// Writes the chosen cover out as a [`MappedDesign`] (instances in
@@ -1111,7 +1119,12 @@ pub fn map_mig(mig: &Mig, library: &CellLibrary, config: &MapConfig) -> MappedDe
                 MapGoal::Area => None,
                 MapGoal::Delay => Some(cover.required_times()),
             };
-            cover.refine_sweep(req.as_deref());
+            // A converged sweep switches nothing, so the remaining
+            // passes — including their O(n) required-time recomputes —
+            // would be identical no-ops; skip them.
+            if cover.refine_sweep(req.as_deref()) == 0 {
+                break;
+            }
         }
     }
     cover.emit()
