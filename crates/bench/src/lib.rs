@@ -8,7 +8,7 @@
 //! successive PRs accumulate a performance trajectory (compare the
 //! committed file against a fresh run to spot regressions).
 //!
-//! The schema (`mig-bench/v7`, documented in `DESIGN.md` §7/§10; v2
+//! The schema (`mig-bench/v8`, documented in `DESIGN.md` §7/§10; v2
 //! added the cut-based Boolean `rewrite` pass between `size` and
 //! `depth`; v3 added the top-level `threads` field recording the rewrite
 //! engine's resolved evaluate-phase worker count; v4 added the top-level
@@ -32,11 +32,15 @@
 //! records never regenerate. A pass entry additionally carries an
 //! `"outcome"` key when — and only when — the pass manager degraded it
 //! (`rolled_back` / `timed_out` / `skipped`), so a healthy run's JSON
-//! carries no outcome noise):
+//! carries no outcome noise; v8 adds the optional top-level `serve`
+//! block — the `mighty serve --bench` load sweep with jobs/sec and
+//! p50/p95/p99 latency per worker count — placed, like `large`,
+//! immediately before `totals` so volatile timings strip with a
+//! line-range delete):
 //!
 //! ```json
 //! {
-//!   "schema": "mig-bench/v7",
+//!   "schema": "mig-bench/v8",
 //!   "suite": "mcnc14",
 //!   "mode": "full",
 //!   "flow": "size; rewrite; depth; activity",
@@ -105,7 +109,7 @@
 //! let report = run_suite(&cfg);
 //! assert!(report.all_ok());
 //! assert_eq!(report.benchmarks.len(), 1);
-//! assert!(mig_bench::to_json(&report).contains("\"schema\": \"mig-bench/v7\""));
+//! assert!(mig_bench::to_json(&report).contains("\"schema\": \"mig-bench/v8\""));
 //! ```
 
 #![warn(missing_docs)]
@@ -403,6 +407,43 @@ pub struct BenchReport {
     /// One record per large-tier circuit, in run order (empty unless
     /// the `large` or `all` suite was selected).
     pub large: Vec<LargeRecord>,
+    /// Service-throughput sweep (`mighty serve --bench`), when one ran.
+    pub serve: Option<ServeReport>,
+}
+
+/// One worker-count point of a `mighty serve --bench` load sweep.
+#[derive(Debug, Clone)]
+pub struct ServeSweep {
+    /// Worker threads the server ran.
+    pub workers: usize,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Jobs completed in the sweep.
+    pub jobs: usize,
+    /// Completed jobs per second.
+    pub jobs_per_sec: f64,
+    /// Median client-observed per-job latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Every response passed both equivalence checks.
+    pub verified: bool,
+    /// Every response was bit-identical to a local `mighty opt` run.
+    pub bit_identical: bool,
+}
+
+/// The serve-bench block of the v8 schema: the flow/effort every job
+/// ran, plus one [`ServeSweep`] per worker count.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Flow script every job executed.
+    pub flow: String,
+    /// Per-pass effort every job used.
+    pub effort: usize,
+    /// One entry per worker count, in sweep order.
+    pub sweeps: Vec<ServeSweep>,
 }
 
 impl BenchReport {
@@ -740,10 +781,11 @@ pub fn run_suite(config: &BenchConfig) -> BenchReport {
         threads,
         benchmarks,
         large,
+        serve: None,
     }
 }
 
-/// Serializes a report in the stable `mig-bench/v7` schema.
+/// Serializes a report in the stable `mig-bench/v8` schema.
 ///
 /// Hand-rolled (the workspace has zero third-party dependencies); all
 /// strings in the schema are benchmark names, pass labels and canonical
@@ -751,7 +793,7 @@ pub fn run_suite(config: &BenchConfig) -> BenchReport {
 pub fn to_json(report: &BenchReport) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"mig-bench/v7\",");
+    let _ = writeln!(s, "  \"schema\": \"mig-bench/v8\",");
     let _ = writeln!(s, "  \"suite\": \"{}\",", report.suite);
     let _ = writeln!(s, "  \"mode\": \"{}\",", report.mode);
     let _ = writeln!(s, "  \"flow\": \"{}\",", report.flow);
@@ -881,6 +923,13 @@ pub fn to_json(report: &BenchReport) -> String {
         }
         s.push_str("  ],\n");
     }
+    // Like `large`, the serve sweep is a self-contained top-level block
+    // immediately before `totals`, so the CI bit-identity gates can
+    // strip it with a line-range delete (throughput and latency are
+    // machine-volatile).
+    if let Some(serve) = &report.serve {
+        s.push_str(&serve_block_json(serve));
+    }
     let size_before: usize = report.benchmarks.iter().map(|b| b.import.size).sum();
     let size_after: usize = report
         .benchmarks
@@ -904,6 +953,45 @@ pub fn to_json(report: &BenchReport) -> String {
     }
     let _ = writeln!(s, "    \"all_ok\": {}", report.all_ok());
     s.push_str("  }\n}\n");
+    s
+}
+
+/// Renders the `"serve"` block of the v8 schema (the lines between the
+/// benchmark/large arrays and `"totals"`), trailing comma included.
+///
+/// Public so `mighty serve --bench` can splice a fresh sweep into an
+/// existing `BENCH_opt.json` textually — replacing the old block in
+/// place keeps every other byte of the committed trajectory intact.
+pub fn serve_block_json(serve: &ServeReport) -> String {
+    let mut s = String::new();
+    s.push_str("  \"serve\": {\n");
+    let _ = writeln!(s, "    \"flow\": \"{}\",", serve.flow);
+    let _ = writeln!(s, "    \"effort\": {},", serve.effort);
+    s.push_str("    \"sweeps\": [\n");
+    for (i, r) in serve.sweeps.iter().enumerate() {
+        let _ = write!(
+            s,
+            "      {{\"workers\": {}, \"clients\": {}, \"jobs\": {}, \
+             \"jobs_per_sec\": {:.2}, \"p50_ms\": {:.2}, \"p95_ms\": {:.2}, \
+             \"p99_ms\": {:.2}, \"verified\": {}, \"bit_identical\": {}}}",
+            r.workers,
+            r.clients,
+            r.jobs,
+            r.jobs_per_sec,
+            r.p50_ms,
+            r.p95_ms,
+            r.p99_ms,
+            r.verified,
+            r.bit_identical
+        );
+        s.push_str(if i + 1 < serve.sweeps.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("    ]\n");
+    s.push_str("  },\n");
     s
 }
 
@@ -1103,7 +1191,7 @@ mod tests {
         let report = run_suite(&tiny_config());
         let json = to_json(&report);
         for field in [
-            "\"schema\": \"mig-bench/v7\"",
+            "\"schema\": \"mig-bench/v8\"",
             "\"suite\": \"mcnc14\"",
             "\"mode\": \"quick\"",
             "\"flow\": \"size; rewrite; depth; activity\"",

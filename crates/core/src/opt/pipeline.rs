@@ -420,7 +420,10 @@ impl OptContext {
         self.spot_check = Some(check);
     }
 
-    /// Removes the post-pass acceptance check, returning it.
+    /// Removes the post-pass acceptance check, returning it. Long-lived
+    /// contexts (a `mighty serve` worker reusing one context across
+    /// jobs) call this between jobs so one job's `--selfcheck` never
+    /// leaks into the next.
     pub fn clear_spot_check(&mut self) -> Option<Box<dyn SpotCheck>> {
         self.spot_check.take()
     }
@@ -1090,6 +1093,22 @@ impl Flow {
     /// the iteration budget handed to every pass ([`PassKind::build`]);
     /// each executed pass appends one entry to the context's ledger.
     pub fn run(&self, mig: Mig, effort: usize, ctx: &mut OptContext) -> Mig {
+        self.run_observed(mig, effort, ctx, |_| {})
+    }
+
+    /// [`Flow::run`] with a per-pass observer: `observe` is invoked with
+    /// the ledger entry of every executed pass, immediately after it
+    /// finishes. This is the hook `mighty serve` uses to stream per-pass
+    /// progress lines to a client while the job is still running; the
+    /// observer sees exactly what the wall-time ledger records, so a
+    /// streamed trace and the final report can never disagree.
+    pub fn run_observed(
+        &self,
+        mig: Mig,
+        effort: usize,
+        ctx: &mut OptContext,
+        mut observe: impl FnMut(&PassReport),
+    ) -> Mig {
         ctx.begin_run();
         let mut cur = mig;
         for step in &self.steps {
@@ -1098,6 +1117,7 @@ impl Flow {
                 Repeat::Times(n) => {
                     for _ in 0..n {
                         cur = ctx.run_pass(&*pass, cur);
+                        observe(ctx.ledger().last().expect("run_pass appends"));
                     }
                 }
                 Repeat::Converge => {
@@ -1107,6 +1127,7 @@ impl Flow {
                     for _ in 0..CONVERGE_CAP {
                         cur = ctx.run_pass(&*pass, cur);
                         let report = ctx.ledger().last().expect("run_pass appends");
+                        observe(report);
                         if !pass.improved(&report.before, &report.after) {
                             break;
                         }
@@ -1260,6 +1281,32 @@ mod tests {
         }
         assert_eq!(ledger.last().unwrap().after.size, out.size());
         assert!(ctx.ledger().is_empty(), "take_ledger drains");
+    }
+
+    #[test]
+    fn observer_sees_exactly_the_ledger() {
+        let mig = xor_tangle();
+        let mut ctx = OptContext::with_jobs(1);
+        let mut seen: Vec<(String, u64)> = Vec::new();
+        let observed = Flow::parse("size*2; rewrite; depth*")
+            .unwrap()
+            .run_observed(mig.clone(), 1, &mut ctx, |r| {
+                seen.push((r.pass.clone(), r.after.size as u64));
+            });
+        let ledger = ctx.take_ledger();
+        assert_eq!(seen.len(), ledger.len(), "one callback per entry");
+        for (got, want) in seen.iter().zip(ledger.iter()) {
+            assert_eq!(got.0, want.pass);
+            assert_eq!(got.1, want.after.size as u64);
+        }
+        // And the observed run computes the same result as a plain run.
+        let plain = Flow::parse("size*2; rewrite; depth*").unwrap().run(
+            mig,
+            1,
+            &mut OptContext::with_jobs(1),
+        );
+        assert_eq!(observed.size(), plain.size());
+        assert_eq!(observed.depth(), plain.depth());
     }
 
     #[test]

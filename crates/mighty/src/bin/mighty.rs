@@ -7,6 +7,9 @@
 //!            [--effort N] [--rounds N] [--jobs N] [-o FILE]
 //! mighty bench [BENCH]... [--quick] [--flow SCRIPT] [--effort N]
 //!              [--rounds N] [--jobs N] [-o FILE]
+//! mighty serve [--listen ADDR] [--workers N] [--cache N] [--drain-ms N]
+//! mighty serve --bench [--quick] [--clients N] [--workers N]
+//!              [--flow SCRIPT] [--effort N] [-o FILE]
 //! mighty stats [INPUT]...
 //! mighty gen BENCH [-o FILE]
 //! mighty equiv A B [--rounds N]
@@ -110,13 +113,35 @@ USAGE:
                                         and records memory footprint plus
                                         level-maintenance counters; --quick
                                         keeps only mul_100k of the tier);
-                                        writes the mig-bench/v7 JSON perf
+                                        writes the mig-bench/v8 JSON perf
                                         trajectory with mapped
                                         area/delay/power on both stock
                                         libraries (default FILE:
                                         BENCH_opt.json); exits nonzero on any
                                         equivalence failure or size
                                         regression
+    mighty serve [--listen ADDR] [--workers N] [--cache N] [--drain-ms N]
+                                        long-running optimization service:
+                                        line-delimited JSON jobs over TCP
+                                        (default ADDR 127.0.0.1:7171, port 0
+                                        picks a free one; default workers:
+                                        all cores), executed on a fixed
+                                        worker pool with persistent contexts
+                                        and a bounded LRU result cache
+                                        (--cache entries, 0 disables);
+                                        SIGTERM/ctrl-c or {\"op\":\"shutdown\"}
+                                        drains in-flight jobs within
+                                        --drain-ms and exits 0
+    mighty serve --bench [--quick] [--clients N] [--workers N]
+                 [--flow SCRIPT] [--effort N] [-o FILE]
+                                        load generator: sweeps the worker
+                                        pool over {1, 2, 4} (or just
+                                        --workers N), measures jobs/sec and
+                                        p50/p95/p99 latency, verifies every
+                                        response and checks it bit-identical
+                                        to a local `mighty opt`; splices the
+                                        sweep into FILE's serve block
+                                        (default: BENCH_opt.json)
     mighty stats [INPUT]...             print circuit statistics
     mighty gen BENCH [-o FILE]          emit a generated benchmark as Verilog
     mighty gen --list                   list every generatable circuit (MCNC
@@ -170,6 +195,12 @@ struct Args {
     pass_timeout_ms: Option<u64>,
     max_nodes: Option<usize>,
     selfcheck: bool,
+    listen: Option<String>,
+    workers: Option<usize>,
+    cache: Option<usize>,
+    drain_ms: Option<u64>,
+    bench_load: bool,
+    clients: Option<usize>,
 }
 
 impl Args {
@@ -201,6 +232,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         pass_timeout_ms: None,
         max_nodes: None,
         selfcheck: false,
+        listen: None,
+        workers: None,
+        cache: None,
+        drain_ms: None,
+        bench_load: false,
+        clients: None,
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -250,6 +287,25 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.max_nodes = Some(value(a)?.parse().map_err(|e| format!("--max-nodes: {e}"))?);
             }
             "--selfcheck" => args.selfcheck = true,
+            "--listen" => args.listen = Some(value(a)?),
+            "--workers" => {
+                args.workers = Some(value(a)?.parse().map_err(|e| format!("--workers: {e}"))?);
+            }
+            "--cache" => {
+                args.cache = Some(value(a)?.parse().map_err(|e| format!("--cache: {e}"))?);
+            }
+            "--drain-ms" => {
+                args.drain_ms = Some(value(a)?.parse().map_err(|e| format!("--drain-ms: {e}"))?);
+            }
+            "--bench" => args.bench_load = true,
+            "--clients" => {
+                args.clients = Some(
+                    value(a)?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--clients: {e}"))?
+                        .max(1),
+                );
+            }
             flag if flag.starts_with('-') && flag != "-" => {
                 return Err(format!("unknown flag `{flag}`"));
             }
@@ -472,6 +528,142 @@ fn cmd_equiv(args: &Args) -> Result<u8, Failure> {
     Ok(if ok { EXIT_OK } else { EXIT_EQUIV })
 }
 
+fn cmd_serve(args: &Args) -> Result<u8, Failure> {
+    use mig_mighty::serve;
+    if args.bench_load {
+        return cmd_serve_bench(args);
+    }
+    let workers = args.workers.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    let config = serve::ServeConfig {
+        listen: args
+            .listen
+            .clone()
+            .unwrap_or_else(|| "127.0.0.1:7171".to_string()),
+        workers,
+        cache_capacity: args.cache.unwrap_or(64),
+        drain_ms: args.drain_ms.unwrap_or(10_000),
+    };
+    serve::install_signal_handlers();
+    let server = serve::Server::start(&config).map_err(Failure::generic)?;
+    // The exact line the serve tests and tooling parse for the bound
+    // (possibly ephemeral) port — keep it first and stable.
+    println!("listening on {}", server.addr());
+    println!(
+        "workers: {}  cache: {} entries  drain: {} ms",
+        config.workers, config.cache_capacity, config.drain_ms
+    );
+    if server.wait() {
+        Ok(EXIT_OK)
+    } else {
+        Err(Failure::generic(
+            "drain deadline expired with jobs still in flight",
+        ))
+    }
+}
+
+fn cmd_serve_bench(args: &Args) -> Result<u8, Failure> {
+    use mig_mighty::serve;
+    let mut cfg = if args.quick {
+        serve::LoadConfig::quick()
+    } else {
+        serve::LoadConfig::full()
+    };
+    if let Some(clients) = args.clients {
+        cfg.clients = clients;
+    }
+    if let Some(script) = &args.flow {
+        Flow::parse(script).map_err(Failure::usage)?;
+        cfg.flow = script.clone();
+    }
+    if let Some(effort) = args.effort {
+        cfg.effort = effort.max(1);
+    }
+    if let Some(workers) = args.workers {
+        cfg.workers_sweep = vec![workers.max(1)];
+    }
+    let sweeps = serve::run_load(&cfg).map_err(Failure::generic)?;
+    print!("{}", serve::render_load_table(&sweeps));
+    let report = mig_bench::ServeReport {
+        flow: cfg.flow.clone(),
+        effort: cfg.effort,
+        sweeps: sweeps
+            .iter()
+            .map(|r| mig_bench::ServeSweep {
+                workers: r.workers,
+                clients: r.clients,
+                jobs: r.jobs,
+                jobs_per_sec: r.jobs_per_sec,
+                p50_ms: r.p50_ms,
+                p95_ms: r.p95_ms,
+                p99_ms: r.p99_ms,
+                verified: r.verified,
+                bit_identical: r.bit_identical,
+            })
+            .collect(),
+    };
+    let path = args.output.as_deref().unwrap_or("BENCH_opt.json");
+    if path == "-" {
+        print!("{}", mig_bench::serve_block_json(&report));
+    } else {
+        splice_serve_block(path, &report)?;
+        println!("updated {path}");
+    }
+    if sweeps.iter().all(|r| r.verified && r.bit_identical) {
+        Ok(EXIT_OK)
+    } else {
+        Ok(EXIT_EQUIV)
+    }
+}
+
+/// Splices a fresh `"serve"` block into an existing `BENCH_opt.json`:
+/// removes any previous block, inserts the new one immediately before
+/// `"totals"`, and upgrades a pre-v8 schema line. Textual surgery on
+/// purpose — every byte of the committed MCNC trajectory outside the
+/// block stays identical.
+fn splice_serve_block(path: &str, report: &mig_bench::ServeReport) -> Result<(), Failure> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        Failure::generic(format!(
+            "reading `{path}`: {e} (run `mighty bench` first to create it)"
+        ))
+    })?;
+    let mut lines: Vec<&str> = text.lines().collect();
+    if let Some(start) = lines
+        .iter()
+        .position(|l| l.trim_start().starts_with("\"serve\": {"))
+    {
+        let end = lines[start..]
+            .iter()
+            .position(|l| *l == "  },")
+            .map(|off| start + off)
+            .ok_or_else(|| Failure::generic(format!("`{path}`: unterminated serve block")))?;
+        lines.drain(start..=end);
+    }
+    let totals = lines
+        .iter()
+        .position(|l| l.trim_start().starts_with("\"totals\": {"))
+        .ok_or_else(|| {
+            Failure::generic(format!("`{path}`: no totals block — not a mig-bench file"))
+        })?;
+    let block = mig_bench::serve_block_json(report);
+    let mut out = String::new();
+    for (i, line) in lines.iter().enumerate() {
+        if i == totals {
+            out.push_str(&block);
+        }
+        if line.contains("\"schema\": \"mig-bench/v7\"") {
+            out.push_str("  \"schema\": \"mig-bench/v8\",\n");
+        } else {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    std::fs::write(path, out).map_err(|e| Failure::generic(format!("writing `{path}`: {e}")))
+}
+
 fn run() -> Result<u8, Failure> {
     #[cfg(feature = "faultpoints")]
     mig_core::faultpoint::configure_from_env()
@@ -486,6 +678,7 @@ fn run() -> Result<u8, Failure> {
         "opt" => cmd_opt(&args),
         "map" => cmd_map(&args),
         "bench" => cmd_bench(&args),
+        "serve" => cmd_serve(&args),
         "stats" => cmd_stats(&args),
         "gen" => cmd_gen(&args),
         "equiv" => cmd_equiv(&args),

@@ -17,7 +17,7 @@
 //! same pipeline as plain functions ([`load_input`], [`run_opt`],
 //! [`run_flow`], [`render_report`]) so integration tests drive the exact
 //! code path the CLI does. The timed suite sweep behind `mighty bench`
-//! lives in [`mig_bench`], which writes the `mig-bench/v7`
+//! lives in [`mig_bench`], which writes the `mig-bench/v8`
 //! perf-trajectory JSON (`BENCH_opt.json`) with every optimized result
 //! technology-mapped onto both stock `mig_techmap` libraries. The
 //! `mighty map` half ([`run_map`], [`render_map_report`]) maps a
@@ -34,6 +34,9 @@
 //! assert!(outcome.after.depth <= outcome.before.depth);
 //! assert_eq!(outcome.flow, "depth");
 //! ```
+
+pub mod json;
+pub mod serve;
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -283,11 +286,38 @@ pub fn run_flow_with(
     jobs: usize,
     opts: &RunOptions,
 ) -> OptOutcome {
+    let mut ctx = OptContext::with_jobs(jobs);
+    run_flow_session(net, flow, effort, rounds, opts, &mut ctx, |_| {})
+}
+
+/// [`run_flow_with`] against a caller-owned, reusable [`OptContext`],
+/// with a per-stage observer.
+///
+/// This is the entry point of a `mighty serve` worker: the worker keeps
+/// one context alive across jobs (arena pool, rewrite cache and level
+/// mirror survive, so later jobs skip the warm-up allocations) and
+/// streams every executed stage to the client as it lands in the
+/// wall-time ledger. Context reuse never changes results — caches are
+/// stamp-keyed and arenas wiped on reuse — so the outcome is
+/// bit-identical to a fresh-context [`run_flow_with`] run with the same
+/// arguments (the serve test suite asserts this). Any spot check or
+/// budget left over from a previous job is cleared/overwritten before
+/// the flow runs.
+pub fn run_flow_session(
+    net: &Network,
+    flow: &Flow,
+    effort: usize,
+    rounds: usize,
+    opts: &RunOptions,
+    ctx: &mut OptContext,
+    mut observe: impl FnMut(&StageReport),
+) -> OptOutcome {
     let rounds = rounds.max(1);
     let mig = Mig::from_network(net);
     let before = Snapshot::of(&mig);
-    let mut ctx = OptContext::with_jobs(jobs);
-    opts.apply(&mut ctx, rounds);
+    ctx.clear_spot_check();
+    ctx.take_ledger();
+    opts.apply(ctx, rounds);
 
     let start = Instant::now();
     let mut stages: Vec<StageReport> = Vec::new();
@@ -295,16 +325,18 @@ pub fn run_flow_with(
     let cleaned = mig.cleanup();
     let cleanup_millis = cleanup_start.elapsed().as_secs_f64() * 1e3;
     if Snapshot::of(&cleaned) != before {
-        stages.push(StageReport {
+        let report = StageReport {
             pass: "cleanup".to_string(),
             millis: cleanup_millis,
             before,
             after: Snapshot::of(&cleaned),
             outcome: mig_core::PassOutcome::Completed,
             note: None,
-        });
+        };
+        observe(&report);
+        stages.push(report);
     }
-    let cur = flow.run(cleaned, effort, &mut ctx);
+    let cur = flow.run_observed(cleaned, effort, ctx, &mut observe);
     let millis = start.elapsed().as_millis();
     stages.extend(ctx.take_ledger());
 

@@ -1,0 +1,1191 @@
+//! `mighty serve` — a concurrent optimization service.
+//!
+//! A long-running server that accepts optimization jobs over a
+//! line-delimited JSON protocol on a TCP socket and executes them on a
+//! fixed pool of worker threads (`std::thread` only — the workspace's
+//! zero-third-party-deps invariant extends to the service layer). The
+//! design amortizes everything that a one-shot `mighty opt` process
+//! pays per run:
+//!
+//! - the NPN majority database ([`mig_tt`]'s `MigDatabase::global()`)
+//!   and the stock cell libraries/match indexes
+//!   ([`mig_techmap::CellLibrary::shared_by_name`]) are build-once
+//!   process-global values, pre-warmed at server start;
+//! - every worker owns one persistent [`OptContext`] — arena pool,
+//!   rewrite cache, level mirror — that survives across jobs (context
+//!   reuse never changes results; see `run_flow_session`);
+//! - a bounded LRU result cache keyed by (canonical netlist content
+//!   hash, flow script, effort) returns verified results without
+//!   recomputation.
+//!
+//! Every response is equivalence-verified (the per-job `run_flow_session`
+//! runs both the MIG-level and netlist-level checks; cache hits re-run
+//! the netlist-level check against the incoming circuit) and
+//! bit-identical to what `mighty opt` prints for the same flow — the
+//! serve test suite asserts this across concurrent clients.
+//!
+//! # Protocol
+//!
+//! One JSON value per line, UTF-8. Requests:
+//!
+//! ```json
+//! {"id": 1, "netlist": "my_adder", "flow": "size; rewrite", "effort": 2}
+//! {"id": 2, "netlist": "module m(a, y); input a; output y; ...", "flow": "depth"}
+//! {"op": "ping"}
+//! {"op": "stats"}
+//! {"op": "shutdown"}
+//! ```
+//!
+//! `netlist` is structural Verilog text (anything containing a
+//! `module` keyword) or a generated-benchmark name; the server never
+//! reads files. Optional job fields: `rounds`, `timeout_ms`,
+//! `pass_timeout_ms`, `max_nodes`, `selfcheck`, `progress` (stream
+//! per-pass lines). Responses (one line each, all carrying the job
+//! `id`):
+//!
+//! ```json
+//! {"type": "progress", "id": 1, "pass": "size", "size": 180, "depth": 12, ...}
+//! {"type": "result", "id": 1, "exit_code": 0, "mig_equiv": true, ..., "verilog": "..."}
+//! {"type": "error", "id": 2, "exit_code": 3, "message": "..."}
+//! ```
+//!
+//! `exit_code` mirrors the CLI contract: 0 ok, 2 malformed request,
+//! 3 input error, 4 equivalence failure, 5 degraded (budget/rollback
+//! semantics per job — a panicking or over-budget job degrades without
+//! taking the server down). See `DESIGN.md` §15 for the full spec.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use mig_core::{Flow, OptContext};
+use mig_netlist::{parse_verilog, write_verilog, Network};
+
+use crate::json::{escape_str, Json};
+use crate::{run_flow_session, OptOutcome, RunOptions, Snapshot};
+
+/// Exit codes of the per-job contract (the CLI's codes, reused on the
+/// wire).
+pub mod exit_code {
+    /// Job completed, verified, nothing degraded.
+    pub const OK: i64 = 0;
+    /// Malformed request (unparseable JSON, unknown field values).
+    pub const USAGE: i64 = 2;
+    /// Input error (netlist does not parse / unknown benchmark).
+    pub const INPUT: i64 = 3;
+    /// The optimized result failed an equivalence check.
+    pub const EQUIV: i64 = 4;
+    /// Completed and verified, but one or more passes degraded.
+    pub const DEGRADED: i64 = 5;
+}
+
+/// Server configuration (the `mighty serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `"127.0.0.1:7171"` (port 0 picks a free one).
+    pub listen: String,
+    /// Worker threads executing jobs (≥ 1).
+    pub workers: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Graceful-shutdown drain deadline in milliseconds.
+    pub drain_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            listen: "127.0.0.1:0".to_string(),
+            workers: 1,
+            cache_capacity: 64,
+            drain_ms: 10_000,
+        }
+    }
+}
+
+/// Aggregate counters, readable over the wire via `{"op": "stats"}`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Jobs fully executed (including degraded ones).
+    pub jobs_done: usize,
+    /// Jobs answered straight from the result cache.
+    pub cache_hits: usize,
+    /// Jobs that missed the cache and ran.
+    pub cache_misses: usize,
+    /// Jobs that ended with a non-zero exit code.
+    pub jobs_failed: usize,
+    /// Connections accepted since start.
+    pub connections: usize,
+}
+
+/// One parsed, validated job.
+struct Job {
+    /// Pre-serialized JSON of the client's `id` (echoed verbatim).
+    id: String,
+    net: Network,
+    flow: Flow,
+    effort: usize,
+    rounds: usize,
+    opts: RunOptions,
+    progress: bool,
+    out: mpsc::Sender<String>,
+}
+
+/// The bounded LRU result cache. Keyed by (content hash, flow script,
+/// effort) — everything that determines the optimized structure. Jobs
+/// carrying budgets or self checks bypass it (budget outcomes depend on
+/// wall time, so they are not replayable), as do degraded or
+/// non-verified results.
+struct JobCache {
+    entries: HashMap<(u64, String, usize), CacheEntry>,
+    /// Monotone use counter backing the LRU order.
+    tick: u64,
+    capacity: usize,
+}
+
+struct CacheEntry {
+    last_used: u64,
+    value: Arc<CachedResult>,
+}
+
+/// What a cache hit replays: the verified outcome minus its wall times.
+struct CachedResult {
+    optimized: Network,
+    before: Snapshot,
+    after: Snapshot,
+    flow: String,
+    stages: usize,
+}
+
+impl JobCache {
+    fn new(capacity: usize) -> Self {
+        JobCache {
+            entries: HashMap::new(),
+            tick: 0,
+            capacity,
+        }
+    }
+
+    fn get(&mut self, key: &(u64, String, usize)) -> Option<Arc<CachedResult>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|e| {
+            e.last_used = tick;
+            Arc::clone(&e.value)
+        })
+    }
+
+    fn insert(&mut self, key: (u64, String, usize), value: CachedResult) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            // Evict the least-recently-used entry. Linear scan: the
+            // cache is small (tens of entries) and eviction is off the
+            // optimization hot path.
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(
+            key,
+            CacheEntry {
+                last_used: self.tick,
+                value: Arc::new(value),
+            },
+        );
+    }
+}
+
+/// State shared between the accept loop, connection threads, and
+/// workers.
+struct Shared {
+    queue: Mutex<Vec<Job>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    in_flight: AtomicUsize,
+    /// Response lines handed to a connection writer thread but not yet
+    /// flushed to (or abandoned with) its socket. The graceful drain
+    /// waits for this to hit zero so an in-flight job's result reaches
+    /// the client before the process exits.
+    pending_writes: AtomicUsize,
+    stats: Mutex<ServerStats>,
+    cache: Mutex<JobCache>,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue_cv.notify_all();
+    }
+
+    fn idle(&self) -> bool {
+        self.in_flight.load(Ordering::SeqCst) == 0
+            && self.pending_writes.load(Ordering::SeqCst) == 0
+            && self.queue.lock().expect("queue lock").is_empty()
+    }
+
+    /// Routes one response line to a connection's writer thread,
+    /// keeping the pending-write accounting exact even when the writer
+    /// is already gone.
+    fn send_line(&self, tx: &mpsc::Sender<String>, line: String) {
+        self.pending_writes.fetch_add(1, Ordering::SeqCst);
+        if tx.send(line).is_err() {
+            self.pending_writes.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// A running server: bound address plus the handles needed to stop it.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+    worker_threads: Vec<thread::JoinHandle<()>>,
+    drain_ms: u64,
+}
+
+impl Server {
+    /// Binds, pre-warms the shared engine state, and starts the worker
+    /// pool plus the accept loop. Returns as soon as the socket is
+    /// listening.
+    pub fn start(config: &ServeConfig) -> Result<Server, String> {
+        let workers = config.workers.max(1);
+        // Pre-warm the process-global immutable state so the first job
+        // on every worker pays nothing: the 222-class NPN majority
+        // database and both stock libraries with their match indexes.
+        mig_tt::MigDatabase::global();
+        for lib in mig_techmap::KNOWN_LIBRARIES {
+            let _ = mig_techmap::CellLibrary::shared_by_name(lib);
+        }
+
+        let listener = TcpListener::bind(&config.listen)
+            .map_err(|e| format!("cannot bind `{}`: {e}", config.listen))?;
+        let addr = listener.local_addr().map_err(|e| e.to_string())?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("set_nonblocking: {e}"))?;
+
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Vec::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            pending_writes: AtomicUsize::new(0),
+            stats: Mutex::new(ServerStats::default()),
+            cache: Mutex::new(JobCache::new(config.cache_capacity)),
+        });
+
+        let mut worker_threads = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let shared = Arc::clone(&shared);
+            worker_threads.push(
+                thread::Builder::new()
+                    .name(format!("mighty-worker-{w}"))
+                    .spawn(move || worker_loop(&shared))
+                    .map_err(|e| format!("spawn worker: {e}"))?,
+            );
+        }
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = thread::Builder::new()
+            .name("mighty-accept".to_string())
+            .spawn(move || accept_loop(listener, &accept_shared))
+            .map_err(|e| format!("spawn accept loop: {e}"))?;
+
+        Ok(Server {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+            worker_threads,
+            drain_ms: config.drain_ms,
+        })
+    }
+
+    /// The bound socket address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of the aggregate counters.
+    pub fn stats(&self) -> ServerStats {
+        *self.shared.stats.lock().expect("stats lock")
+    }
+
+    /// Requests a graceful shutdown: stop accepting, let queued and
+    /// in-flight jobs finish.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Blocks until the server shut down (via [`Server::shutdown`], a
+    /// `{"op": "shutdown"}` request, or an installed signal handler)
+    /// and all jobs drained — or the drain deadline expired. Returns
+    /// `true` when the drain completed in time.
+    pub fn wait(mut self) -> bool {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // The accept loop only exits on shutdown, so from here the
+        // queue can only shrink. Drain within the deadline.
+        let deadline = Instant::now() + Duration::from_millis(self.drain_ms);
+        while !self.shared.idle() && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+        let drained = self.shared.idle();
+        if drained {
+            // Workers are idle; join them so the process exits clean.
+            self.shared.queue_cv.notify_all();
+            for t in self.worker_threads.drain(..) {
+                let _ = t.join();
+            }
+        }
+        // Non-drained workers are left detached; the caller decides
+        // (the CLI exits the process, reporting the failed drain).
+        drained
+    }
+}
+
+/// The accept loop: non-blocking accept so shutdown requests (wire op
+/// or signal) are noticed within one poll interval.
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    loop {
+        if signal_pending() {
+            shared.begin_shutdown();
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Refuse new connections from here on: the listener is
+            // dropped, so later connects get ECONNREFUSED.
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.stats.lock().expect("stats lock").connections += 1;
+                let shared = Arc::clone(shared);
+                let _ = thread::Builder::new()
+                    .name("mighty-conn".to_string())
+                    .spawn(move || handle_connection(stream, &shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// One connection: a reader (this thread) that parses requests and a
+/// writer thread that serializes responses from all of the
+/// connection's jobs. The reader and every queued job hold clones of
+/// the response sender; the writer exits when the last clone drops.
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let (tx, rx) = mpsc::channel::<String>();
+    let write_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let writer_shared = Arc::clone(shared);
+    let writer = thread::Builder::new()
+        .name("mighty-conn-write".to_string())
+        .spawn(move || {
+            let mut w = BufWriter::new(write_stream);
+            // Once a write fails the client is gone; keep consuming
+            // (without writing) so every queued line is accounted for —
+            // the graceful drain waits on `pending_writes`.
+            let mut broken = false;
+            while let Ok(line) = rx.recv() {
+                if !broken {
+                    broken = w.write_all(line.as_bytes()).is_err()
+                        || w.write_all(b"\n").is_err()
+                        || w.flush().is_err();
+                }
+                writer_shared.pending_writes.fetch_sub(1, Ordering::SeqCst);
+            }
+        });
+
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match handle_request(&line, &tx, shared) {
+            RequestFate::Continue => {}
+            RequestFate::CloseConnection => break,
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    drop(tx);
+    if let Ok(w) = writer {
+        let _ = w.join();
+    }
+}
+
+enum RequestFate {
+    Continue,
+    CloseConnection,
+}
+
+/// Parses and dispatches one request line.
+fn handle_request(line: &str, tx: &mpsc::Sender<String>, shared: &Arc<Shared>) -> RequestFate {
+    let value = match Json::parse(line) {
+        Ok(v) => v,
+        Err(e) => {
+            shared.send_line(
+                tx,
+                error_line("null", exit_code::USAGE, &format!("bad JSON: {e}")),
+            );
+            return RequestFate::Continue;
+        }
+    };
+    let id = render_id(&value);
+    match value.get_str("op") {
+        Some("ping") => {
+            shared.send_line(tx, "{\"type\": \"pong\"}".to_string());
+            RequestFate::Continue
+        }
+        Some("stats") => {
+            let st = *shared.stats.lock().expect("stats lock");
+            shared.send_line(
+                tx,
+                format!(
+                    "{{\"type\": \"stats\", \"jobs_done\": {}, \"cache_hits\": {}, \
+                 \"cache_misses\": {}, \"jobs_failed\": {}, \"connections\": {}}}",
+                    st.jobs_done, st.cache_hits, st.cache_misses, st.jobs_failed, st.connections
+                ),
+            );
+            RequestFate::Continue
+        }
+        Some("shutdown") => {
+            shared.send_line(tx, "{\"type\": \"shutting_down\"}".to_string());
+            shared.begin_shutdown();
+            RequestFate::CloseConnection
+        }
+        Some(other) => {
+            shared.send_line(
+                tx,
+                error_line(&id, exit_code::USAGE, &format!("unknown op `{other}`")),
+            );
+            RequestFate::Continue
+        }
+        None => {
+            match parse_job(&value, &id, tx.clone()) {
+                Ok(job) => {
+                    let mut queue = shared.queue.lock().expect("queue lock");
+                    // Checked under the queue lock: workers only exit
+                    // when (shutdown && queue empty) holds under this
+                    // same lock, so a job admitted here is guaranteed a
+                    // worker — and one rejected here never strands.
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        drop(queue);
+                        shared.send_line(
+                            tx,
+                            error_line(&id, exit_code::USAGE, "server is shutting down"),
+                        );
+                    } else {
+                        queue.insert(0, job); // workers pop from the back (FIFO)
+                        shared.queue_cv.notify_one();
+                    }
+                }
+                Err((code, msg)) => {
+                    shared.send_line(tx, error_line(&id, code, &msg));
+                }
+            }
+            RequestFate::Continue
+        }
+    }
+}
+
+/// Serializes the client's `id` member back to a JSON snippet (`null`
+/// when absent — every response still carries the key).
+fn render_id(value: &Json) -> String {
+    match value.get("id") {
+        Some(Json::Num(n)) => {
+            if n.fract() == 0.0 && n.abs() < 9e15 {
+                format!("{}", *n as i64)
+            } else {
+                format!("{n}")
+            }
+        }
+        Some(Json::Str(s)) => format!("\"{}\"", escape_str(s)),
+        Some(Json::Bool(b)) => format!("{b}"),
+        _ => "null".to_string(),
+    }
+}
+
+fn error_line(id: &str, code: i64, message: &str) -> String {
+    format!(
+        "{{\"type\": \"error\", \"id\": {id}, \"exit_code\": {code}, \"message\": \"{}\"}}",
+        escape_str(message)
+    )
+}
+
+/// Validates a job request into a ready-to-run [`Job`].
+fn parse_job(value: &Json, id: &str, out: mpsc::Sender<String>) -> Result<Job, (i64, String)> {
+    let spec = value
+        .get_str("netlist")
+        .ok_or((exit_code::USAGE, "missing `netlist`".to_string()))?;
+    let net = if spec.contains("module") {
+        parse_verilog(spec).map_err(|e| (exit_code::INPUT, format!("verilog: {e}")))?
+    } else {
+        mig_benchgen::generate(spec).ok_or((
+            exit_code::INPUT,
+            format!("`{spec}` is neither Verilog text nor a known benchmark"),
+        ))?
+    };
+    let flow_script = value.get_str("flow").unwrap_or("size");
+    let flow = Flow::parse(flow_script).map_err(|e| (exit_code::USAGE, format!("flow: {e}")))?;
+    let get_usize = |key: &str, default: usize| -> Result<usize, (i64, String)> {
+        match value.get(key) {
+            None => Ok(default),
+            Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as usize),
+            Some(_) => Err((
+                exit_code::USAGE,
+                format!("`{key}` must be a non-negative integer"),
+            )),
+        }
+    };
+    let effort = get_usize("effort", 2)?.max(1);
+    let rounds = get_usize("rounds", 16)?.max(1);
+    let opts = RunOptions {
+        timeout_ms: match get_usize("timeout_ms", 0)? {
+            0 => None,
+            n => Some(n as u64),
+        },
+        pass_timeout_ms: match get_usize("pass_timeout_ms", 0)? {
+            0 => None,
+            n => Some(n as u64),
+        },
+        max_nodes: match get_usize("max_nodes", 0)? {
+            0 => None,
+            n => Some(n),
+        },
+        selfcheck: value.get_bool("selfcheck").unwrap_or(false),
+    };
+    Ok(Job {
+        id: id.to_string(),
+        net,
+        flow,
+        effort,
+        rounds,
+        opts,
+        progress: value.get_bool("progress").unwrap_or(false),
+        out,
+    })
+}
+
+/// The worker loop: one persistent [`OptContext`] per worker, reused
+/// across jobs. On an (unexpected) panic escaping a job, the context is
+/// replaced with a fresh one — a worker never dies, matching the PR-7
+/// rule that a faulty job degrades without taking the service down.
+fn worker_loop(shared: &Arc<Shared>) {
+    let mut ctx = OptContext::with_jobs(1);
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = queue.pop() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .expect("queue lock")
+                    .0;
+            }
+        };
+        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        let panicked = {
+            let ctx_ref = &mut ctx;
+            catch_unwind(AssertUnwindSafe(|| execute_job(&job, ctx_ref, shared))).is_err()
+        };
+        if panicked {
+            // The context may hold half-mutated scratch state; rebuild.
+            ctx = OptContext::with_jobs(1);
+            let mut stats = shared.stats.lock().expect("stats lock");
+            stats.jobs_done += 1;
+            stats.jobs_failed += 1;
+            drop(stats);
+            shared.send_line(
+                &job.out,
+                error_line(
+                    &job.id,
+                    exit_code::DEGRADED,
+                    "job panicked; worker recovered",
+                ),
+            );
+        }
+        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        shared.queue_cv.notify_all();
+    }
+}
+
+/// Runs one job: cache probe, optimization with optional progress
+/// streaming, verification, response.
+fn execute_job(job: &Job, ctx: &mut OptContext, shared: &Arc<Shared>) {
+    let start = Instant::now();
+    // Budgeted or self-checked jobs are not replayable (their outcome
+    // depends on wall time), so they bypass the cache entirely.
+    let cacheable = job.opts == RunOptions::default();
+    let key = (job.net.content_hash(), job.flow.to_string(), job.effort);
+
+    if cacheable {
+        let hit = shared.cache.lock().expect("cache lock").get(&key);
+        if let Some(cached) = hit {
+            // Never trust a cache entry blindly: re-verify the stored
+            // result against the incoming circuit before replaying it.
+            let mut optimized = cached.optimized.clone();
+            optimized.set_name(job.net.name());
+            let net_equiv = mig_sim::equivalent(&job.net, &optimized, job.rounds);
+            let mut stats = shared.stats.lock().expect("stats lock");
+            stats.jobs_done += 1;
+            if net_equiv {
+                stats.cache_hits += 1;
+                drop(stats);
+                shared.send_line(
+                    &job.out,
+                    result_line(
+                        &job.id,
+                        &ResultFields {
+                            name: job.net.name(),
+                            flow: &cached.flow,
+                            before: cached.before,
+                            after: cached.after,
+                            stages: cached.stages,
+                            mig_equiv: true,
+                            net_equiv: true,
+                            degraded: false,
+                            cached: true,
+                            hash: key.0,
+                            millis: start.elapsed().as_millis(),
+                            verilog: &write_verilog(&optimized),
+                        },
+                    ),
+                );
+                return;
+            }
+            // A failed re-verification means the entry cannot serve
+            // this request (hash collision); drop it and fall through
+            // to a real run.
+            stats.jobs_failed += 1;
+            drop(stats);
+            shared
+                .cache
+                .lock()
+                .expect("cache lock")
+                .entries
+                .remove(&key);
+        }
+    }
+
+    let out = job.out.clone();
+    let id = job.id.clone();
+    let progress = job.progress;
+    let progress_shared = Arc::clone(shared);
+    let outcome: OptOutcome = run_flow_session(
+        &job.net,
+        &job.flow,
+        job.effort,
+        job.rounds,
+        &job.opts,
+        ctx,
+        move |stage| {
+            if progress {
+                progress_shared.send_line(
+                    &out,
+                    format!(
+                        "{{\"type\": \"progress\", \"id\": {id}, \"pass\": \"{}\", \
+                     \"size\": {}, \"depth\": {}, \"activity\": {:.3}, \
+                     \"millis\": {:.2}, \"outcome\": \"{}\"}}",
+                        escape_str(&stage.pass),
+                        stage.after.size,
+                        stage.after.depth,
+                        stage.after.activity,
+                        stage.millis,
+                        stage.outcome.name(),
+                    ),
+                );
+            }
+        },
+    );
+
+    let verified = outcome.mig_equiv && outcome.net_equiv;
+    {
+        let mut stats = shared.stats.lock().expect("stats lock");
+        stats.jobs_done += 1;
+        if cacheable {
+            stats.cache_misses += 1;
+        }
+        if !verified {
+            stats.jobs_failed += 1;
+        }
+    }
+    if cacheable && verified && !outcome.degraded {
+        shared.cache.lock().expect("cache lock").insert(
+            key.clone(),
+            CachedResult {
+                optimized: outcome.optimized.clone(),
+                before: outcome.before,
+                after: outcome.after,
+                flow: outcome.flow.clone(),
+                stages: outcome.stages.len(),
+            },
+        );
+    }
+    shared.send_line(
+        &job.out,
+        result_line(
+            &job.id,
+            &ResultFields {
+                name: &outcome.name,
+                flow: &outcome.flow,
+                before: outcome.before,
+                after: outcome.after,
+                stages: outcome.stages.len(),
+                mig_equiv: outcome.mig_equiv,
+                net_equiv: outcome.net_equiv,
+                degraded: outcome.degraded,
+                cached: false,
+                hash: key.0,
+                millis: start.elapsed().as_millis(),
+                verilog: &write_verilog(&outcome.optimized),
+            },
+        ),
+    );
+}
+
+struct ResultFields<'a> {
+    name: &'a str,
+    flow: &'a str,
+    before: Snapshot,
+    after: Snapshot,
+    stages: usize,
+    mig_equiv: bool,
+    net_equiv: bool,
+    degraded: bool,
+    cached: bool,
+    hash: u64,
+    millis: u128,
+    verilog: &'a str,
+}
+
+fn result_line(id: &str, f: &ResultFields<'_>) -> String {
+    let exit = if !f.mig_equiv || !f.net_equiv {
+        exit_code::EQUIV
+    } else if f.degraded {
+        exit_code::DEGRADED
+    } else {
+        exit_code::OK
+    };
+    format!(
+        "{{\"type\": \"result\", \"id\": {id}, \"exit_code\": {exit}, \
+         \"name\": \"{}\", \"flow\": \"{}\", \
+         \"before\": {{\"size\": {}, \"depth\": {}, \"activity\": {:.3}}}, \
+         \"after\": {{\"size\": {}, \"depth\": {}, \"activity\": {:.3}}}, \
+         \"stages\": {}, \"mig_equiv\": {}, \"net_equiv\": {}, \
+         \"degraded\": {}, \"cached\": {}, \"hash\": \"{:016x}\", \
+         \"millis\": {}, \"verilog\": \"{}\"}}",
+        escape_str(f.name),
+        escape_str(f.flow),
+        f.before.size,
+        f.before.depth,
+        f.before.activity,
+        f.after.size,
+        f.after.depth,
+        f.after.activity,
+        f.stages,
+        f.mig_equiv,
+        f.net_equiv,
+        f.degraded,
+        f.cached,
+        f.hash,
+        f.millis,
+        escape_str(f.verilog),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Signal handling (graceful shutdown on SIGTERM / ctrl-c)
+// ---------------------------------------------------------------------------
+
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+/// True once a SIGTERM/SIGINT arrived after
+/// [`install_signal_handlers`] ran.
+pub fn signal_pending() -> bool {
+    SIGNALLED.load(Ordering::SeqCst)
+}
+
+/// Installs SIGTERM and SIGINT handlers that flip an atomic flag the
+/// accept loop polls, so either signal triggers the same graceful
+/// drain as a `{"op": "shutdown"}` request. Raw `signal(2)` FFI —
+/// the workspace links no `libc` crate, and `std` already links the
+/// platform C library.
+#[cfg(unix)]
+pub fn install_signal_handlers() {
+    extern "C" fn on_signal(_sig: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+/// No-op off Unix (the serve loop still honors wire-level shutdown).
+#[cfg(not(unix))]
+pub fn install_signal_handlers() {}
+
+// ---------------------------------------------------------------------------
+// Load generator (`mighty serve --bench`)
+// ---------------------------------------------------------------------------
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Worker counts to sweep (the trajectory uses {1, 2, 4}).
+    pub workers_sweep: Vec<usize>,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Jobs each client submits.
+    pub jobs_per_client: usize,
+    /// Flow script every job runs.
+    pub flow: String,
+    /// Per-pass effort.
+    pub effort: usize,
+    /// Benchmark names the jobs cycle through.
+    pub corpus: Vec<String>,
+}
+
+impl LoadConfig {
+    /// The quick sweep CI runs: small MCNC circuits, a light flow.
+    pub fn quick() -> Self {
+        LoadConfig {
+            workers_sweep: vec![1, 2, 4],
+            clients: 4,
+            jobs_per_client: 4,
+            flow: "size; rewrite".to_string(),
+            effort: 1,
+            corpus: ["my_adder", "count", "b9", "cla", "mm30a"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        }
+    }
+
+    /// The full sweep behind the committed trajectory numbers.
+    pub fn full() -> Self {
+        LoadConfig {
+            clients: 8,
+            jobs_per_client: 8,
+            ..Self::quick()
+        }
+    }
+}
+
+/// Measured results of one worker-count sweep.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Worker threads the server ran.
+    pub workers: usize,
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Total jobs completed.
+    pub jobs: usize,
+    /// End-to-end wall time of the sweep in milliseconds.
+    pub total_ms: f64,
+    /// Completed jobs per second.
+    pub jobs_per_sec: f64,
+    /// Median per-job latency (client-observed), milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// All responses verified (both equivalence checks passed).
+    pub verified: bool,
+    /// All responses bit-identical to a local `mighty opt` run of the
+    /// same netlist/flow/effort.
+    pub bit_identical: bool,
+}
+
+/// Runs the load sweep: for each worker count, starts an in-process
+/// server (result cache disabled so throughput measures real work),
+/// hammers it with `clients` concurrent connections, and checks every
+/// response against a locally computed reference (equivalence verdicts
+/// plus bit-identical Verilog).
+pub fn run_load(cfg: &LoadConfig) -> Result<Vec<SweepResult>, String> {
+    // Reference results, computed once per corpus entry through the
+    // exact `mighty opt` code path (fresh context, jobs = 1).
+    let flow = Flow::parse(&cfg.flow).map_err(|e| format!("flow: {e}"))?;
+    let mut reference: HashMap<String, String> = HashMap::new();
+    for name in &cfg.corpus {
+        let net = mig_benchgen::generate(name)
+            .ok_or_else(|| format!("unknown corpus benchmark `{name}`"))?;
+        let outcome = crate::run_flow_with(&net, &flow, cfg.effort, 16, 1, &RunOptions::default());
+        if !outcome.mig_equiv || !outcome.net_equiv {
+            return Err(format!("reference run for `{name}` failed verification"));
+        }
+        reference.insert(name.clone(), write_verilog(&outcome.optimized));
+    }
+    let reference = Arc::new(reference);
+
+    let mut sweeps = Vec::new();
+    for &workers in &cfg.workers_sweep {
+        let server = Server::start(&ServeConfig {
+            listen: "127.0.0.1:0".to_string(),
+            workers,
+            cache_capacity: 0,
+            drain_ms: 60_000,
+        })?;
+        let addr = server.addr();
+        let start = Instant::now();
+        let mut handles = Vec::new();
+        for c in 0..cfg.clients {
+            let corpus = cfg.corpus.clone();
+            let flow = cfg.flow.clone();
+            let reference = Arc::clone(&reference);
+            let jobs = cfg.jobs_per_client;
+            let effort = cfg.effort;
+            handles.push(thread::spawn(move || {
+                client_run(addr, c, &corpus, &flow, effort, jobs, &reference)
+            }));
+        }
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut verified = true;
+        let mut bit_identical = true;
+        for h in handles {
+            let r = h
+                .join()
+                .map_err(|_| "client thread panicked".to_string())??;
+            latencies.extend(r.latencies_ms);
+            verified &= r.verified;
+            bit_identical &= r.bit_identical;
+        }
+        let total_ms = start.elapsed().as_secs_f64() * 1e3;
+        server.shutdown();
+        if !server.wait() {
+            return Err("server failed to drain after sweep".to_string());
+        }
+
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let pct = |p: f64| -> f64 {
+            if latencies.is_empty() {
+                return 0.0;
+            }
+            let rank = ((p / 100.0) * latencies.len() as f64).ceil() as usize;
+            latencies[rank.clamp(1, latencies.len()) - 1]
+        };
+        let jobs = cfg.clients * cfg.jobs_per_client;
+        sweeps.push(SweepResult {
+            workers,
+            clients: cfg.clients,
+            jobs,
+            total_ms,
+            jobs_per_sec: jobs as f64 / (total_ms / 1e3),
+            p50_ms: pct(50.0),
+            p95_ms: pct(95.0),
+            p99_ms: pct(99.0),
+            verified,
+            bit_identical,
+        });
+    }
+    Ok(sweeps)
+}
+
+struct ClientResult {
+    latencies_ms: Vec<f64>,
+    verified: bool,
+    bit_identical: bool,
+}
+
+/// One load-generator client: a connection submitting jobs serially and
+/// validating each response.
+fn client_run(
+    addr: SocketAddr,
+    client_index: usize,
+    corpus: &[String],
+    flow: &str,
+    effort: usize,
+    jobs: usize,
+    reference: &HashMap<String, String>,
+) -> Result<ClientResult, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let mut writer = BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut reader = BufReader::new(stream);
+    let mut result = ClientResult {
+        latencies_ms: Vec::with_capacity(jobs),
+        verified: true,
+        bit_identical: true,
+    };
+    for j in 0..jobs {
+        let name = &corpus[(client_index * jobs + j) % corpus.len()];
+        let sent = Instant::now();
+        writeln!(
+            writer,
+            "{{\"id\": {j}, \"netlist\": \"{}\", \"flow\": \"{}\", \"effort\": {effort}}}",
+            escape_str(name),
+            escape_str(flow),
+        )
+        .map_err(|e| format!("send: {e}"))?;
+        writer.flush().map_err(|e| format!("flush: {e}"))?;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = reader
+                .read_line(&mut line)
+                .map_err(|e| format!("recv: {e}"))?;
+            if n == 0 {
+                return Err("server closed the connection mid-job".to_string());
+            }
+            let v = Json::parse(&line)?;
+            match v.get_str("type") {
+                Some("progress") => continue,
+                Some("result") => {
+                    result.latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+                    if v.get_num("exit_code") != Some(0.0)
+                        || v.get_bool("mig_equiv") != Some(true)
+                        || v.get_bool("net_equiv") != Some(true)
+                    {
+                        result.verified = false;
+                    }
+                    if v.get_str("verilog") != reference.get(name).map(String::as_str) {
+                        result.bit_identical = false;
+                    }
+                    break;
+                }
+                _ => return Err(format!("unexpected response: {line}")),
+            }
+        }
+    }
+    Ok(result)
+}
+
+/// Renders the human-readable load-sweep table.
+pub fn render_load_table(sweeps: &[SweepResult]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<8} {:>8} {:>6} {:>10} {:>9} {:>9} {:>9} {:>9} {:>13}\n",
+        "workers",
+        "clients",
+        "jobs",
+        "jobs/sec",
+        "p50 ms",
+        "p95 ms",
+        "p99 ms",
+        "verified",
+        "bit-identical"
+    ));
+    for r in sweeps {
+        s.push_str(&format!(
+            "{:<8} {:>8} {:>6} {:>10.2} {:>9.1} {:>9.1} {:>9.1} {:>9} {:>13}\n",
+            r.workers,
+            r.clients,
+            r.jobs,
+            r.jobs_per_sec,
+            r.p50_ms,
+            r.p95_ms,
+            r.p99_ms,
+            if r.verified { "PASS" } else { "FAIL" },
+            if r.bit_identical { "PASS" } else { "FAIL" },
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_is_bounded_and_lru() {
+        let mut cache = JobCache::new(2);
+        let key = |n: u64| (n, "size".to_string(), 1usize);
+        let entry = || CachedResult {
+            optimized: Network::new("x"),
+            before: Snapshot {
+                size: 1,
+                depth: 1,
+                activity: 0.0,
+                mapped: None,
+            },
+            after: Snapshot {
+                size: 1,
+                depth: 1,
+                activity: 0.0,
+                mapped: None,
+            },
+            flow: "size".to_string(),
+            stages: 1,
+        };
+        cache.insert(key(1), entry());
+        cache.insert(key(2), entry());
+        assert!(cache.get(&key(1)).is_some(), "touch 1 → 2 becomes LRU");
+        cache.insert(key(3), entry());
+        assert!(cache.get(&key(2)).is_none(), "2 evicted");
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(3)).is_some());
+        assert_eq!(cache.entries.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_cache_never_stores() {
+        let mut cache = JobCache::new(0);
+        cache.insert(
+            (1, "size".to_string(), 1),
+            CachedResult {
+                optimized: Network::new("x"),
+                before: Snapshot {
+                    size: 0,
+                    depth: 0,
+                    activity: 0.0,
+                    mapped: None,
+                },
+                after: Snapshot {
+                    size: 0,
+                    depth: 0,
+                    activity: 0.0,
+                    mapped: None,
+                },
+                flow: "size".to_string(),
+                stages: 0,
+            },
+        );
+        assert!(cache.entries.is_empty());
+    }
+
+    #[test]
+    fn id_rendering_round_trips() {
+        let v = Json::parse(r#"{"id": 42}"#).unwrap();
+        assert_eq!(render_id(&v), "42");
+        let v = Json::parse(r#"{"id": "job-7"}"#).unwrap();
+        assert_eq!(render_id(&v), "\"job-7\"");
+        let v = Json::parse(r#"{"op": "ping"}"#).unwrap();
+        assert_eq!(render_id(&v), "null");
+    }
+}

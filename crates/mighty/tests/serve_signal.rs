@@ -1,0 +1,116 @@
+//! Process-level `mighty serve` tests: graceful shutdown on SIGTERM
+//! and ctrl-c (SIGINT). These spawn the real binary — signal disposition
+//! is per-process state, so they cannot run in-process like the rest of
+//! the serve suite (`tests/serve.rs` at the workspace root).
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Spawns `mighty serve` on an ephemeral port and parses the bound
+/// address from its first stdout line. Returns the stdout reader too —
+/// dropping it would close the pipe and turn the server's own status
+/// prints into broken-pipe panics.
+fn spawn_server() -> (Child, String, BufReader<std::process::ChildStdout>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mighty"))
+        .args(["serve", "--listen", "127.0.0.1:0", "--workers", "1"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn mighty serve");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read listening line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected first line: {line:?}"))
+        .to_string();
+    (child, addr, reader)
+}
+
+fn send_signal(child: &Child, signal: &str) {
+    let status = Command::new("kill")
+        .args([signal, &child.id().to_string()])
+        .status()
+        .expect("run kill");
+    assert!(status.success(), "kill {signal} failed");
+}
+
+/// Waits for the child to exit, failing the test if it takes longer
+/// than `limit`.
+fn wait_with_deadline(child: &mut Child, limit: Duration) -> std::process::ExitStatus {
+    let start = Instant::now();
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status;
+        }
+        if start.elapsed() > limit {
+            let _ = child.kill();
+            panic!("server did not exit within {limit:?}");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn sigterm_drains_and_exits_zero() {
+    let (mut child, addr, _stdout) = spawn_server();
+    // Prove it serves, then signal it.
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut w = stream.try_clone().expect("clone");
+    writeln!(w, "{{\"op\": \"ping\"}}").expect("send ping");
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .expect("read pong");
+    assert!(line.contains("pong"), "got: {line:?}");
+
+    send_signal(&child, "-TERM");
+    let status = wait_with_deadline(&mut child, Duration::from_secs(20));
+    assert_eq!(status.code(), Some(0), "SIGTERM must exit 0 after drain");
+    // The listener is gone: connecting again must fail.
+    assert!(TcpStream::connect(&addr).is_err(), "socket still open");
+}
+
+#[test]
+fn sigint_in_flight_job_completes_before_exit() {
+    let (mut child, addr, _stdout) = spawn_server();
+    // Start a job and interrupt once it is demonstrably in flight (the
+    // first progress line arrived): the drain must still deliver the
+    // result before the process exits 0.
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut w = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    writeln!(
+        w,
+        "{{\"id\": 1, \"netlist\": \"alu4\", \"flow\": \"size; rewrite\", \
+         \"effort\": 2, \"progress\": true}}"
+    )
+    .expect("send job");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read first progress");
+    assert!(
+        line.contains("\"type\": \"progress\""),
+        "expected a progress line first, got: {line:?}"
+    );
+    send_signal(&child, "-INT");
+    let result = loop {
+        line.clear();
+        let n = reader.read_line(&mut line).expect("read result");
+        assert!(n > 0, "connection closed before the result arrived");
+        if line.contains("\"type\": \"result\"") {
+            break line.clone();
+        }
+    };
+    assert!(
+        result.contains("\"exit_code\": 0"),
+        "in-flight job must complete through the drain; got: {}",
+        &result[..result.len().min(200)]
+    );
+    let status = wait_with_deadline(&mut child, Duration::from_secs(20));
+    assert_eq!(status.code(), Some(0), "SIGINT must exit 0 after drain");
+}

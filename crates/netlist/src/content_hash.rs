@@ -1,0 +1,263 @@
+//! Stable, order-independent structural content hashing.
+//!
+//! [`Network::content_hash`] folds a netlist down to a single 64-bit
+//! fingerprint built from splitmix64 finalizer rounds. The hash is
+//! *content*-based, not *arena*-based: two netlists describing the same
+//! circuit hash equal even when their gates were inserted in different
+//! topological orders, dead gates never contribute, and primary
+//! input/output identity comes from the declared port names rather than
+//! from declaration positions. This is what makes it usable as a job-cache
+//! key in `mighty serve` — a client re-submitting the same circuit built
+//! by a different emitter still hits the cache.
+//!
+//! Properties (covered by tests here and in the serve suite):
+//!
+//! - deterministic across processes and platforms (no pointer or
+//!   `DefaultHasher` state involved);
+//! - independent of gate insertion order and of PO declaration order;
+//! - excludes the module name (renaming a design does not change its
+//!   content);
+//! - any semantic mutation — a different gate kind, a rewired fanin, a
+//!   renamed or redirected port — changes the hash with overwhelming
+//!   probability (64-bit collision odds).
+
+use crate::network::{GateKind, Network};
+
+/// The splitmix64 finalizer: a fast, well-mixed 64-bit permutation used
+/// as the combining primitive of the content hash (same constants as
+/// [`crate::SplitMix64`]).
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hashes a string by folding its bytes through [`mix64`], eight bytes at
+/// a time. Deterministic across platforms (unlike `DefaultHasher`).
+pub fn hash_str(s: &str) -> u64 {
+    let bytes = s.as_bytes();
+    let mut h = mix64(0x5EED_0000_0000_0001 ^ bytes.len() as u64);
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        h = mix64(h ^ u64::from_le_bytes(word));
+    }
+    h
+}
+
+/// Domain-separation seeds so a PI named "x" can never collide with a PO
+/// named "x" or a gate whose fanin hash happens to equal `hash_str("x")`.
+const SEED_INPUT: u64 = 0x9E37_79B9_7F4A_7C15;
+const SEED_GATE: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const SEED_OUTPUT: u64 = 0x1656_67B1_9E37_79F9;
+
+fn kind_tag(kind: GateKind) -> u64 {
+    match kind {
+        GateKind::Const0 => 1,
+        GateKind::Const1 => 2,
+        GateKind::Input => 3,
+        GateKind::Buf => 4,
+        GateKind::Not => 5,
+        GateKind::And => 6,
+        GateKind::Or => 7,
+        GateKind::Xor => 8,
+        GateKind::Xnor => 9,
+        GateKind::Nand => 10,
+        GateKind::Nor => 11,
+        GateKind::Mux => 12,
+        GateKind::Maj => 13,
+    }
+}
+
+impl Network {
+    /// A stable 64-bit structural fingerprint of the circuit.
+    ///
+    /// Computed bottom-up in one arena pass: every gate's hash combines
+    /// its kind tag with its fanin hashes *in fanin order* (MUX and other
+    /// order-sensitive primitives stay order-sensitive), primary inputs
+    /// hash from their declared names, and the final value folds the
+    /// per-output hashes (name ⊕ driving cone) commutatively together
+    /// with a commutative fold of the input-port names. Gates not in any
+    /// output cone therefore never influence the result, and neither
+    /// does the order in which gates, inputs or outputs were declared.
+    ///
+    /// See the [module docs](self) for the guarantees and intended use as
+    /// the `mighty serve` job-cache key.
+    pub fn content_hash(&self) -> u64 {
+        let mut gate_hash: Vec<u64> = Vec::with_capacity(self.num_gates());
+        let mut input_iter = self.input_names().iter();
+        for (_, gate) in self.iter() {
+            let h = match gate.kind() {
+                GateKind::Input => {
+                    let name = input_iter.next().expect("one name per input");
+                    mix64(SEED_INPUT ^ hash_str(name))
+                }
+                kind => {
+                    let mut h = mix64(SEED_GATE ^ kind_tag(kind));
+                    for f in gate.fanins() {
+                        h = mix64(h ^ gate_hash[f.index()]);
+                    }
+                    h
+                }
+            };
+            gate_hash.push(h);
+        }
+        // Commutative folds: reordering ports must not change the hash.
+        let mut acc: u64 = 0;
+        for name in self.input_names() {
+            acc = acc.wrapping_add(mix64(SEED_INPUT ^ hash_str(name)));
+        }
+        for (name, gate) in self.outputs() {
+            acc = acc.wrapping_add(mix64(
+                SEED_OUTPUT ^ hash_str(name) ^ gate_hash[gate.index()].rotate_left(17),
+            ));
+        }
+        mix64(acc ^ mix64(self.num_inputs() as u64) ^ self.num_outputs() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+    use crate::GateId;
+
+    fn full_adder() -> Network {
+        let mut net = Network::new("fa");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("cin");
+        let s1 = net.xor(a, b);
+        let sum = net.xor(s1, c);
+        let carry = net.maj(a, b, c);
+        net.set_output("sum", sum);
+        net.set_output("cout", carry);
+        net
+    }
+
+    #[test]
+    fn deterministic_and_name_blind() {
+        let h = full_adder().content_hash();
+        assert_eq!(h, full_adder().content_hash());
+        let mut renamed = full_adder();
+        renamed.set_name("other_module");
+        assert_eq!(h, renamed.content_hash(), "module name is not content");
+    }
+
+    #[test]
+    fn gate_insertion_order_is_irrelevant() {
+        // Same circuit, carry built before the sum chain.
+        let mut net = Network::new("fa2");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("cin");
+        let carry = net.maj(a, b, c);
+        let s1 = net.xor(a, b);
+        let sum = net.xor(s1, c);
+        net.set_output("sum", sum);
+        net.set_output("cout", carry);
+        assert_eq!(net.content_hash(), full_adder().content_hash());
+    }
+
+    #[test]
+    fn output_order_is_irrelevant() {
+        let mut net = Network::new("fa3");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("cin");
+        let s1 = net.xor(a, b);
+        let sum = net.xor(s1, c);
+        let carry = net.maj(a, b, c);
+        net.set_output("cout", carry);
+        net.set_output("sum", sum);
+        assert_eq!(net.content_hash(), full_adder().content_hash());
+    }
+
+    #[test]
+    fn dead_gates_are_irrelevant() {
+        let mut net = full_adder();
+        let a = net.inputs()[0];
+        let b = net.inputs()[1];
+        let _dead = net.and(a, b);
+        assert_eq!(net.content_hash(), full_adder().content_hash());
+    }
+
+    #[test]
+    fn mutations_change_the_hash() {
+        let base = full_adder().content_hash();
+
+        // Different gate kind in one cone.
+        let mut m1 = Network::new("fa");
+        let a = m1.add_input("a");
+        let b = m1.add_input("b");
+        let c = m1.add_input("cin");
+        let s1 = m1.or(a, b);
+        let sum = m1.xor(s1, c);
+        let carry = m1.maj(a, b, c);
+        m1.set_output("sum", sum);
+        m1.set_output("cout", carry);
+        assert_ne!(base, m1.content_hash());
+
+        // Rewired fanin.
+        let mut m2 = Network::new("fa");
+        let a = m2.add_input("a");
+        let b = m2.add_input("b");
+        let c = m2.add_input("cin");
+        let s1 = m2.xor(a, b);
+        let sum = m2.xor(s1, a);
+        let carry = m2.maj(a, b, c);
+        m2.set_output("sum", sum);
+        m2.set_output("cout", carry);
+        assert_ne!(base, m2.content_hash());
+
+        // Renamed port.
+        let mut m3 = full_adder();
+        m3.set_output("extra", GateId::from_index(0));
+        assert_ne!(base, m3.content_hash());
+    }
+
+    #[test]
+    fn mux_fanin_order_is_significant() {
+        let build = |swap: bool| {
+            let mut net = Network::new("m");
+            let s = net.add_input("s");
+            let t = net.add_input("t");
+            let e = net.add_input("e");
+            let m = if swap {
+                net.mux(s, e, t)
+            } else {
+                net.mux(s, t, e)
+            };
+            net.set_output("y", m);
+            net
+        };
+        assert_ne!(build(false).content_hash(), build(true).content_hash());
+    }
+
+    #[test]
+    fn random_networks_rarely_collide() {
+        // 64 random netlists over the same inputs: all hashes distinct.
+        let mut rng = SplitMix64::seed_from_u64(0xD1CE);
+        let mut seen = std::collections::HashSet::new();
+        for round in 0..64 {
+            let mut net = Network::new("rand");
+            let mut ids: Vec<GateId> = (0..6).map(|i| net.add_input(format!("x{i}"))).collect();
+            for _ in 0..20 {
+                let a = ids[rng.gen_range(0..ids.len())];
+                let b = ids[rng.gen_range(0..ids.len())];
+                let g = match rng.gen_range(0..3) {
+                    0 => net.and(a, b),
+                    1 => net.or(a, b),
+                    _ => net.xor(a, b),
+                };
+                ids.push(g);
+            }
+            net.set_output("y", *ids.last().unwrap());
+            assert!(
+                seen.insert(net.content_hash()),
+                "collision at round {round}"
+            );
+        }
+    }
+}

@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod content_hash;
 mod network;
 pub mod rng;
 mod stats;

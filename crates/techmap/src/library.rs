@@ -9,6 +9,7 @@
 //! absolute µm²/ns/µW.
 
 use mig_tt::TruthTable;
+use std::sync::{Arc, OnceLock};
 
 /// One library cell: a named ≤ 3-input function with physical costs.
 #[derive(Debug, Clone)]
@@ -163,10 +164,30 @@ impl CellLibrary {
     /// Looks a stock library up by name (see [`KNOWN_LIBRARIES`]).
     /// Accepts both the CLI spelling `cmos22_no_maj` and the library's
     /// own display name `cmos22-nomaj`.
+    ///
+    /// Returns a clone of the shared registry entry; callers that only
+    /// need read access should prefer [`CellLibrary::shared_by_name`],
+    /// which hands out the process-global `Arc` without copying the
+    /// cell vector.
     pub fn by_name(name: &str) -> Option<CellLibrary> {
+        Self::shared_by_name(name).map(|lib| (*lib).clone())
+    }
+
+    /// The process-global shared instance of a stock library.
+    ///
+    /// Stock libraries are immutable characterization data, so every
+    /// `OptContext`, technology mapper and server worker can share one
+    /// build (`OnceLock` + `Arc`) instead of reconstructing the cell
+    /// vector and truth tables per job. See EXPERIMENTS.md §"serve
+    /// startup amortization" for the measured per-job saving.
+    pub fn shared_by_name(name: &str) -> Option<Arc<CellLibrary>> {
+        static CMOS22: OnceLock<Arc<CellLibrary>> = OnceLock::new();
+        static CMOS22_NO_MAJ: OnceLock<Arc<CellLibrary>> = OnceLock::new();
         match name {
-            "cmos22" => Some(Self::cmos22()),
-            "cmos22_no_maj" | "cmos22-nomaj" => Some(Self::cmos22_no_maj()),
+            "cmos22" => Some(Arc::clone(CMOS22.get_or_init(|| Arc::new(Self::cmos22())))),
+            "cmos22_no_maj" | "cmos22-nomaj" => Some(Arc::clone(
+                CMOS22_NO_MAJ.get_or_init(|| Arc::new(Self::cmos22_no_maj())),
+            )),
             _ => None,
         }
     }
@@ -221,6 +242,18 @@ mod tests {
         assert_eq!(maj.function.as_u64(), 0xE8);
         let min = lib.cell_by_name("MIN3").expect("cell exists");
         assert_eq!(min.function.as_u64(), 0x17);
+    }
+
+    #[test]
+    fn shared_registry_returns_one_instance() {
+        let a = CellLibrary::shared_by_name("cmos22").expect("known");
+        let b = CellLibrary::shared_by_name("cmos22").expect("known");
+        assert!(Arc::ptr_eq(&a, &b), "one build shared by all callers");
+        let c = CellLibrary::shared_by_name("cmos22_no_maj").expect("known");
+        let d = CellLibrary::shared_by_name("cmos22-nomaj").expect("alias");
+        assert!(Arc::ptr_eq(&c, &d));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert!(CellLibrary::shared_by_name("missing").is_none());
     }
 
     #[test]

@@ -40,6 +40,7 @@
 
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::design::{Instance, MappedDesign, NetId};
 use crate::library::CellLibrary;
@@ -206,22 +207,22 @@ struct ProgramShape {
     delay: f64,
 }
 
-/// The Boolean-matching engine for one library: an NPN-canonical index
-/// of the cells plus memo tables for cut-function matches and
-/// decomposition programs.
-struct Matcher<'a> {
-    lib: &'a CellLibrary,
+/// The immutable, library-derived half of the matching engine: the
+/// NPN-canonical index of the cells plus the positions of the special
+/// cells the Shannon fallback needs. Pure characterization data — built
+/// once per library by [`MatchIndex::shared`] and reused by every
+/// mapping run (and every `mighty serve` worker) instead of being
+/// recomputed per `map_mig` call.
+pub(crate) struct MatchIndex {
     /// canonical form → (cell, its canonizing transform, extended tt).
     index: HashMap<u16, Vec<(usize, Npn4Transform, u16)>>,
     inv: usize,
     nand: Option<usize>,
     xor: Option<usize>,
-    match_memo: HashMap<(u16, u8), Rc<Vec<CellMatch>>>,
-    prog_memo: HashMap<(u16, u8), Option<Rc<ProgramShape>>>,
 }
 
-impl<'a> Matcher<'a> {
-    fn new(lib: &'a CellLibrary) -> Self {
+impl MatchIndex {
+    fn build(lib: &CellLibrary) -> Self {
         let mut index: HashMap<u16, Vec<(usize, Npn4Transform, u16)>> = HashMap::new();
         for (ci, cell) in lib.cells.iter().enumerate() {
             let k = cell.num_inputs;
@@ -243,12 +244,57 @@ impl<'a> Matcher<'a> {
                 .iter()
                 .position(|c| c.num_inputs == 2 && c.function.as_u64() & 0xF == bits)
         };
-        Matcher {
-            lib,
+        MatchIndex {
             index,
             inv: lib.inverter(),
             nand: find2(0b0111),
             xor: find2(0b0110),
+        }
+    }
+
+    /// A content fingerprint of everything the index depends on, so the
+    /// shared registry can key on *library contents* rather than trust
+    /// the name (a caller-modified library must never reuse a stale
+    /// stock index).
+    fn library_fingerprint(lib: &CellLibrary) -> u64 {
+        use mig_netlist::content_hash::{hash_str, mix64};
+        let mut h = mix64(hash_str(lib.name) ^ lib.cells.len() as u64);
+        for cell in &lib.cells {
+            h = mix64(h ^ hash_str(cell.name));
+            h = mix64(h ^ (cell.num_inputs as u64) ^ cell.function.as_u64().rotate_left(8));
+        }
+        h
+    }
+
+    /// The shared index for `lib`: one build per distinct library
+    /// content, process-wide. Concurrent mapping runs (the serve worker
+    /// pool) all probe one registry guarded by a mutex held only for
+    /// the lookup; the build itself is cheap enough that a rare
+    /// duplicate build on a race would also have been acceptable.
+    pub(crate) fn shared(lib: &CellLibrary) -> Arc<MatchIndex> {
+        static REGISTRY: OnceLock<Mutex<HashMap<u64, Arc<MatchIndex>>>> = OnceLock::new();
+        let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+        let key = Self::library_fingerprint(lib);
+        let mut map = registry.lock().expect("match-index registry poisoned");
+        Arc::clone(map.entry(key).or_insert_with(|| Arc::new(Self::build(lib))))
+    }
+}
+
+/// The Boolean-matching engine for one library: the shared NPN index
+/// plus per-run memo tables for cut-function matches and decomposition
+/// programs.
+struct Matcher<'a> {
+    lib: &'a CellLibrary,
+    shared: Arc<MatchIndex>,
+    match_memo: HashMap<(u16, u8), Rc<Vec<CellMatch>>>,
+    prog_memo: HashMap<(u16, u8), Option<Rc<ProgramShape>>>,
+}
+
+impl<'a> Matcher<'a> {
+    fn new(lib: &'a CellLibrary) -> Self {
+        Matcher {
+            lib,
+            shared: MatchIndex::shared(lib),
             match_memo: HashMap::new(),
             prog_memo: HashMap::new(),
         }
@@ -269,7 +315,7 @@ impl<'a> Matcher<'a> {
         if clen > 0 {
             let c4 = extend4(ctt, clen);
             let (canon, tf) = npn4_canonize(c4);
-            if let Some(cells) = self.index.get(&canon) {
+            if let Some(cells) = self.shared.index.get(&canon) {
                 let tf_inv = tf.invert();
                 for &(ci, ref tg, g4) in cells {
                     let cell_k = self.lib.cells[ci].num_inputs;
@@ -401,7 +447,7 @@ impl<'a> Matcher<'a> {
         let mut best: Option<(f64, CellMatch)> = None;
         for m in ms.iter() {
             let extra = if m.out_compl {
-                self.lib.cells[self.inv].area
+                self.lib.cells[self.shared.inv].area
             } else {
                 0.0
             };
@@ -430,7 +476,7 @@ impl<'a> Matcher<'a> {
         let (h0, h1) = cofactors(f4, v);
         if h1 == !h0 {
             // f = v ⊕ h0 — one XOR cell over the cofactor program.
-            if let Some(xc) = self.xor {
+            if let Some(xc) = self.shared.xor {
                 let g = self.build_rec(h0, len, steps)?;
                 return Some(match g {
                     ProgSrc::Const(b) => ProgSrc::Pin(v as u8, b),
@@ -460,7 +506,7 @@ impl<'a> Matcher<'a> {
             ProgSrc::Const(b) => ProgSrc::Const(!b),
             ProgSrc::Step(_) => {
                 steps.push(ProgStep {
-                    cell: self.inv,
+                    cell: self.shared.inv,
                     inputs: vec![src],
                 });
                 ProgSrc::Step((steps.len() - 1) as u8)
@@ -475,7 +521,7 @@ impl<'a> Matcher<'a> {
             (ProgSrc::Const(false), _) | (_, ProgSrc::Const(false)) => Some(ProgSrc::Const(true)),
             (ProgSrc::Const(true), x) | (x, ProgSrc::Const(true)) => Some(self.emit_not(x, steps)),
             (a, b) => {
-                let nand = self.nand?;
+                let nand = self.shared.nand?;
                 steps.push(ProgStep {
                     cell: nand,
                     inputs: vec![a, b],
@@ -1136,22 +1182,29 @@ pub fn map_mig(mig: &Mig, library: &CellLibrary, config: &MapConfig) -> MappedDe
 /// passes.
 #[derive(Debug, Clone)]
 pub struct TechMapper {
-    library: CellLibrary,
+    library: Arc<CellLibrary>,
     config: MapConfig,
 }
 
 impl TechMapper {
     /// A mapper over `library` with the default (area) configuration.
-    pub fn new(library: CellLibrary) -> Self {
+    ///
+    /// Accepts either an owned [`CellLibrary`] or an already-shared
+    /// `Arc<CellLibrary>` (e.g. from [`CellLibrary::shared_by_name`]);
+    /// cloning the mapper never copies the library either way.
+    pub fn new(library: impl Into<Arc<CellLibrary>>) -> Self {
         TechMapper {
-            library,
+            library: library.into(),
             config: MapConfig::default(),
         }
     }
 
     /// A mapper with an explicit configuration.
-    pub fn with_config(library: CellLibrary, config: MapConfig) -> Self {
-        TechMapper { library, config }
+    pub fn with_config(library: impl Into<Arc<CellLibrary>>, config: MapConfig) -> Self {
+        TechMapper {
+            library: library.into(),
+            config,
+        }
     }
 
     /// The library this mapper targets.
